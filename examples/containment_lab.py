@@ -1,0 +1,78 @@
+"""Containment and minimization under summary constraints (Chapter 4).
+
+Walks the thesis' reasoning on small fixtures: canonical models, decorated
+union splitting (Fig. 4.9), optional edges, strong-edge constraints, union
+rewritability (§5.3), and the Fig. 4.12 minimization effect.
+
+Run:  python examples/containment_lab.py
+"""
+
+from repro.core import (
+    canonical_model,
+    is_contained,
+    is_equivalent,
+    minimize_by_contraction,
+    minimize_under_summary,
+    parse_pattern,
+    pattern_from_path,
+)
+from repro.summary import PathSummary
+
+
+def show(title: str) -> None:
+    print(f"\n=== {title} ===")
+
+
+def main() -> None:
+    # the Fig. 4.7-style summary: b occurs on two paths, one nested
+    summary = PathSummary.from_paths(["/a/b/c/b/e", "/a/b/e", "/a/d"])
+
+    show("canonical models (§4.3)")
+    pattern = parse_pattern("//a{//e[id:s]}")
+    for tree in canonical_model(pattern, summary):
+        chain = " / ".join(n.label for n in tree.root.iter_subtree() if n.label != "#document")
+        print(f"  tree ({tree.size()} nodes): {chain}")
+
+    show("summary constraints close syntactic gaps (§4.4)")
+    via_b = pattern_from_path("//b//e")
+    via_a = pattern_from_path("//a//e")
+    print(f"  //b//e ⊑ //a//e : {is_contained(via_b, via_a, summary)}")
+    print(f"  //a//e ⊑ //b//e : {is_contained(via_a, via_b, summary)}  "
+          "(every e sits under a b here!)")
+
+    show("unions cover what no member can (§5.3)")
+    split = PathSummary.from_paths(["/a/b/c", "/a/d/c"])
+    query = pattern_from_path("//a//c")
+    left, right = pattern_from_path("//b/c"), pattern_from_path("//d/c")
+    print(f"  q ⊑ //b/c          : {is_contained(query, left, split)}")
+    print(f"  q ⊑ //d/c          : {is_contained(query, right, split)}")
+    print(f"  q ⊑ //b/c ∪ //d/c  : {is_contained(query, [left, right], split)}")
+
+    show("decorated patterns split across value ranges (Fig. 4.9)")
+    deco = PathSummary.from_paths(["/a/b/e/f"])
+    query = parse_pattern("//e{/f[id:s, val>0, val<8]}")
+    low = parse_pattern("//e{/f[id:s, val>0, val<5]}")
+    high = parse_pattern("//e{/f[id:s, val>=5, val<8]}")
+    print(f"  q ⊑ low            : {is_contained(query, low, deco)}")
+    print(f"  q ⊑ low ∪ high     : {is_contained(query, [low, high], deco)}")
+
+    show("enhanced summaries add integrity constraints (§4.2.2)")
+    strong = PathSummary.from_paths(["/a/b"])
+    for node in strong.nodes():
+        node.edge_annotation = "+"
+    strict = parse_pattern("//a[id:s]{/b[id:s]}")
+    optional = parse_pattern("//a[id:s]{/o:b[id:s]}")
+    print(f"  strict ≡ optional under 'every a has a b': "
+          f"{is_equivalent(strict, optional, strong)}")
+
+    show("minimization: the summary beats contraction (Fig. 4.12)")
+    funnel = PathSummary.from_paths(["/r/a/x/f/e", "/r/a/y/f/e", "/r/f/z"])
+    target = parse_pattern("//a{//f{//e[id:s]}}")
+    contraction = min(p.size() for p in minimize_by_contraction(target, funnel))
+    full = minimize_under_summary(target, funnel)
+    print(f"  pattern size 3 → contraction reaches {contraction} node(s)")
+    print(f"  full minimization: {[p.to_text() for p in full]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""A tour of the §2.1/§2.3 storage models.
+
+The same document is shredded into every layout the thesis surveys —
+Edge, Universal, schema-driven (Hybrid-style), XRel path tables, native
+node/structural/tag/path-partitioned stores, blobs, value and full-text
+indexes — and each layout registers the XAMs describing it.  The catalog
+printout at the end is the optimizer's entire knowledge of the physical
+level.
+
+Run:  python examples/storage_models_tour.py
+"""
+
+from repro.algebra import NestedTuple
+from repro.engine import Store
+from repro.indexes import build_fulltext_index, build_value_index, fulltext_lookup
+from repro.storage import (
+    Catalog,
+    build_content_store,
+    build_edge_store,
+    build_node_store,
+    build_path_partitioned_store,
+    build_shredded_store,
+    build_structural_store,
+    build_tag_partitioned_store,
+    build_universal_store,
+    build_xrel_store,
+    index_lookup,
+)
+from repro.summary import build_enhanced_summary
+from repro.xmldata import load
+
+BIB = """
+<bib>
+  <book year="1999"><title>Data on the Web</title>
+    <author>Abiteboul</author><author>Suciu</author></book>
+  <book year="2001"><title>The Syntactic Web</title>
+    <author>Tim</author></book>
+</bib>
+"""
+
+
+def main() -> None:
+    doc = load(BIB, "bib.xml")
+    summary = build_enhanced_summary(doc)
+    store, catalog = Store(), Catalog()
+
+    print("=== relational layouts (§2.3.1) ===")
+    print("Edge:      ", build_edge_store(doc, store, catalog))
+    print("Universal: ", build_universal_store(doc, store, catalog))
+    print("Shredded:  ", build_shredded_store(doc, store, catalog, summary))
+    print("XRel:      ", build_xrel_store(doc, store, catalog, summary))
+
+    print("\n=== native layouts (§2.3.2) ===")
+    native = Store()
+    print("node store:       ", build_node_store(doc, native, catalog))
+    print("structural store: ", build_structural_store(doc, Store(), catalog))
+    print("tag-partitioned:  ", build_tag_partitioned_store(doc, Store(), catalog))
+    print("path-partitioned: ", build_path_partitioned_store(doc, Store(), catalog, summary))
+    print("blob (content):   ", build_content_store(doc, store, catalog, ["book"]))
+
+    print("\n=== indexes (§2.1.2) ===")
+    idx = build_value_index(
+        "booksByYearTitle", doc, store, catalog, "book", ["@year", "title"]
+    )
+    print(f"value index key: {idx.metadata['index_key']}")
+    hit = index_lookup(
+        idx, store, [NestedTuple({"e2.V": "1999", "e3.V": "Data on the Web"})]
+    )
+    print(f"idxLookup(1999, 'Data on the Web') → {len(hit)} book(s)  (QEP11)")
+
+    fti = build_fulltext_index("titleFTI", doc, store, catalog, "book/title")
+    hits = fulltext_lookup(fti, store, "Web")
+    print(f"idxLookup(titleFTI, 'Web') → {len(hits)} title(s)  (QEP13)")
+
+    print("\n=== the catalog: all the optimizer ever sees ===")
+    for entry in catalog:
+        marker = "INDEX" if entry.is_index else entry.kind.upper()
+        print(f"  [{marker:7s}] {entry.name:22s} {entry.pattern.to_text()[:70]}")
+    print(f"\n{len(catalog)} XAM descriptions; changing storage = editing this list.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Compatibility shim: `python setup.py develop` installs an editable
+checkout on environments whose setuptools lacks PEP 660 support (no
+`wheel` package); `pip install -e .` is the preferred route elsewhere."""
+
+from setuptools import setup
+
+setup()

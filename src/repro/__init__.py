@@ -1,0 +1,25 @@
+"""repro — XML Access Modules: physical data independence for XML databases.
+
+A from-scratch reproduction of the XAM framework: a tree-pattern language
+uniformly describing XML stores, indexes and materialized views; pattern
+extraction from an XQuery subset; containment and rewriting under path
+summary constraints; and the ULoad-style database facade tying them
+together.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database.from_xml(open("bib.xml").read())
+    db.add_view("v_titles", "//book{/title[id:s, val]}")
+    plan, results = db.query('for $b in //book return $b/title')
+
+See README.md for the architecture tour and DESIGN.md for the paper →
+module map.
+"""
+
+__version__ = "1.0.0"
+
+from .core.uload import Database  # noqa: E402  (public facade)
+
+__all__ = ["Database", "__version__"]

@@ -1,0 +1,435 @@
+"""Value-predicate formulas over one free variable (thesis §4.1).
+
+Decorated patterns annotate nodes with a formula ``φ(v)`` built from atoms
+``v = c``, ``v < c``, ``v > c`` combined with ∧ and ∨.  The thesis observes
+that over a totally ordered domain any such formula has a compact normal
+form — a union of disjoint intervals — on which negation, conjunction,
+disjunction and implication are easy to compute (§4.1).  This module is
+that normal form.
+
+The domain mixes strings and numbers; we totally order values by
+``(type rank, value)`` so heterogeneous constants never raise.  The domain
+is treated as *dense*: implication is interval inclusion.  Over genuinely
+discrete domains this is sound (never claims an implication that does not
+hold) but incomplete in corner cases like ``3 < v < 5  ⇒  v = 4`` over
+integers, which the thesis's "enumerable domain" remark would catch; no
+workload in the evaluation depends on that case.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = ["Formula", "TRUE", "FALSE", "eq", "lt", "gt", "le", "ge", "between"]
+
+
+@functools.total_ordering
+class _Bound:
+    """A domain value wrapper with a total order across value types."""
+
+    __slots__ = ("rank", "value")
+
+    _RANKS = {bool: 0, int: 1, float: 1, str: 2}
+
+    def __init__(self, value: Any):
+        self.value = value
+        try:
+            self.rank = self._RANKS[type(value)]
+        except KeyError:
+            raise TypeError(f"unorderable formula constant: {value!r}") from None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, _Bound):
+            return NotImplemented
+        return self.rank == other.rank and self.value == other.value
+
+    def __lt__(self, other: "_Bound") -> bool:
+        if self.rank != other.rank:
+            return self.rank < other.rank
+        return self.value < other.value
+
+    def __hash__(self) -> int:
+        return hash((self.rank, self.value))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Bound({self.value!r})"
+
+
+class _Infinity:
+    """±∞ sentinels."""
+
+    __slots__ = ("sign",)
+
+    def __init__(self, sign: int):
+        self.sign = sign
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "+inf" if self.sign > 0 else "-inf"
+
+
+_NEG_INF = _Infinity(-1)
+_POS_INF = _Infinity(+1)
+
+
+def _lt(a: Any, b: Any) -> bool:
+    """Total order over bounds ∪ {±∞}."""
+    if a is b:
+        return False
+    if a is _NEG_INF or b is _POS_INF:
+        return True
+    if a is _POS_INF or b is _NEG_INF:
+        return False
+    return a < b
+
+
+def _le(a: Any, b: Any) -> bool:
+    return a is b or _lt(a, b) or (not _lt(b, a) and not _lt(a, b))
+
+
+@dataclass(frozen=True)
+class _Interval:
+    """A non-empty interval of the ordered domain."""
+
+    low: Any  # _Bound or _NEG_INF
+    low_open: bool
+    high: Any  # _Bound or _POS_INF
+    high_open: bool
+
+    def contains(self, bound: _Bound) -> bool:
+        if self.low is not _NEG_INF:
+            if _lt(bound, self.low) or (self.low_open and bound == self.low):
+                return False
+        if self.high is not _POS_INF:
+            if _lt(self.high, bound) or (self.high_open and bound == self.high):
+                return False
+        return True
+
+    def subsumes(self, other: "_Interval") -> bool:
+        low_ok = (
+            self.low is _NEG_INF
+            or (
+                other.low is not _NEG_INF
+                and (
+                    _lt(self.low, other.low)
+                    or (self.low == other.low and (other.low_open or not self.low_open))
+                )
+            )
+        )
+        high_ok = (
+            self.high is _POS_INF
+            or (
+                other.high is not _POS_INF
+                and (
+                    _lt(other.high, self.high)
+                    or (
+                        other.high == self.high
+                        and (other.high_open or not self.high_open)
+                    )
+                )
+            )
+        )
+        return low_ok and high_ok
+
+    def intersect(self, other: "_Interval") -> Optional["_Interval"]:
+        if other.low is _NEG_INF:
+            low, low_open = self.low, self.low_open
+        elif self.low is _NEG_INF:
+            low, low_open = other.low, other.low_open
+        elif _lt(self.low, other.low):
+            low, low_open = other.low, other.low_open
+        elif _lt(other.low, self.low):
+            low, low_open = self.low, self.low_open
+        else:
+            low, low_open = self.low, self.low_open or other.low_open
+
+        if other.high is _POS_INF:
+            high, high_open = self.high, self.high_open
+        elif self.high is _POS_INF:
+            high, high_open = other.high, other.high_open
+        elif _lt(other.high, self.high):
+            high, high_open = other.high, other.high_open
+        elif _lt(self.high, other.high):
+            high, high_open = self.high, self.high_open
+        else:
+            high, high_open = self.high, self.high_open or other.high_open
+
+        if low is not _NEG_INF and high is not _POS_INF:
+            if _lt(high, low):
+                return None
+            if low == high and (low_open or high_open):
+                return None
+        return _Interval(low, low_open, high, high_open)
+
+
+class Formula:
+    """A predicate over one free variable, normalized as a union of
+    disjoint, sorted intervals.  ``TRUE`` is the full-domain interval;
+    ``FALSE`` is the empty union."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Sequence[_Interval] = ()):
+        self._intervals = _normalize(intervals)
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def true() -> "Formula":
+        return TRUE
+
+    @staticmethod
+    def false() -> "Formula":
+        return FALSE
+
+    @staticmethod
+    def compare(op: str, constant: Any) -> "Formula":
+        """Build an atom ``v <op> c`` for op ∈ {=, !=, <, <=, >, >=}."""
+        bound = _Bound(constant)
+        if op == "=":
+            return Formula([_Interval(bound, False, bound, False)])
+        if op == "!=":
+            return Formula([_Interval(bound, False, bound, False)]).negate()
+        if op == "<":
+            return Formula([_Interval(_NEG_INF, True, bound, True)])
+        if op == "<=":
+            return Formula([_Interval(_NEG_INF, True, bound, False)])
+        if op == ">":
+            return Formula([_Interval(bound, True, _POS_INF, True)])
+        if op == ">=":
+            return Formula([_Interval(bound, False, _POS_INF, True)])
+        raise ValueError(f"unknown comparison operator {op!r}")
+
+    # -- logical structure ----------------------------------------------------
+
+    def conjoin(self, other: "Formula") -> "Formula":
+        pieces = []
+        for a in self._intervals:
+            for b in other._intervals:
+                meet = a.intersect(b)
+                if meet is not None:
+                    pieces.append(meet)
+        return Formula(pieces)
+
+    def disjoin(self, other: "Formula") -> "Formula":
+        return Formula(list(self._intervals) + list(other._intervals))
+
+    def negate(self) -> "Formula":
+        result = [_Interval(_NEG_INF, True, _POS_INF, True)]
+        for interval in self._intervals:
+            complement = []
+            if interval.low is not _NEG_INF:
+                complement.append(
+                    _Interval(_NEG_INF, True, interval.low, not interval.low_open)
+                )
+            if interval.high is not _POS_INF:
+                complement.append(
+                    _Interval(interval.high, not interval.high_open, _POS_INF, True)
+                )
+            next_result = []
+            for piece in result:
+                for comp in complement:
+                    meet = piece.intersect(comp)
+                    if meet is not None:
+                        next_result.append(meet)
+            result = next_result
+        return Formula(result)
+
+    def implies(self, other: "Formula") -> bool:
+        """``φ₁ ⇒ φ₂``: every interval of φ₁ fits inside some interval of
+        φ₂ (sound because the intervals of φ₂ are disjoint and sorted)."""
+        return all(
+            any(b.subsumes(a) for b in other._intervals) for a in self._intervals
+        )
+
+    def __and__(self, other: "Formula") -> "Formula":
+        return self.conjoin(other)
+
+    def __or__(self, other: "Formula") -> "Formula":
+        return self.disjoin(other)
+
+    def __invert__(self) -> "Formula":
+        return self.negate()
+
+    # -- queries --------------------------------------------------------------
+
+    @property
+    def is_false(self) -> bool:
+        return not self._intervals
+
+    @property
+    def is_true(self) -> bool:
+        return (
+            len(self._intervals) == 1
+            and self._intervals[0].low is _NEG_INF
+            and self._intervals[0].high is _POS_INF
+        )
+
+    def satisfiable(self) -> bool:
+        return not self.is_false
+
+    def evaluate(self, value: Any) -> bool:
+        """Whether a concrete domain value satisfies the formula.  ``None``
+        (⊥, e.g. an element without text) satisfies only ``TRUE``.
+
+        XML exposes every value as a string while queries compare against
+        typed constants; following XQuery's dynamic casting, a string value
+        is additionally tried as a number when it parses as one.
+        """
+        if self.is_true:
+            return True
+        if value is None:
+            return False
+        # XQuery-style dynamic casting: a numeric-looking string is judged
+        # as a number (only — the cross-type total order would otherwise
+        # rank every string above every number).
+        if isinstance(value, str):
+            stripped = value.strip()
+            try:
+                value = int(stripped)
+            except ValueError:
+                try:
+                    value = float(stripped)
+                except ValueError:
+                    pass
+        try:
+            bound = _Bound(value)
+        except TypeError:
+            return False
+        return any(interval.contains(bound) for interval in self._intervals)
+
+    def equality_constant(self) -> Optional[Any]:
+        """If the formula is a single point ``v = c``, return ``c``."""
+        if len(self._intervals) != 1:
+            return None
+        interval = self._intervals[0]
+        if (
+            interval.low is not _NEG_INF
+            and interval.low == interval.high
+            and not interval.low_open
+            and not interval.high_open
+        ):
+            return interval.low.value
+        return None
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Formula):
+            return NotImplemented
+        return self.implies(other) and other.implies(self)
+
+    def __hash__(self) -> int:
+        return hash(
+            tuple(
+                (
+                    getattr(i.low, "value", repr(i.low)),
+                    i.low_open,
+                    getattr(i.high, "value", repr(i.high)),
+                    i.high_open,
+                )
+                for i in self._intervals
+            )
+        )
+
+    def __repr__(self) -> str:
+        if self.is_true:
+            return "T"
+        if self.is_false:
+            return "F"
+        pieces = []
+        for i in self._intervals:
+            constant = None
+            if i.low is not _NEG_INF and i.low == i.high:
+                pieces.append(f"v={i.low.value!r}")
+                continue
+            left = "(" if i.low_open else "["
+            right = ")" if i.high_open else "]"
+            low = "-inf" if i.low is _NEG_INF else repr(i.low.value)
+            high = "+inf" if i.high is _POS_INF else repr(i.high.value)
+            pieces.append(f"v∈{left}{low},{high}{right}")
+            del constant
+        return " ∨ ".join(pieces)
+
+
+def _normalize(intervals: Iterable[_Interval]) -> tuple[_Interval, ...]:
+    """Sort and merge overlapping/adjacent intervals."""
+
+    def sort_key(interval: _Interval):
+        if interval.low is _NEG_INF:
+            return (0, None, interval.low_open)
+        return (1, (interval.low.rank, interval.low.value), interval.low_open)
+
+    pending = sorted(intervals, key=sort_key)
+    merged: list[_Interval] = []
+    for interval in pending:
+        if not merged:
+            merged.append(interval)
+            continue
+        last = merged[-1]
+        if _overlaps_or_touches(last, interval):
+            merged[-1] = _merge(last, interval)
+        else:
+            merged.append(interval)
+    return tuple(merged)
+
+
+def _overlaps_or_touches(a: _Interval, b: _Interval) -> bool:
+    """b.low is >= a.low by sorting; overlap when b.low <= a.high with
+    closed-meets-closed or genuinely inside."""
+    if a.high is _POS_INF or b.low is _NEG_INF:
+        return True
+    if _lt(b.low, a.high):
+        return True
+    if b.low == a.high and not (a.high_open and b.low_open):
+        return True
+    return False
+
+
+def _merge(a: _Interval, b: _Interval) -> _Interval:
+    if a.high is _POS_INF:
+        high, high_open = a.high, a.high_open
+    elif b.high is _POS_INF:
+        high, high_open = b.high, b.high_open
+    elif _lt(a.high, b.high):
+        high, high_open = b.high, b.high_open
+    elif _lt(b.high, a.high):
+        high, high_open = a.high, a.high_open
+    else:
+        high, high_open = a.high, a.high_open and b.high_open
+    if a.low is _NEG_INF or b.low is _NEG_INF:
+        low, low_open = _NEG_INF, True
+    elif _lt(a.low, b.low):
+        low, low_open = a.low, a.low_open
+    elif _lt(b.low, a.low):
+        low, low_open = b.low, b.low_open
+    else:
+        low, low_open = a.low, a.low_open and b.low_open
+    return _Interval(low, low_open, high, high_open)
+
+
+TRUE = Formula([_Interval(_NEG_INF, True, _POS_INF, True)])
+FALSE = Formula([])
+
+
+def eq(constant: Any) -> Formula:
+    return Formula.compare("=", constant)
+
+
+def lt(constant: Any) -> Formula:
+    return Formula.compare("<", constant)
+
+
+def gt(constant: Any) -> Formula:
+    return Formula.compare(">", constant)
+
+
+def le(constant: Any) -> Formula:
+    return Formula.compare("<=", constant)
+
+
+def ge(constant: Any) -> Formula:
+    return Formula.compare(">=", constant)
+
+
+def between(low: Any, high: Any) -> Formula:
+    return ge(low).conjoin(le(high))

@@ -1,0 +1,55 @@
+"""Plan inspection helpers.
+
+The storage-model study of §2.1 compares *plan shapes* (QEP₁ … QEP₁₃):
+how many joins, which access paths, how deep.  These helpers extract those
+shape statistics from logical plans so benchmarks can assert, e.g., that
+the unfragmented store answers ``//book//section`` with fewer joins than
+the path-partitioned store (QEP₉ vs QEP₈).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .operators import Operator, Scan, StructuralJoin, ValueJoin
+
+__all__ = ["count_by_type", "plan_shape", "scans_used"]
+
+
+def count_by_type(plan: Operator) -> Counter:
+    """Multiset of operator class names appearing in the plan."""
+    counts: Counter = Counter()
+
+    def visit(op: Operator) -> None:
+        counts[type(op).__name__] += 1
+        for child in op.children:
+            visit(child)
+
+    visit(plan)
+    return counts
+
+
+def scans_used(plan: Operator) -> list[str]:
+    """Names of base relations read by the plan, in leaf order."""
+    return [leaf.name for leaf in plan.leaves() if isinstance(leaf, Scan)]
+
+
+def plan_shape(plan: Operator) -> dict[str, int]:
+    """Summary statistics used by the QEP-comparison benchmarks."""
+    counts = count_by_type(plan)
+    structural = counts.get("StructuralJoin", 0)
+    value = counts.get("ValueJoin", 0)
+    return {
+        "operators": plan.operator_count(),
+        "joins": plan.join_count(),
+        "structural_joins": structural,
+        "value_joins": value,
+        "scans": counts.get("Scan", 0),
+        "depth": _depth(plan),
+    }
+
+
+def _depth(plan: Operator) -> int:
+    if not plan.children:
+        return 1
+    return 1 + max(_depth(child) for child in plan.children)

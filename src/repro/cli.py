@@ -1,0 +1,139 @@
+"""Command-line interface: a tiny interactive shell over the Database.
+
+Usage::
+
+    python -m repro.cli DOCUMENT.xml [--view name=XAM ...] [--query QUERY]
+
+Without ``--query``, starts a REPL with commands:
+
+    <xquery>                 run a query (Q subset)
+    .view <name> <xam>       materialize and register a view
+    .drop <name>             drop a view
+    .views                   list catalog entries
+    .explain <xquery>        show access-path selection
+    .summary                 summary statistics
+    .quit
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.uload import Database
+
+__all__ = ["main", "run_command"]
+
+
+def _print_result(result) -> None:
+    for item in result.xml:
+        print(item)
+    for value in result.values:
+        print(value)
+    if not result.xml and not result.values:
+        for t in result.tuples:
+            print(t)
+    if result.used_views:
+        print(f"-- answered via views: {', '.join(result.used_views)}")
+    else:
+        print("-- answered from the base store")
+
+
+def run_command(db: Database, line: str) -> bool:
+    """Execute one REPL line; returns False when the session should end."""
+    line = line.strip()
+    if not line:
+        return True
+    if line in (".quit", ".exit"):
+        return False
+    if line == ".views":
+        for entry in db.catalog:
+            marker = "index" if entry.is_index else entry.kind
+            print(f"  [{marker}] {entry.name}: {entry.pattern.to_text()}")
+        if not len(db.catalog):
+            print("  (catalog empty)")
+        return True
+    if line == ".summary":
+        print(f"  documents: {len(db.documents)}")
+        print(f"  summary paths: {len(db.summary)}")
+        print(f"  strong edges: {db.summary.count_strong_edges()}")
+        print(f"  one-to-one edges: {db.summary.count_one_to_one_edges()}")
+        return True
+    if line.startswith(".view "):
+        rest = line[len(".view "):].strip()
+        name, _, xam = rest.partition(" ")
+        if not name or not xam:
+            print("usage: .view <name> <xam>")
+            return True
+        try:
+            db.add_view(name, xam.strip())
+            print(f"  view {name!r} materialized ({len(db.store[name])} tuples)")
+        except Exception as error:  # surface parse/eval problems to the user
+            print(f"  error: {error}")
+        return True
+    if line.startswith(".drop "):
+        name = line[len(".drop "):].strip()
+        try:
+            db.drop_view(name)
+            print(f"  dropped {name!r}")
+        except KeyError:
+            print(f"  no view named {name!r}")
+        return True
+    if line.startswith(".explain "):
+        query = line[len(".explain "):]
+        try:
+            for resolution in db.explain(query):
+                print(f"  {resolution.pattern.to_text()}")
+                print(f"    → {resolution}")
+        except Exception as error:
+            print(f"  error: {error}")
+        return True
+    try:
+        _print_result(db.query(line))
+    except Exception as error:
+        print(f"  error: {error}")
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point of the interactive shell (``python -m repro.cli doc.xml``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="XAM-based XML database shell"
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument(
+        "--view",
+        action="append",
+        default=[],
+        metavar="NAME=XAM",
+        help="materialize a view before querying (repeatable)",
+    )
+    parser.add_argument("--query", help="run one query and exit")
+    args = parser.parse_args(argv)
+
+    with open(args.document, encoding="utf-8") as handle:
+        db = Database.from_xml(handle.read(), args.document)
+    print(f"loaded {args.document}: {db.documents[0].count()} nodes, "
+          f"{len(db.summary)} summary paths")
+    for spec in args.view:
+        name, _, xam = spec.partition("=")
+        db.add_view(name.strip(), xam.strip())
+        print(f"view {name.strip()!r} installed")
+
+    if args.query:
+        _print_result(db.query(args.query))
+        return 0
+
+    print("repro shell — .quit to exit, .views/.view/.drop/.explain/.summary")
+    while True:
+        try:
+            line = input("xam> ")
+        except (EOFError, KeyboardInterrupt):
+            print()
+            return 0
+        if not run_command(db, line):
+            return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - direct execution
+    sys.exit(main())

@@ -1,0 +1,636 @@
+"""Canonical models of patterns under summary constraints (thesis §4.3).
+
+Given a pattern ``p`` and a summary ``S``, the canonical model ``mod_S(p)``
+is the set of *canonical trees* derived from all embeddings of ``p`` into
+``S``: every pattern edge expands into the parent-child chain of summary
+labels connecting the images of its endpoints.  Canonical trees are the
+exhaustive "worst-case documents" for ``p`` (Proposition 4.3.1): a tuple
+belongs to ``p(t)`` for a conforming ``t`` iff some canonical tree embeds
+in ``t`` at the right paths.
+
+Supported dialects, composable as in §4.3.2:
+
+* conjunctive patterns — plain trees;
+* decorated patterns — canonical nodes carry value formulas (two pattern
+  nodes with different formulas mapped to the same summary node yield
+  distinct canonical nodes, as the thesis prescribes);
+* optional patterns — for each subset F of optional edges, the subtrees
+  rooted at the lower ends of F edges are erased, keeping the variant when
+  the original pattern still has an embedding into it;
+* attribute / nested patterns — handled at the containment layer, over the
+  same trees.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..algebra.formulas import TRUE, Formula
+from ..summary.path_summary import PathSummary, SummaryNode
+from .xam import CHILD, JOIN, NEST, NEST_OUTER, OUTER, Pattern, PatternNode
+
+__all__ = [
+    "CanonNode",
+    "CanonicalTree",
+    "admits_label",
+    "summary_embeddings",
+    "canonical_model",
+    "path_annotations",
+    "is_satisfiable",
+    "nesting_sequence",
+]
+
+
+class CanonNode:
+    """A canonical-tree node: a summary label + an optional value formula
+    + the summary path it instantiates."""
+
+    __slots__ = ("label", "formula", "summary_number", "children", "source")
+
+    def __init__(
+        self,
+        label: str,
+        summary_number: int,
+        formula: Formula = TRUE,
+        source: Optional[PatternNode] = None,
+    ):
+        self.label = label
+        self.summary_number = summary_number
+        self.formula = formula
+        #: the pattern node realized at this position (chain ends only)
+        self.source = source
+        self.children: list[CanonNode] = []
+
+    def iter_subtree(self) -> Iterator["CanonNode"]:
+        yield self
+        for child in self.children:
+            yield from child.iter_subtree()
+
+    def size(self) -> int:
+        return sum(1 for _ in self.iter_subtree())
+
+    def structure_key(self) -> tuple:
+        return (
+            self.label,
+            self.summary_number,
+            hash(self.formula),
+            tuple(sorted(child.structure_key() for child in self.children)),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        formula = "" if self.formula.is_true else f"[{self.formula!r}]"
+        return f"{self.label}#{self.summary_number}{formula}"
+
+
+class CanonicalTree:
+    """One tree of ``mod_S(p)``, with its return tuple.
+
+    ``return_nodes[i]`` is the canonical node realizing the pattern's
+    ``i``-th return node, or ``None`` (⊥) when the subtree was erased by
+    the optional-edge expansion.
+    """
+
+    def __init__(
+        self,
+        root: CanonNode,
+        return_nodes: tuple[Optional[CanonNode], ...],
+        node_of: dict[str, Optional[CanonNode]],
+    ):
+        self.root = root
+        self.return_nodes = return_nodes
+        #: pattern-node name → canonical node (None when erased)
+        self.node_of = node_of
+
+    def size(self) -> int:
+        return self.root.size() - 1  # the ⊤ root is not a data node
+
+    def return_paths(self) -> tuple[Optional[int], ...]:
+        """Summary path numbers of the return tuple (⊥ → ``None``)."""
+        return tuple(
+            node.summary_number if node is not None else None
+            for node in self.return_nodes
+        )
+
+    def structure_key(self) -> tuple:
+        return (
+            self.root.structure_key(),
+            tuple(
+                node.summary_number if node is not None else None
+                for node in self.return_nodes
+            ),
+        )
+
+    def var_formulas(self) -> dict[int, Formula]:
+        """The formula map ``φ_{t_e}`` of §4.4.2.
+
+        The thesis indexes formulas by summary-node variables under the
+        simplifying assumption that canonical trees are S-subtrees; when a
+        tree instantiates the same path twice, per-path variables would
+        conflate independent document nodes.  We therefore key variables by
+        the canonical node itself (``id``), which is exact in all cases.
+        """
+        return {
+            id(node): node.formula
+            for node in self.root.iter_subtree()
+            if not node.formula.is_true
+        }
+
+
+# ---------------------------------------------------------------------------
+# Pattern → summary embeddings
+# ---------------------------------------------------------------------------
+
+def admits_label(pattern_node: PatternNode, label: str) -> bool:
+    """Tag/kind admission against a bare label (summary or canonical-tree
+    node).  Wildcards match element labels only."""
+    if pattern_node.tag is not None:
+        return pattern_node.tag == label
+    return not label.startswith("@") and label != "#text"
+
+
+def _candidates(
+    snode: SummaryNode, axis: str, pattern_node: PatternNode
+) -> Iterator[SummaryNode]:
+    if axis == CHILD:
+        for child in snode.children.values():
+            if admits_label(pattern_node, child.label):
+                yield child
+    else:
+        for descendant in snode.descendants():
+            if admits_label(pattern_node, descendant.label):
+                yield descendant
+
+
+def summary_embeddings(
+    pattern: Pattern, summary: PathSummary
+) -> list[dict[PatternNode, SummaryNode]]:
+    """All embeddings of the pattern into the summary tree (⊤ ↦ the
+    summary root), ignoring edge semantics and value formulas."""
+
+    def assign(
+        pattern_node: PatternNode, snode: SummaryNode
+    ) -> list[dict[PatternNode, SummaryNode]]:
+        partials = [{pattern_node: snode}]
+        for edge in pattern_node.edges:
+            branch: list[dict[PatternNode, SummaryNode]] = []
+            for candidate in _candidates(snode, edge.axis, edge.child):
+                branch.extend(assign(edge.child, candidate))
+            if not branch:
+                return []
+            partials = [{**a, **b} for a in partials for b in branch]
+        return partials
+
+    return assign(pattern.root, summary.root)
+
+
+def path_annotations(
+    pattern: Pattern, summary: PathSummary
+) -> dict[str, set[int]]:
+    """Definition 4.3.1: per pattern-node name, the set of summary path
+    numbers it may be embedded onto."""
+    annotations: dict[str, set[int]] = {node.name: set() for node in pattern.nodes()}
+    for embedding in summary_embeddings(pattern, summary):
+        for pattern_node, snode in embedding.items():
+            if pattern_node.parent_edge is not None:
+                annotations[pattern_node.name].add(snode.number)
+    return annotations
+
+
+# ---------------------------------------------------------------------------
+# Canonical tree construction
+# ---------------------------------------------------------------------------
+
+def _build_tree(
+    pattern: Pattern,
+    summary: PathSummary,
+    embedding: dict[PatternNode, SummaryNode],
+    returns: Optional[list[str]] = None,
+) -> CanonicalTree:
+    root = CanonNode("#document", 0, source=pattern.root)
+    node_of: dict[str, Optional[CanonNode]] = {pattern.root.name: root}
+
+    def attach(pattern_parent: PatternNode, canon_parent: CanonNode) -> None:
+        for edge in pattern_parent.edges:
+            chain = summary.chain(
+                embedding[pattern_parent], embedding[edge.child]
+            )
+            anchor = canon_parent
+            # chain[0] is the parent's own summary node; each pattern child
+            # gets its own fresh chain (Definition in §4.3.1).
+            for snode in chain[1:-1]:
+                link = CanonNode(snode.label, snode.number)
+                anchor.children.append(link)
+                anchor = link
+            last = chain[-1]
+            end = CanonNode(
+                last.label,
+                last.number,
+                formula=edge.child.value_formula,
+                source=edge.child,
+            )
+            anchor.children.append(end)
+            node_of[edge.child.name] = end
+            attach(edge.child, end)
+
+    attach(pattern.root, root)
+    return_names = returns if returns is not None else [
+        node.name for node in pattern.return_nodes()
+    ]
+    return_nodes = tuple(node_of[name] for name in return_names)
+    return CanonicalTree(root, return_nodes, node_of)
+
+
+def _strict_copy(pattern: Pattern) -> Pattern:
+    """All edges made non-optional (outer → join, nest-outer → nest);
+    node names preserved so trees can be related back to the original."""
+    clone = pattern.copy()
+    for edge in clone.edges():
+        if edge.semantics == OUTER:
+            edge.semantics = JOIN
+        elif edge.semantics == NEST_OUTER:
+            edge.semantics = NEST
+    return clone
+
+
+def _optional_edge_names(pattern: Pattern) -> list[str]:
+    return [edge.child.name for edge in pattern.edges() if edge.optional]
+
+
+def _tree_parents(tree: CanonicalTree) -> dict[int, Optional[CanonNode]]:
+    parents: dict[int, Optional[CanonNode]] = {id(tree.root): None}
+    for walker in tree.root.iter_subtree():
+        for child in walker.children:
+            parents[id(child)] = walker
+    return parents
+
+
+def _chain_top(
+    tree: CanonicalTree,
+    pattern: Pattern,
+    name: str,
+    parents: dict[int, Optional[CanonNode]],
+) -> Optional[CanonNode]:
+    """The topmost canonical node of the chain realizing the named
+    pattern node — the erasure victim.  The *whole chain* is erased, not
+    just the subtree at its lower end: leftover chain intermediates would
+    claim structure enhanced-summary constraints can rule out."""
+    canon = tree.node_of.get(name)
+    if canon is None:
+        return None
+    parent_edge = pattern.node_by_name(name).parent_edge
+    assert parent_edge is not None
+    parent_canon = tree.node_of.get(parent_edge.parent.name)
+    chain_top = canon
+    while (
+        parents.get(id(chain_top)) is not None
+        and parents[id(chain_top)] is not parent_canon
+    ):
+        chain_top = parents[id(chain_top)]  # type: ignore[assignment]
+    return chain_top
+
+
+def _skipping_key(
+    tree: CanonicalTree,
+    pattern: Pattern,
+    erased_names: frozenset[str],
+    victims: set[int],
+) -> tuple:
+    """The structure key the erased variant *would* have, computed in one
+    walk over the original tree — avoids materializing duplicate copies."""
+    erased_pattern_nodes: set[str] = set()
+    for name in erased_names:
+        for below in pattern.node_by_name(name).iter_subtree():
+            erased_pattern_nodes.add(below.name)
+
+    def key(node: CanonNode) -> tuple:
+        return (
+            node.label,
+            node.summary_number,
+            hash(node.formula),
+            tuple(
+                sorted(
+                    key(child) for child in node.children if id(child) not in victims
+                )
+            ),
+        )
+
+    surviving_returns = tuple(
+        None
+        if (name in erased_pattern_nodes or tree.node_of.get(name) is None)
+        else tree.node_of[name].summary_number
+        for name in _return_names_of(tree)
+    )
+    return (key(tree.root), surviving_returns)
+
+
+def _erase_victims(
+    tree: CanonicalTree,
+    pattern: Pattern,
+    erased_names: frozenset[str],
+    victims: set[int],
+) -> CanonicalTree:
+    """Copy ``tree`` without the subtrees rooted at the victim nodes."""
+    erased_pattern_nodes: set[str] = set()
+    for name in erased_names:
+        for below in pattern.node_by_name(name).iter_subtree():
+            erased_pattern_nodes.add(below.name)
+
+    remap: dict[int, CanonNode] = {}
+
+    def copy_node(node: CanonNode) -> CanonNode:
+        clone = CanonNode(node.label, node.summary_number, node.formula, node.source)
+        remap[id(node)] = clone
+        for child in node.children:
+            if id(child) in victims:
+                continue
+            clone.children.append(copy_node(child))
+        return clone
+
+    new_root = copy_node(tree.root)
+    new_node_of: dict[str, Optional[CanonNode]] = {}
+    for name, node in tree.node_of.items():
+        if name in erased_pattern_nodes or node is None or id(node) not in remap:
+            new_node_of[name] = None
+        else:
+            new_node_of[name] = remap[id(node)]
+    return_names = _return_names_of(tree)
+    returns = tuple(new_node_of.get(name) for name in return_names)
+    return CanonicalTree(new_root, returns, new_node_of)
+
+
+def _return_names_of(tree: CanonicalTree) -> list[str]:
+    """Recover the return-node names of a canonical tree from node_of
+    (names whose canonical node sits in the return tuple, in order)."""
+    names = []
+    for target in tree.return_nodes:
+        for name, node in tree.node_of.items():
+            if node is target and name not in names:
+                names.append(name)
+                break
+        else:
+            names.append("")  # erased (⊥) — stays ⊥ after further erasure
+    return names
+
+
+def _pattern_matches_tree(pattern: Pattern, tree: CanonicalTree) -> bool:
+    """``p(t_{e,F}) ≠ ∅`` with formula-aware admission (tree formulas must
+    imply pattern formulas)."""
+    from .embedding import iter_embeddings
+
+    def admits(pattern_node: PatternNode, node: CanonNode) -> bool:
+        if not admits_label(pattern_node, node.label):
+            return False
+        if pattern_node.value_formula.is_true:
+            return True
+        return node.formula.implies(pattern_node.value_formula)
+
+    return any(
+        True for _ in iter_embeddings(pattern, tree.root, lambda n: n.children, admits)
+    )
+
+
+def canonical_model(
+    pattern: Pattern,
+    summary: PathSummary,
+    returns: Optional[list[str]] = None,
+    use_strong_edges: bool = True,
+) -> list[CanonicalTree]:
+    """``mod_S(p)``: duplicate-free canonical trees for all embeddings,
+    expanded over optional-edge subsets when the pattern has any.
+
+    ``returns`` optionally fixes the return-node order by node names
+    (default: the pattern's return nodes in pre-order).
+
+    With ``use_strong_edges`` (default), enhanced-summary integrity
+    constraints (§4.2.2) sharpen the model two ways: every canonical tree
+    is *augmented* with the descendants guaranteed by ``+``/``1`` edges
+    (any conforming document containing the tree contains them too), and
+    optional-edge erasure variants that no conforming document can
+    realize (the erased node is structurally guaranteed) are dropped.
+    """
+    if any(node.value_formula.is_false for node in pattern.nodes()):
+        return []
+    strict = _strict_copy(pattern)
+    trees: list[CanonicalTree] = []
+    seen: set[tuple] = set()
+    tracks_text = _tracks_text(summary)
+    for embedding in summary_embeddings(strict, summary):
+        if not _formula_placements_ok(embedding, tracks_text):
+            continue
+        tree = _build_tree(strict, summary, embedding, returns)
+        key = tree.structure_key()
+        if key not in seen:
+            seen.add(key)
+            trees.append(tree)
+
+    optional_names = _optional_edge_names(pattern)
+    if not optional_names:
+        if use_strong_edges:
+            for tree in trees:
+                _augment_strong(tree.root, summary)
+        return trees
+
+    expanded: list[CanonicalTree] = []
+    expanded_seen: set[tuple] = set()
+    subsets = _subsets(optional_names)
+    for tree in trees:
+        parents = _tree_parents(tree)
+        tops = {
+            name: _chain_top(tree, pattern, name, parents)
+            for name in optional_names
+        }
+        subtree_ids = {
+            name: {id(node) for node in top.iter_subtree()}
+            for name, top in tops.items()
+            if top is not None
+        }
+        seen_victims: set[frozenset] = set()
+        for subset in subsets:
+            # canonical victim set: chain tops, minus tops already inside
+            # another erased chain (nested optional edges collapse)
+            present = [n for n in subset if tops.get(n) is not None]
+            victims = {
+                n
+                for n in present
+                if not any(
+                    other != n and id(tops[n]) in subtree_ids[other]
+                    for other in present
+                )
+            }
+            victim_key = frozenset(victims)
+            if subset and not victims:
+                continue
+            if victim_key in seen_victims:
+                continue
+            seen_victims.add(victim_key)
+            if victims:
+                if use_strong_edges and _erasure_unrealizable(
+                    tree, pattern, tuple(victims), summary
+                ):
+                    continue
+                victim_ids = {id(tops[n]) for n in victims}
+                # compute the variant's key WITHOUT materializing the copy:
+                # most subsets collapse onto already-seen structures
+                key = _skipping_key(tree, pattern, frozenset(subset), victim_ids)
+                if key in expanded_seen:
+                    continue
+                expanded_seen.add(key)
+                variant = _erase_victims(
+                    tree, pattern, frozenset(subset), victim_ids
+                )
+                # The thesis re-checks p(t_{e,F}) ≠ ∅ because its erasure
+                # leaves partial chains behind; whole-chain erasure removes
+                # exactly one optional subtree per victim, so the original
+                # embedding (victims ↦ ⊥) always survives and the check is
+                # a tautology here (empirically validated; see the tests).
+                expanded.append(variant)
+                continue
+            variant = tree
+            key = variant.structure_key()
+            if key not in expanded_seen:
+                expanded_seen.add(key)
+                expanded.append(variant)
+    if use_strong_edges:
+        for tree in expanded:
+            _augment_strong(tree.root, summary)
+    return expanded
+
+
+def _augment_strong(node: CanonNode, summary: PathSummary) -> None:
+    """Add the descendants guaranteed by ``+``/``1`` summary edges (where
+    no child on that path already exists), recursively — the full strong
+    closure, naturally bounded by the summary's height.  A truncated
+    closure would be sound but incomplete in a way that breaks containment
+    transitivity (a view probing below the truncation point would miss
+    guaranteed structure)."""
+    if node.summary_number < 0:
+        return
+    snode = summary.node_by_number(node.summary_number)
+    present = {child.summary_number for child in node.children}
+    for schild in snode.children.values():
+        if schild.edge_annotation in ("+", "1") and schild.number not in present:
+            node.children.append(CanonNode(schild.label, schild.number))
+    for child in node.children:
+        _augment_strong(child, summary)
+
+
+def _erasure_unrealizable(
+    tree: CanonicalTree,
+    pattern: Pattern,
+    subset: tuple[str, ...],
+    summary: PathSummary,
+) -> bool:
+    """Whether erasing these optional nodes contradicts the enhanced
+    summary: an optional subtree is *guaranteed matchable* below its
+    parent's path when a strong chain leads to a node admitting it and all
+    its mandatory children are guaranteed in turn — such a subtree can
+    never map to ⊥ in a conforming document."""
+    for name in subset:
+        pattern_node = pattern.node_by_name(name)
+        parent_edge = pattern_node.parent_edge
+        assert parent_edge is not None
+        parent_canon = tree.node_of.get(parent_edge.parent.name)
+        if parent_canon is None or parent_canon.summary_number <= 0:
+            continue
+        anchor = summary.node_by_number(parent_canon.summary_number)
+        if _guaranteed_match(pattern_node, anchor, summary):
+            return True
+    return False
+
+
+def _guaranteed_match(
+    pattern_node: PatternNode, anchor: SummaryNode, summary: PathSummary
+) -> bool:
+    """Every conforming document node on ``anchor``'s path has a match of
+    the subtree rooted at ``pattern_node`` below it (sound, possibly
+    incomplete — value formulas are never guaranteed)."""
+    from ..summary.enhanced import is_strong_chain
+
+    if not pattern_node.value_formula.is_true:
+        return False
+    edge = pattern_node.parent_edge
+    assert edge is not None
+    if edge.axis == CHILD:
+        candidates = [
+            child
+            for child in anchor.children.values()
+            if admits_label(pattern_node, child.label)
+        ]
+    else:
+        candidates = [
+            node
+            for node in anchor.descendants()
+            if admits_label(pattern_node, node.label)
+        ]
+    for candidate in candidates:
+        if not is_strong_chain(anchor, candidate):
+            continue
+        if all(
+            child_edge.optional
+            or _guaranteed_match(child_edge.child, candidate, summary)
+            for child_edge in pattern_node.edges
+        ):
+            return True
+    return False
+
+
+def _formula_placements_ok(
+    embedding: dict[PatternNode, SummaryNode], tracks_text: bool
+) -> bool:
+    """A value predicate can only hold where a value can exist: attribute
+    paths and element paths with a ``#text`` child.  Embeddings placing a
+    decorated node on a valueless path denote unrealizable trees.  Only
+    meaningful when the summary records text paths at all (summaries built
+    from bare label paths carry no value information)."""
+    for pattern_node, snode in embedding.items():
+        if pattern_node.value_formula.is_true:
+            continue
+        if snode.is_attribute or not tracks_text or "#text" in snode.children:
+            continue
+        return False
+    return True
+
+
+def _tracks_text(summary: PathSummary) -> bool:
+    return any("#text" in snode.children for snode in summary.nodes())
+
+
+def _subsets(names: list[str]) -> list[tuple[str, ...]]:
+    out: list[tuple[str, ...]] = [()]
+    for name in names:
+        out.extend([subset + (name,) for subset in out])
+    out.sort(key=len)
+    return out
+
+
+def is_satisfiable(pattern: Pattern, summary: PathSummary) -> bool:
+    """``p`` is S-satisfiable iff ``mod_S(p)`` is non-empty (§4.3.1)."""
+    if any(node.value_formula.is_false for node in pattern.nodes()):
+        return False
+    tracks_text = _tracks_text(summary)
+    return any(
+        _formula_placements_ok(embedding, tracks_text)
+        for embedding in summary_embeddings(_strict_copy(pattern), summary)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nesting sequences (§4.4.5)
+# ---------------------------------------------------------------------------
+
+def nesting_sequence(
+    pattern: Pattern,
+    node: PatternNode,
+    embedding: dict[PatternNode, SummaryNode],
+) -> tuple[int, ...]:
+    """``ns(n, e)``: summary nodes of the ancestors of ``n`` whose edge
+    going down towards ``n`` is nested, top-down."""
+    chain: list[int] = []
+    walk = node
+    while walk.parent_edge is not None:
+        edge = walk.parent_edge
+        if edge.semantics in (NEST, NEST_OUTER):
+            chain.append(embedding[edge.parent].number)
+        walk = edge.parent
+    chain.reverse()
+    return tuple(chain)

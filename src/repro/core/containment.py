@@ -1,0 +1,428 @@
+"""Pattern containment under summary constraints (thesis §4.4).
+
+``p ⊑_S p'`` holds iff ``p(t) ⊆ p'(t)`` for every tree conforming to the
+summary ``S`` (Definition 4.4.1).  The decision procedure follows
+Proposition 4.4.1 and its extensions:
+
+* build ``mod_S(p)`` (canonical trees with return tuples);
+* for every canonical tree, check that its return tuple belongs to the
+  evaluation of ``p'`` (or of some member of a union of views,
+  Proposition 4.4.2) over the tree itself;
+* decorated patterns add the value-formula implication of §4.4.2 — for
+  unions, the exact check ``φ_{t_e} ⇒ ∨_j ψ_j`` over per-summary-path
+  variables, decided by refuting ``φ ∧ ⋀_j ¬ψ_j`` through choice-function
+  enumeration;
+* attribute patterns require positionally identical stored attributes
+  (Proposition 4.4.3);
+* nested patterns add the nesting-sequence conditions of Proposition
+  4.4.4, with the one-to-one-edge relaxation when the summary carries
+  enhanced annotations.
+
+Negative decisions exit at the first countermodel — the asymmetry measured
+in §4.6 (negative tests faster than positive ones).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence, Union as TypingUnion
+
+from ..algebra.formulas import TRUE, Formula
+from ..summary.enhanced import is_one_to_one_chain
+from ..summary.path_summary import PathSummary
+from .canonical import (
+    CanonicalTree,
+    CanonNode,
+    admits_label,
+    canonical_model,
+    nesting_sequence,
+    summary_embeddings,
+    _strict_copy,
+)
+from .embedding import iter_embeddings, subtree_embeddable
+from .xam import JOIN, NEST, NEST_OUTER, OUTER, Pattern, PatternNode
+
+__all__ = ["is_contained", "is_equivalent", "ContainmentError"]
+
+Views = TypingUnion[Pattern, Sequence[Pattern]]
+
+
+#: cap on matching assignments enumerated per (view, canonical tree) when
+#: collecting value-formula disjuncts — a safety valve against adversarial
+#: wildcard patterns; reaching it can only make containment answer False
+#: (conservative), never True.
+MAX_PSI_ASSIGNMENTS = 256
+
+#: cap on the disjuncts fed to the exact ``φ ⇒ ∨ψ`` refutation (its choice
+#: enumeration is exponential in the number of disjuncts).  Most trees are
+#: settled by the var-wise fast path; when they are not, only the first
+#: MAX_PSI_DISJUNCTS distinct ψ participate — again conservative-only.
+MAX_PSI_DISJUNCTS = 10
+
+
+class ContainmentError(ValueError):
+    """Raised when containment between the given patterns is ill-posed
+    (mismatched arity is *not* an error — it simply fails — but malformed
+    inputs are)."""
+
+
+def is_contained(
+    pattern: Pattern,
+    views: Views,
+    summary: PathSummary,
+    relax_one_to_one: bool = True,
+    pattern_returns: Optional[list[str]] = None,
+    view_returns: Optional[list[list[str]]] = None,
+    use_strong_edges: bool = True,
+) -> bool:
+    """Decide ``p ⊑_S (p'_1 ∪ … ∪ p'_m)``.
+
+    ``views`` may be a single pattern or a sequence (union).  With
+    ``relax_one_to_one`` the §4.4.5 nesting relaxation is applied when the
+    summary carries edge annotations.  ``pattern_returns``/``view_returns``
+    optionally fix the return-node alignment by node names (default:
+    pre-order return nodes on both sides).
+    """
+    view_list = [views] if isinstance(views, Pattern) else list(views)
+    if not view_list:
+        raise ContainmentError("containment against an empty union")
+    if view_returns is None:
+        view_orders: list[Optional[list[str]]] = [None] * len(view_list)
+    else:
+        view_orders = list(view_returns)
+
+    returns = _return_nodes(pattern, pattern_returns)
+    kept: list[tuple[Pattern, Optional[list[str]]]] = []
+    for view, order in zip(view_list, view_orders):
+        if _attrs_compatible(returns, _return_nodes(view, order)):
+            kept.append((view, order))
+    if pattern.has_nested_edges or any(v.has_nested_edges for v, _ in kept):
+        # condition 2a (per view): matching nesting depth per return node
+        kept = [
+            (v, order)
+            for v, order in kept
+            if _nesting_depths_match(pattern, v, pattern_returns, order)
+        ]
+        # condition 2b (across the union): every pattern embedding must be
+        # matched by *some* view's embedding with compatible sequences
+        if kept and not _nesting_sequences_covered(
+            pattern, kept, summary, relax_one_to_one, pattern_returns
+        ):
+            if canonical_model(pattern, summary, returns=pattern_returns):
+                return False
+        pattern = _unnest(pattern)
+        kept = [(_unnest(v), order) for v, order in kept]
+
+    model = canonical_model(
+        pattern, summary, returns=pattern_returns, use_strong_edges=use_strong_edges
+    )
+    if not model:
+        return True  # unsatisfiable patterns are vacuously contained
+    if not kept:
+        return False
+    for tree in model:
+        if not _tree_covered(tree, kept):
+            return False
+    return True
+
+
+def _return_nodes(pattern: Pattern, order: Optional[list[str]]) -> list[PatternNode]:
+    if order is None:
+        return pattern.return_nodes()
+    return [pattern.node_by_name(name) for name in order]
+
+
+def is_equivalent(
+    pattern_a: Pattern,
+    pattern_b: Pattern,
+    summary: PathSummary,
+    relax_one_to_one: bool = True,
+    use_strong_edges: bool = True,
+) -> bool:
+    """S-equivalence = two-way containment (§4.4)."""
+    return is_contained(
+        pattern_a, pattern_b, summary, relax_one_to_one,
+        use_strong_edges=use_strong_edges,
+    ) and is_contained(
+        pattern_b, pattern_a, summary, relax_one_to_one,
+        use_strong_edges=use_strong_edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Attribute compatibility (Proposition 4.4.3, condition 1)
+# ---------------------------------------------------------------------------
+
+def _attrs_compatible(
+    returns_p: list[PatternNode], returns_v: list[PatternNode]
+) -> bool:
+    if len(returns_p) != len(returns_v):
+        return False
+    return all(
+        a.stored_attrs() == b.stored_attrs() for a, b in zip(returns_p, returns_v)
+    )
+
+
+# ---------------------------------------------------------------------------
+# Nested patterns (Proposition 4.4.4)
+# ---------------------------------------------------------------------------
+
+def _nested_above(node: PatternNode) -> int:
+    count = 0
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.semantics in (NEST, NEST_OUTER):
+            count += 1
+        walk = walk.parent_edge.parent
+    return count
+
+
+def _nesting_depths_match(
+    pattern: Pattern,
+    view: Pattern,
+    pattern_returns: Optional[list[str]] = None,
+    view_order: Optional[list[str]] = None,
+) -> bool:
+    """Proposition 4.4.4 condition 2(a)."""
+    returns_p = _return_nodes(pattern, pattern_returns)
+    returns_v = _return_nodes(view, view_order)
+    return all(
+        _nested_above(a) == _nested_above(b) for a, b in zip(returns_p, returns_v)
+    )
+
+
+def _nesting_sequences_covered(
+    pattern: Pattern,
+    views: list[tuple[Pattern, Optional[list[str]]]],
+    summary: PathSummary,
+    relax_one_to_one: bool,
+    pattern_returns: Optional[list[str]] = None,
+) -> bool:
+    """Proposition 4.4.4 condition 2(b), union-aware: for every embedding
+    of the pattern into the summary, *some* view has an embedding with the
+    same return paths and compatible nesting sequences."""
+    returns_p = _return_nodes(pattern, pattern_returns)
+    strict_p = _strict_copy(pattern)
+    rp = [strict_p.node_by_name(n.name) for n in returns_p]
+
+    prepared = []
+    for view, view_order in views:
+        strict_v = _strict_copy(view)
+        rv = [
+            strict_v.node_by_name(n.name)
+            for n in _return_nodes(view, view_order)
+        ]
+        prepared.append((strict_v, rv, summary_embeddings(strict_v, summary)))
+
+    for e_p in summary_embeddings(strict_p, summary):
+        return_paths = tuple(e_p[n].number for n in rp)
+        ns_p = [nesting_sequence(strict_p, n, e_p) for n in rp]
+        matched = False
+        for strict_v, rv, embeddings_v in prepared:
+            for e_v in embeddings_v:
+                if tuple(e_v[n].number for n in rv) != return_paths:
+                    continue
+                ns_v = [nesting_sequence(strict_v, n, e_v) for n in rv]
+                if all(
+                    _sequences_compatible(a, b, summary, relax_one_to_one)
+                    for a, b in zip(ns_p, ns_v)
+                ):
+                    matched = True
+                    break
+            if matched:
+                break
+        if not matched:
+            return False
+    return True
+
+
+def _sequences_compatible(
+    seq_a: tuple[int, ...],
+    seq_b: tuple[int, ...],
+    summary: PathSummary,
+    relax_one_to_one: bool,
+) -> bool:
+    if len(seq_a) != len(seq_b):
+        return False
+    for num_a, num_b in zip(seq_a, seq_b):
+        if num_a == num_b:
+            continue
+        if not relax_one_to_one:
+            return False
+        node_a = summary.node_by_number(num_a)
+        node_b = summary.node_by_number(num_b)
+        if node_a.is_ancestor_of(node_b):
+            if not is_one_to_one_chain(node_a, node_b):
+                return False
+        elif node_b.is_ancestor_of(node_a):
+            if not is_one_to_one_chain(node_b, node_a):
+                return False
+        else:
+            return False
+    return True
+
+
+def _unnest(pattern: Pattern) -> Pattern:
+    clone = pattern.copy()
+    for edge in clone.edges():
+        if edge.semantics == NEST:
+            edge.semantics = JOIN
+        elif edge.semantics == NEST_OUTER:
+            edge.semantics = OUTER
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Per-canonical-tree coverage
+# ---------------------------------------------------------------------------
+
+def _structural_admits(pattern_node: PatternNode, node: CanonNode) -> bool:
+    return admits_label(pattern_node, node.label)
+
+
+def _decorated_admits(pattern_node: PatternNode, node: CanonNode) -> bool:
+    if not admits_label(pattern_node, node.label):
+        return False
+    if pattern_node.value_formula.is_true:
+        return True
+    return node.formula.implies(pattern_node.value_formula)
+
+
+def _matching_assignments(
+    view: Pattern, tree: CanonicalTree, admits, order: Optional[list[str]] = None
+):
+    """Embeddings of the view into the tree whose return tuple equals the
+    tree's own return tuple, generated lazily.
+
+    The return-node images are *constrained during the search* (a node
+    paired with target ⊥ admits nothing); the optional-embedding rule
+    "⊥ only when no match exists" is then re-verified per result against
+    the unconstrained admission, with a memoized existence check.
+    """
+    view_returns = _return_nodes(view, order)
+    targets = dict(zip(view_returns, tree.return_nodes))
+
+    def children(node):
+        return node.children
+
+    def constrained(pattern_node: PatternNode, tree_node) -> bool:
+        if pattern_node in targets:
+            required = targets[pattern_node]
+            return required is tree_node and admits(pattern_node, tree_node)
+        return admits(pattern_node, tree_node)
+
+    def guaranteed(pattern_node: PatternNode, node) -> bool:
+        if pattern_node in targets:
+            required = targets[pattern_node]
+            return required is node and _decorated_admits(pattern_node, node)
+        return _decorated_admits(pattern_node, node)
+
+    memo: dict = {}
+    for assignment in iter_embeddings(
+        view, tree.root, children, constrained, guarantee=guaranteed
+    ):
+        valid = True
+        for pattern_node, required in targets.items():
+            if required is not None:
+                continue
+            if assignment.get(pattern_node) is not None:
+                valid = False  # pragma: no cover - blocked by constrained()
+                break
+            # the ⊥ must be genuine: walk to the nearest mapped ancestor
+            # and confirm no real embedding of the ⊥-branch exists there
+            walk = pattern_node
+            while (
+                walk.parent_edge is not None
+                and assignment.get(walk.parent_edge.parent) is None
+            ):
+                walk = walk.parent_edge.parent
+            if walk.parent_edge is None:
+                continue
+            anchor = assignment.get(walk.parent_edge.parent)
+            if anchor is not None and subtree_embeddable(
+                walk, anchor, children, guaranteed, memo
+            ):
+                valid = False
+                break
+        if valid:
+            yield assignment
+
+
+def _tree_covered(
+    tree: CanonicalTree, views: list[tuple[Pattern, Optional[list[str]]]]
+) -> bool:
+    """Conditions of Propositions 4.4.1/4.4.2 + the §4.4.2 formula check
+    for one canonical tree.  Formula variables are the canonical-tree
+    nodes themselves (see :meth:`CanonicalTree.var_formulas`)."""
+    phi = tree.var_formulas()
+    # Fast existence pass: an embedding whose every node's tree formula
+    # implies its pattern formula covers the tree outright (subsumes the
+    # var-wise check below and settles e.g. all positive containments).
+    for view, order in views:
+        for _assignment in _matching_assignments(
+            view, tree, _decorated_admits, order
+        ):
+            return True
+    psis: list[dict[int, Formula]] = []
+    seen_psis: set[tuple] = set()
+    for view, order in views:
+        view_constrained = any(
+            not node.value_formula.is_true for node in view.nodes()
+        )
+        enumerated = 0
+        for assignment in _matching_assignments(view, tree, _structural_admits, order):
+            enumerated += 1
+            if enumerated > MAX_PSI_ASSIGNMENTS:
+                break
+            if not view_constrained:
+                return True  # an unconstrained view covers the tree outright
+            psi: dict[int, Formula] = {}
+            for node, canon in assignment.items():
+                if canon is None or node.value_formula.is_true:
+                    continue
+                existing = psi.get(id(canon), TRUE)
+                psi[id(canon)] = existing.conjoin(node.value_formula)
+            if not psi:
+                return True
+            # fast path: φ implies this ψ var-wise ⇒ the tree is covered by
+            # this single assignment (the common case, e.g. any positive
+            # containment where formulas line up)
+            if all(
+                phi.get(var, TRUE).implies(formula)
+                for var, formula in psi.items()
+            ):
+                return True
+            key = tuple(sorted((k, hash(v)) for k, v in psi.items()))
+            if key not in seen_psis:
+                seen_psis.add(key)
+                psis.append(psi)
+    if not psis:
+        return False
+    return _implies_disjunction(phi, psis[:MAX_PSI_DISJUNCTS])
+
+
+def _implies_disjunction(
+    phi: dict[int, Formula], psis: list[dict[int, Formula]]
+) -> bool:
+    """Exact test of ``φ ⇒ ψ_1 ∨ … ∨ ψ_m`` where each side is a
+    conjunction of independent one-variable formulas.
+
+    ``φ ∧ ⋀_j ¬ψ_j`` distributes into choice functions: for every way of
+    picking one variable per ψ_j, the conjunct is satisfiable iff each
+    variable's combined formula is.  The implication holds iff every choice
+    is unsatisfiable.
+    """
+    variable_choices = [list(psi.items()) for psi in psis]
+    for choice in itertools.product(*variable_choices):
+        per_var: dict[int, Formula] = dict(phi)
+        satisfiable = True
+        for variable, psi_formula in choice:
+            current = per_var.get(variable, TRUE)
+            current = current.conjoin(psi_formula.negate())
+            per_var[variable] = current
+            if current.is_false:
+                satisfiable = False
+                break
+        if satisfiable and all(f.satisfiable() for f in per_var.values()):
+            return False
+    return True

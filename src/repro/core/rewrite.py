@@ -1,0 +1,1092 @@
+"""Rewriting query patterns using XAM views (thesis Chapter 5).
+
+Generate-and-test, as §5.3 prescribes: candidate plans over the view
+catalog are proposed from path-annotation compatibility, converted to
+their S-equivalent union of patterns (§5.5, :mod:`repro.core.plan_pattern`)
+and kept only when that union is S-equivalent to the query pattern.
+
+The generator exploits every rewriting enabler called out in §5.2:
+
+* **summary-based matching** — a view node serves a query node when their
+  path annotations (Definition 4.3.1) intersect; the final equivalence
+  test confirms the summary closes the gap (e.g. ``//region/*/description
+  /parlist/listitem`` serving ``//region/item//listitem``);
+* **navigation in stored content** — a view storing ``Cont`` of an
+  ancestor path serves descendant value/content needs through a
+  :class:`~repro.algebra.operators.Navigate` operator;
+* **structural identifiers** — views without common nodes combine through
+  structural joins on their stored structural IDs;
+* **ID properties** — navigational (``p``) identifiers derive the parent
+  ID, enabling equality joins the stored attributes alone would not allow
+  (:class:`~repro.algebra.operators.DerivedColumn`);
+* **unions** — when no single view covers the query, views individually
+  contained in it may cover it jointly (the summary-driven union
+  rewritings of §5.3).
+
+The result plans read from the base relations named in the catalog, so
+they execute directly against the store — physical data independence
+end-to-end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional, Sequence
+
+from ..algebra.formulas import Formula
+from ..algebra.model import NestedTuple
+from ..algebra.operators import (
+    DerivedColumn,
+    Navigate,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    StructuralJoin,
+    Union as UnionOp,
+    ValueJoin,
+)
+from ..algebra.predicates import Attr, Compare, Predicate
+from ..storage.catalog import Catalog, CatalogEntry
+from ..summary.path_summary import PathSummary
+from ..xmldata.ids import ID_KINDS, DeweyID
+from .canonical import is_satisfiable, path_annotations
+from .containment import is_contained
+from .embedding import subtree_attribute_names
+from .plan_pattern import GlueCondition, merged_patterns
+from .xam import CHILD, DESCENDANT, JOIN, OUTER, Pattern, PatternNode
+
+__all__ = ["Rewriting", "rewrite_pattern", "DeepRename", "Regroup", "SatisfiesFormula"]
+
+
+@dataclass(frozen=True)
+class SatisfiesFormula(Predicate):
+    """σ over a value attribute against an interval formula (query value
+    predicates a view stores but does not enforce)."""
+
+    attr: Attr
+    formula: Formula
+
+    def holds(self, left: NestedTuple, right: Optional[NestedTuple] = None) -> bool:
+        return any(
+            self.formula.evaluate(value) for value in left.iter_path(self.attr.path)
+        )
+
+    def __repr__(self) -> str:
+        return f"{self.attr.path} ~ {self.formula!r}"
+
+
+class DeepRename(Operator):
+    """Recursive attribute renaming by pattern-node name.
+
+    ``mapping`` sends node names to node names; attributes ``old.X``
+    become ``new.X`` and collection attributes ``old`` become ``new``,
+    at every nesting level.
+    """
+
+    def __init__(self, child: Operator, mapping: dict[str, str]):
+        self.children = (child,)
+        self.mapping = dict(mapping)
+
+    def schema(self) -> list[str]:
+        return [self._rename(name) for name in self.children[0].schema()]
+
+    def _rename(self, name: str) -> str:
+        if "." in name:
+            prefix, _, suffix = name.rpartition(".")
+            if prefix in self.mapping:
+                return f"{self.mapping[prefix]}.{suffix}"
+            return name
+        return self.mapping.get(name, name)
+
+    def _rename_tuple(self, t: NestedTuple) -> NestedTuple:
+        attrs: dict[str, Any] = {}
+        for name, value in t.attrs.items():
+            new_name = self._rename(name)
+            if isinstance(value, list):
+                attrs[new_name] = [self._rename_tuple(member) for member in value]
+            else:
+                attrs[new_name] = value
+        return NestedTuple(attrs)
+
+    def evaluate(self, context=None) -> list[NestedTuple]:
+        return [self._rename_tuple(t) for t in self.children[0].evaluate(context)]
+
+    def label(self) -> str:
+        return f"ρ[{self.mapping}]"
+
+
+class Regroup(Operator):
+    """Re-nest flat view tuples into the query's nesting (the γ / nest-join
+    correspondence): group by the flat part (keys may include pre-nested
+    collection attributes), building one collection per entry of
+    ``collections``.  Outer-join padding (all-⊥ members) becomes an empty
+    collection — nest-outerjoin semantics.
+
+    Each collection entry is ``(name, member_attrs, identity_attrs)``.
+    With a single rebuilt collection, flat rows map one-to-one to members
+    and no deduplication happens (duplicate-*valued* members are
+    preserved, as nest joins do).  With several rebuilt collections the
+    flat input is their cross product; members then deduplicate by their
+    ``identity_attrs`` (which the planner extends with the serving view
+    IDs precisely so that equal-valued members stay distinguishable).
+    """
+
+    def __init__(
+        self,
+        child: Operator,
+        keys: Sequence[str],
+        collections: Sequence[tuple[str, Sequence[str], Sequence[str]]],
+    ):
+        self.children = (child,)
+        self.keys = list(keys)
+        self.collections = [
+            (name, list(attrs), list(identity))
+            for name, attrs, identity in collections
+        ]
+
+    def schema(self) -> list[str]:
+        return self.keys + [name for name, _attrs, _identity in self.collections]
+
+    def evaluate(self, context=None) -> list[NestedTuple]:
+        dedup = len(self.collections) > 1
+        groups: dict[tuple, dict[str, list[NestedTuple]]] = {}
+        seen: dict[tuple, dict[str, set]] = {}
+        heads: dict[tuple, NestedTuple] = {}
+        order: list[tuple] = []
+        for t in self.children[0].evaluate(context):
+            head = t.project(self.keys)
+            key = head.freeze()
+            if key not in groups:
+                groups[key] = {name: [] for name, _a, _i in self.collections}
+                seen[key] = {name: set() for name, _a, _i in self.collections}
+                heads[key] = head
+                order.append(key)
+            for name, attrs, identity in self.collections:
+                member = t.project(attrs)
+                if all(value is None for value in member.attrs.values()):
+                    continue  # outer-join padding
+                if dedup:
+                    marker = t.project(identity).freeze()
+                    if marker in seen[key][name]:
+                        continue
+                    seen[key][name].add(marker)
+                groups[key][name].append(member)
+        return [
+            heads[key].with_attrs(**groups[key]) for key in order
+        ]
+
+    def label(self) -> str:
+        built = ", ".join(name for name, _a, _i in self.collections)
+        return f"γⁿ[{', '.join(self.keys)} → {built}]"
+
+
+# ---------------------------------------------------------------------------
+# Candidate bookkeeping
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _Candidate:
+    """One way a view node can serve a query node."""
+
+    entry: CatalogEntry
+    view_node: str  # original view node name
+    mode: str  # 'direct' or 'nav'
+    nav_steps: tuple = ()  # for 'nav': ((axis, label), ...)
+
+
+@dataclass
+class _Use:
+    """One occurrence of a view in a plan."""
+
+    index: int
+    entry: CatalogEntry
+    pattern: Pattern  # per-use renamed copy of the view pattern
+    #: q node name → renamed view node name (direct services)
+    direct: dict[str, str] = field(default_factory=dict)
+    #: q node name → (renamed content node, steps, q attr, out node name)
+    navs: dict[str, tuple[str, tuple, str, str]] = field(default_factory=dict)
+    #: q node name → (renamed child node whose parent ID is derived, out name)
+    derived: dict[str, tuple[str, str]] = field(default_factory=dict)
+
+    def serves(self) -> set[str]:
+        return set(self.direct) | set(self.navs) | set(self.derived)
+
+
+@dataclass
+class Rewriting:
+    """One S-equivalent plan over materialized views."""
+
+    plan: Operator
+    views: tuple[str, ...]
+    #: the union of patterns the plan is equivalent to (inspection aid)
+    equivalent_patterns: tuple[Pattern, ...]
+    kind: str  # 'single', 'join', 'union'
+
+    def operator_count(self) -> int:
+        return self.plan.operator_count()
+
+    def __repr__(self) -> str:
+        return f"<Rewriting {self.kind} views={list(self.views)}>"
+
+
+def _id_kind_at_least(view_kind: Optional[str], query_kind: Optional[str]) -> bool:
+    if query_kind is None:
+        return True
+    if view_kind is None:
+        return False
+    return ID_KINDS.index(view_kind) >= ID_KINDS.index(query_kind)
+
+
+def _rename_pattern(pattern: Pattern, prefix: str) -> Pattern:
+    clone = pattern.copy()
+    for node in clone.nodes():
+        node.name = f"{prefix}{node.name}"
+    return clone
+
+
+def _attr_path(pattern: Pattern, node_name: str, attr: str) -> str:
+    """Nesting path of ``node.attr`` inside the pattern's output tuples."""
+    node = pattern.node_by_name(node_name)
+    segments: list[str] = []
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.nested:
+            segments.append(walk.name)
+        walk = walk.parent_edge.parent
+    segments.reverse()
+    segments.append(f"{node.name}.{attr}")
+    return "/".join(segments)
+
+
+# ---------------------------------------------------------------------------
+# The rewriting algorithm
+# ---------------------------------------------------------------------------
+
+def rewrite_pattern(
+    query: Pattern,
+    catalog: Catalog,
+    summary: PathSummary,
+    max_results: int = 10,
+    max_union: int = 3,
+) -> list[Rewriting]:
+    """All (up to ``max_results``) non-redundant S-equivalent rewritings of
+    the query pattern over the catalog's views, smallest plans first.
+
+    Covers single-view plans (with compensating selections and content
+    navigation), two-view join plans (node-equality, structural, and
+    derived-parent glue) and union plans of up to ``max_union`` members.
+    """
+    if not is_satisfiable(query, summary):
+        return []
+    ann_q = path_annotations(query, summary)
+    query_returns = [node.name for node in query.return_nodes()]
+    candidates = _collect_candidates(query, ann_q, catalog, summary)
+
+    rewritings: list[Rewriting] = []
+    seen: set[tuple] = set()
+
+    def consider(rewriting: Optional[Rewriting]) -> None:
+        if rewriting is None:
+            return
+        key = (rewriting.kind, rewriting.views)
+        if key in seen:
+            return
+        seen.add(key)
+        rewritings.append(rewriting)
+
+    # 1. single-view plans
+    for entry in catalog.views():
+        for use in _single_view_uses(query, entry, candidates):
+            consider(_validate_uses(query, query_returns, [use], [], summary))
+
+    # 2. two-view join plans
+    entries = catalog.views()
+    for i, left_entry in enumerate(entries):
+        for right_entry in entries[i:]:
+            for uses, glues in _pair_uses(
+                query, left_entry, right_entry, candidates
+            ):
+                consider(
+                    _validate_uses(query, query_returns, uses, glues, summary)
+                )
+            if len(rewritings) >= max_results:
+                break
+        if len(rewritings) >= max_results:
+            break
+
+    # 3. union plans
+    for rewriting in _union_plans(
+        query, query_returns, catalog, candidates, summary, max_union
+    ):
+        consider(rewriting)
+
+    rewritings.sort(key=lambda r: (r.plan.operator_count(), r.views))
+    return rewritings[:max_results]
+
+
+def _collect_candidates(
+    query: Pattern,
+    ann_q: dict[str, set[int]],
+    catalog: Catalog,
+    summary: PathSummary,
+) -> dict[str, list[_Candidate]]:
+    """Per query node, the view nodes that can serve it."""
+    out: dict[str, list[_Candidate]] = {name: [] for name in ann_q}
+    for entry in catalog.views():
+        ann_v = path_annotations(entry.pattern, summary)
+        for q_node in query.nodes():
+            needs = set(q_node.stored_attrs())
+            if not needs:
+                continue
+            q_paths = ann_q[q_node.name]
+            for v_node in entry.pattern.nodes():
+                v_paths = ann_v[v_node.name]
+                shared = q_paths & v_paths
+                if shared:
+                    stored = set(v_node.stored_attrs())
+                    if needs <= stored and _id_kind_at_least(
+                        v_node.store_id, q_node.store_id
+                    ):
+                        out[q_node.name].append(
+                            _Candidate(entry, v_node.name, "direct")
+                        )
+                if v_node.store_content and needs <= {"V", "C"}:
+                    steps = _navigation_steps(v_paths, q_paths, summary)
+                    if steps is not None:
+                        out[q_node.name].append(
+                            _Candidate(entry, v_node.name, "nav", steps)
+                        )
+                if v_node.store_id == "p" and needs <= {"ID"}:
+                    # §5.2: navigational IDs derive the parent's ID
+                    parent_paths = {
+                        summary.node_by_number(p).parent.number
+                        for p in v_paths
+                        if summary.node_by_number(p).parent is not None
+                        and summary.node_by_number(p).parent.parent is not None
+                    }
+                    if parent_paths & q_paths:
+                        out[q_node.name].append(
+                            _Candidate(entry, v_node.name, "parent")
+                        )
+    return out
+
+
+def _navigation_steps(
+    content_paths: set[int], target_paths: set[int], summary: PathSummary
+) -> Optional[tuple]:
+    """A downward path from the content node to the targets.
+
+    Preferred: the same child-step chain for every (content, target)
+    ancestry pair.  When the chains differ (e.g. XMark's recursive
+    parlist/listitem puts keywords at several depths), fall back to a
+    single descendant step on the shared target label — the §5.5
+    equivalence test decides whether that over- or under-shoots."""
+    steps: Optional[tuple] = None
+    found_any = False
+    ambiguous = False
+    labels = set()
+    for c in content_paths:
+        c_node = summary.node_by_number(c)
+        for t in target_paths:
+            t_node = summary.node_by_number(t)
+            if not c_node.is_ancestor_of(t_node):
+                continue
+            found_any = True
+            labels.add(t_node.label)
+            chain = summary.chain(c_node, t_node)
+            these = tuple(("child", node.label) for node in chain[1:])
+            if steps is None:
+                steps = these
+            elif steps != these:
+                ambiguous = True
+    if not found_any:
+        return None
+    if ambiguous:
+        if len(labels) == 1:
+            return (("descendant", labels.pop()),)
+        return None
+    return steps
+
+
+def _single_view_uses(
+    query: Pattern,
+    entry: CatalogEntry,
+    candidates: dict[str, list[_Candidate]],
+):
+    """Assignments of every query return node to one node of ``entry``."""
+    returns = [node.name for node in query.return_nodes()]
+    per_node: list[list[_Candidate]] = []
+    for name in returns:
+        options = [c for c in candidates[name] if c.entry is entry]
+        if not options:
+            return
+        per_node.append(options)
+    for combo in _product(per_node):
+        yield _build_use(0, entry, dict(zip(returns, combo)), query)
+
+
+def _build_use(
+    index: int, entry: CatalogEntry, assignment: dict[str, _Candidate], query: Pattern
+) -> _Use:
+    prefix = f"u{index}:"
+    use = _Use(index, entry, _rename_pattern(entry.pattern, prefix))
+    nav_counter = 0
+    derived_counter = 0
+    for q_name, candidate in assignment.items():
+        if candidate.mode == "direct":
+            use.direct[q_name] = f"{prefix}{candidate.view_node}"
+        elif candidate.mode == "parent":
+            derived_counter += 1
+            use.derived[q_name] = (
+                f"{prefix}{candidate.view_node}",
+                f"{prefix}par{derived_counter}",
+            )
+        else:
+            nav_counter += 1
+            attr = "V" if query.node_by_name(q_name).store_value else "C"
+            out_name = f"{prefix}nav{nav_counter}"
+            use.navs[q_name] = (
+                f"{prefix}{candidate.view_node}",
+                candidate.nav_steps,
+                attr,
+                out_name,
+            )
+    return use
+
+
+def _product(lists: list[list]) -> list[tuple]:
+    out: list[tuple] = [()]
+    for options in lists:
+        out = [prefix + (option,) for prefix in out for option in options]
+        if len(out) > 64:  # keep candidate explosion in check
+            out = out[:64]
+    return out
+
+
+def _pair_uses(
+    query: Pattern,
+    left_entry: CatalogEntry,
+    right_entry: CatalogEntry,
+    candidates: dict[str, list[_Candidate]],
+):
+    """Two-view assignments + glue conditions."""
+    returns = [node.name for node in query.return_nodes()]
+    per_node: list[list[tuple[int, _Candidate]]] = []
+    for name in returns:
+        options: list[tuple[int, _Candidate]] = []
+        options.extend((0, c) for c in candidates[name] if c.entry is left_entry)
+        options.extend((1, c) for c in candidates[name] if c.entry is right_entry)
+        if not options:
+            return
+        per_node.append(options)
+    for combo in _product(per_node):
+        sides = {side for side, _c in combo}
+        if sides != {0, 1}:
+            continue  # both views must actually contribute
+        assignment_left = {
+            name: c for name, (side, c) in zip(returns, combo) if side == 0
+        }
+        assignment_right = {
+            name: c for name, (side, c) in zip(returns, combo) if side == 1
+        }
+        left_use = _build_use(0, left_entry, assignment_left, query)
+        right_use = _build_use(1, right_entry, assignment_right, query)
+        glue = _find_glue(query, left_use, right_use, candidates)
+        if glue is None:
+            continue
+        yield [left_use, right_use], [glue]
+
+
+def _find_glue(
+    query: Pattern,
+    left: _Use,
+    right: _Use,
+    candidates: dict[str, list[_Candidate]],
+) -> Optional[GlueCondition]:
+    """A join condition connecting the two uses (§5.2's toolbox)."""
+    # Direct-serving map per use over ALL query nodes (not just returns):
+    # a shared non-return node (e.g. the item both views hang off) glues.
+    left_ids = _id_services(query, left, candidates)
+    right_ids = _id_services(query, right, candidates)
+
+    # 1. node equality on a shared query node
+    for q_name, l_node in left_ids.items():
+        if q_name in right_ids:
+            return GlueCondition("eq", 0, l_node, 1, right_ids[q_name])
+
+    # 2. structural join between an ancestor/descendant query-node pair —
+    #    both sides must store structural identifiers (§5.2)
+    from ..xmldata.ids import kind_supports
+
+    def structural(use: _Use, node_name: str) -> bool:
+        kind = use.pattern.node_by_name(node_name).store_id
+        return kind is not None and kind_supports(kind, "structural")
+
+    for la_name, l_node in left_ids.items():
+        if not structural(left, l_node):
+            continue
+        for rb_name, r_node in right_ids.items():
+            if not structural(right, r_node):
+                continue
+            relation = _query_relation(query, la_name, rb_name)
+            if relation is not None:
+                kind, flipped = relation
+                if flipped:
+                    return GlueCondition(kind, 1, r_node, 0, l_node)
+                return GlueCondition(kind, 0, l_node, 1, r_node)
+
+    # 3. derived parent: right stores a navigational ID whose parent is a
+    #    left-served node
+    for rb_name, r_node in right_ids.items():
+        if right.pattern.node_by_name(r_node).store_id != "p":
+            continue
+
+        q_node = query.node_by_name(rb_name)
+        parent = q_node.parent
+        if (
+            parent is not None
+            and q_node.parent_edge is not None
+            and q_node.parent_edge.axis == CHILD
+            and parent.name in left_ids
+            # equality against the derived Dewey ID needs a Dewey left side
+            and left.pattern.node_by_name(left_ids[parent.name]).store_id == "p"
+        ):
+            return GlueCondition(
+                "derived-parent", 0, left_ids[parent.name], 1, r_node
+            )
+    return None
+
+
+def _id_services(
+    query: Pattern, use: _Use, candidates: dict[str, list[_Candidate]]
+) -> dict[str, str]:
+    """q node name → renamed view node storing an ID usable for joining,
+    across all query nodes (the use's assigned nodes plus any other node
+    the same view can serve)."""
+    services = dict(use.direct)
+    prefix = f"u{use.index}:"
+    for q_name, options in candidates.items():
+        if q_name in services:
+            continue
+        for candidate in options:
+            if candidate.entry is use.entry and candidate.mode == "direct":
+                view_node = use.entry.pattern.node_by_name(candidate.view_node)
+                if view_node.store_id:
+                    services[q_name] = f"{prefix}{candidate.view_node}"
+                    break
+    # keep only services whose view node stores an ID
+    return {
+        q: v
+        for q, v in services.items()
+        if use.pattern.node_by_name(v).store_id is not None
+    }
+
+
+def _query_relation(
+    query: Pattern, name_a: str, name_b: str
+) -> Optional[tuple[str, bool]]:
+    """('parent'|'ancestor', flipped) when the named query nodes are
+    related by a single edge or an edge chain."""
+    node_a = query.node_by_name(name_a)
+    node_b = query.node_by_name(name_b)
+
+    def relation(anc: PatternNode, desc: PatternNode) -> Optional[str]:
+        walk = desc
+        edges = []
+        while walk.parent_edge is not None:
+            edges.append(walk.parent_edge)
+            walk = walk.parent_edge.parent
+            if walk is anc:
+                if len(edges) == 1 and edges[0].axis == CHILD:
+                    return "parent"
+                return "ancestor"
+        return None
+
+    forward = relation(node_a, node_b)
+    if forward is not None:
+        return forward, False
+    backward = relation(node_b, node_a)
+    if backward is not None:
+        return backward, True
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Plan construction + validation
+# ---------------------------------------------------------------------------
+
+def _validate_uses(
+    query: Pattern,
+    query_returns: list[str],
+    uses: list[_Use],
+    glues: list[GlueCondition],
+    summary: PathSummary,
+) -> Optional[Rewriting]:
+    regroup = _regroup_spec(query, uses)
+    if regroup is _INFEASIBLE:
+        return None
+    if regroup:
+        rebuilt = {name for name, _attrs, _identity in regroup[1]}
+        validation_query = _unnest_pattern(query, only_names=rebuilt)
+    else:
+        validation_query = query
+    adapted = [_adapted_pattern(query, use) for use in uses]
+    if any(pattern is None for pattern in adapted):
+        return None
+    union = merged_patterns(adapted, glues, summary)  # type: ignore[arg-type]
+    if not union:
+        return None
+
+    # Build the aligned validation patterns: q's stored attrs at the
+    # serving nodes, everything else unstored.
+    members: list[Pattern] = []
+    member_orders: list[list[str]] = []
+    for merged, aliases in union:
+        validation = merged.copy()
+        for node in validation.nodes():
+            node.store_id = None
+            node.store_tag = False
+            node.store_value = False
+            node.store_content = False
+        order = []
+        try:
+            for q_name in query_returns:
+                serving = _serving_node_name(q_name, uses)
+                merged_name = aliases[serving]
+                target = validation.node_by_name(merged_name)
+                q_node = query.node_by_name(q_name)
+                target.store_id = q_node.store_id
+                target.store_tag = q_node.store_tag
+                target.store_value = q_node.store_value
+                target.store_content = q_node.store_content
+                order.append(merged_name)
+        except KeyError:
+            return None
+        members.append(validation)
+        member_orders.append(order)
+
+    for member, order in zip(members, member_orders):
+        if not is_contained(
+            member, validation_query, summary, pattern_returns=order,
+            view_returns=[query_returns],
+        ):
+            return None
+    if not is_contained(
+        validation_query,
+        members,
+        summary,
+        pattern_returns=query_returns,
+        view_returns=member_orders,
+    ):
+        return None
+
+    plan = _build_plan(query, query_returns, uses, glues, regroup)
+    return Rewriting(
+        plan=plan,
+        views=tuple(use.entry.name for use in uses),
+        equivalent_patterns=tuple(members),
+        kind="single" if len(uses) == 1 else "join",
+    )
+
+
+_INFEASIBLE = object()
+
+
+def _unnest_pattern(pattern: Pattern, only_names=None) -> Pattern:
+    """Turn nest edges into their flat counterparts; with ``only_names``,
+    only the nest edges entering the named nodes (the collections a γ will
+    rebuild) are flattened."""
+    from .xam import NEST, NEST_OUTER
+
+    clone = pattern.copy()
+    for edge in clone.edges():
+        if only_names is not None and edge.child.name not in only_names:
+            continue
+        if edge.semantics == NEST:
+            edge.semantics = JOIN
+        elif edge.semantics == NEST_OUTER:
+            edge.semantics = OUTER
+    return clone
+
+
+def _regroup_spec(query: Pattern, uses: list[_Use]):
+    """Decide whether flat view tuples must be re-nested to match the
+    query's nesting, and how.
+
+    Returns ``None`` (no regrouping needed — views nest compatibly),
+    ``_INFEASIBLE`` (structure not reproducible by one multi-collection
+    γ), or ``(keys, [(collection name, member attrs), …])``.  Collections
+    already served nested by the views (a nested view node or a nested
+    Navigate) pass through untouched and act as grouping keys.
+    """
+    nested_returns = [
+        node
+        for node in query.return_nodes()
+        if _nest_collection_of(node) is not None
+    ]
+    if not nested_returns:
+        return None
+    rebuild: dict[str, PatternNode] = {}
+    passthrough: set[str] = set()
+    for node in nested_returns:
+        collection = _nest_collection_of(node)
+        assert collection is not None
+        try:
+            if _served_nested(node.name, uses):
+                passthrough.add(collection.name)
+            else:
+                rebuild[collection.name] = collection
+        except KeyError:
+            return _INFEASIBLE
+    if passthrough & set(rebuild):
+        return _INFEASIBLE  # one collection served in mixed shapes
+    if not rebuild:
+        return None
+    collection_specs = []
+    for collection_name, collection_node in rebuild.items():
+        parent = (
+            collection_node.parent_edge.parent
+            if collection_node.parent_edge
+            else None
+        )
+        if parent is None or _nest_collection_of(parent) is not None:
+            return _INFEASIBLE  # only first-level collections rebuildable
+        if parent.parent_edge is not None and not parent.store_id:
+            return _INFEASIBLE  # flat part must identify the nest parent
+        for below in collection_node.iter_subtree():
+            if (
+                below is not collection_node
+                and below.parent_edge
+                and below.parent_edge.nested
+            ):
+                return _INFEASIBLE  # no deeper nesting inside a rebuild
+        member_attrs = [
+            f"{node.name}.{attr}"
+            for node in collection_node.iter_subtree()
+            for attr in node.stored_attrs()
+        ]
+        if not member_attrs:
+            return _INFEASIBLE
+        identity_attrs = list(member_attrs)
+        for node in collection_node.iter_subtree():
+            if _serving_stores_id(node.name, uses):
+                id_attr = f"{node.name}.ID"
+                if id_attr not in identity_attrs:
+                    identity_attrs.append(id_attr)
+        collection_specs.append((collection_name, member_attrs, identity_attrs))
+    keys = [
+        f"{node.name}.{attr}"
+        for node in query.nodes()
+        if _nest_collection_of(node) is None
+        for attr in node.stored_attrs()
+    ]
+    keys.extend(sorted(passthrough))
+    if not keys:
+        return _INFEASIBLE
+    if len(collection_specs) > 1:
+        # the flat input is the collections' cross product: members must
+        # be identifiable beyond their values, or counts cannot be rebuilt
+        for _name, member_attrs, identity_attrs in collection_specs:
+            if identity_attrs == member_attrs and not any(
+                attr.endswith(".ID") for attr in member_attrs
+            ):
+                return _INFEASIBLE
+    return keys, collection_specs
+
+
+def _serving_stores_id(q_name: str, uses: list[_Use]) -> bool:
+    """Whether the flat plan tuples will carry an ID for this query node
+    (the serving view node stores one — DeepRename exposes it under the
+    query node's name even when the query itself does not store it)."""
+    for use in uses:
+        if q_name in use.direct:
+            return use.pattern.node_by_name(use.direct[q_name]).store_id is not None
+    return False
+
+
+def _served_nested(q_name: str, uses: list[_Use]) -> bool:
+    """Whether the serving view attribute for this query node already
+    lives inside a collection (nested view node or nested navigation)."""
+    for use in uses:
+        if q_name in use.direct:
+            node = use.pattern.node_by_name(use.direct[q_name])
+            attr = node.stored_attrs()[0] if node.stored_attrs() else "ID"
+            return "/" in _attr_path(use.pattern, use.direct[q_name], attr)
+        if q_name in use.navs:
+            content_node, _steps, _attr, _out = use.navs[q_name]
+            return "/" in _attr_path(use.pattern, content_node, "C")
+        if q_name in use.derived:
+            child_name, _out = use.derived[q_name]
+            return "/" in _attr_path(use.pattern, child_name, "ID")
+    raise KeyError(q_name)
+
+
+
+def _nest_collection_of(node: PatternNode) -> Optional[PatternNode]:
+    """The outermost nest-edge target above (or at) the node."""
+    found = None
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.nested:
+            found = walk
+        walk = walk.parent_edge.parent
+    return found
+
+
+def _serving_node_name(q_name: str, uses: list[_Use]) -> str:
+    for use in uses:
+        if q_name in use.direct:
+            return use.direct[q_name]
+        if q_name in use.navs:
+            return use.navs[q_name][3]
+        if q_name in use.derived:
+            return use.derived[q_name][1]
+    raise KeyError(q_name)
+
+
+def _adapted_pattern(query: Pattern, use: _Use) -> Optional[Pattern]:
+    """The use's renamed view pattern, adapted by the plan's compensating
+    operations: σ formulas conjoined, navigation chains grafted."""
+    pattern = use.pattern.copy()
+    for q_name, view_name in use.direct.items():
+        q_node = query.node_by_name(q_name)
+        if q_node.value_formula.is_true:
+            continue
+        node = pattern.node_by_name(view_name)
+        if node.value_formula.implies(q_node.value_formula):
+            continue
+        if not node.store_value:
+            return None  # predicate not enforceable on this view
+        node.value_formula = node.value_formula.conjoin(q_node.value_formula)
+    for q_name, (content_node, steps, attr, out_name) in use.navs.items():
+        q_node = query.node_by_name(q_name)
+        anchor = pattern.node_by_name(content_node)
+        q_edge = q_node.parent_edge
+        first_semantics = q_edge.semantics if q_edge is not None else JOIN
+        for position, (axis, label) in enumerate(steps):
+            child = PatternNode(tag=label)
+            semantics = first_semantics if position == 0 else JOIN
+            pattern_axis = CHILD if axis == "child" else DESCENDANT
+            anchor = anchor.add_child(child, pattern_axis, semantics)
+        anchor.name = out_name
+        if attr == "V":
+            anchor.store_value = True
+        else:
+            anchor.store_content = True
+        if not q_node.value_formula.is_true:
+            anchor.value_formula = q_node.value_formula
+    for q_name, (child_name, out_name) in use.derived.items():
+        child = pattern.node_by_name(child_name)
+        edge = child.parent_edge
+        assert edge is not None
+        if edge.axis == CHILD:
+            parent = edge.parent
+            if parent.parent_edge is None:
+                return None  # the parent is ⊤; no derivable document node
+        else:
+            # insert an explicit parent node: anc —//— * —/— child
+            parent = PatternNode(tag=None)
+            grand = edge.parent
+            grand.edges.remove(edge)
+            grand.add_child(parent, DESCENDANT, edge.semantics)
+            parent.add_child(child, CHILD, JOIN)
+        parent.store_id = "p"
+        if not parent.name:
+            parent.name = out_name
+        else:
+            use.derived[q_name] = (child_name, parent.name)
+    return pattern.finalize()
+
+
+def _build_plan(
+    query: Pattern,
+    query_returns: list[str],
+    uses: list[_Use],
+    glues: list[GlueCondition],
+    regroup=None,
+) -> Operator:
+    plans: list[Operator] = []
+    for use in uses:
+        columns = _view_columns(use.entry.pattern)
+        plan: Operator = Scan(use.entry.relation, columns)
+        prefix = f"u{use.index}:"
+        plan = DeepRename(plan, _prefix_map(use.entry.pattern, prefix))
+        # compensating selections
+        for q_name, view_name in use.direct.items():
+            q_node = query.node_by_name(q_name)
+            view_node = use.pattern.node_by_name(view_name)
+            if (
+                not q_node.value_formula.is_true
+                and not view_node.value_formula.implies(q_node.value_formula)
+            ):
+                plan = Select(
+                    plan,
+                    SatisfiesFormula(
+                        Attr(_attr_path(use.pattern, view_name, "V")),
+                        q_node.value_formula,
+                    ),
+                )
+        # derived parent IDs (§5.2)
+        for q_name, (child_name, out_name) in use.derived.items():
+            child_attr = _attr_path(use.pattern, child_name, "ID")
+            plan = DerivedColumn(
+                plan,
+                f"{out_name}.ID",
+                _parent_of(child_attr),
+                description=f"parent({child_attr})",
+            )
+        # navigations
+        for q_name, (content_node, steps, attr, out_name) in use.navs.items():
+            q_node = query.node_by_name(q_name)
+            q_edge = q_node.parent_edge
+            plan = Navigate(
+                plan,
+                _attr_path(use.pattern, content_node, "C"),
+                list(steps),
+                out=out_name,
+                keep_unmatched=q_edge is not None and q_edge.optional,
+                nest_out=q_edge is not None and q_edge.nested,
+            )
+        plans.append(plan)
+
+    combined = plans[0]
+    for glue in glues:
+        left_attr = _attr_path(uses[glue.left_use].pattern, glue.left_node, "ID")
+        right_attr = _attr_path(uses[glue.right_use].pattern, glue.right_node, "ID")
+        right_plan = plans[glue.right_use]
+        if glue.kind == "eq":
+            combined = ValueJoin(
+                combined,
+                right_plan,
+                Compare(Attr(left_attr, 0), "=", Attr(right_attr, 1)),
+            )
+        elif glue.kind in ("parent", "ancestor"):
+            combined = StructuralJoin(
+                combined,
+                right_plan,
+                left_attr,
+                right_attr,
+                axis="child" if glue.kind == "parent" else "descendant",
+                kind="j",
+            )
+        else:  # derived-parent
+            derived_attr = f"{right_attr}.parent"
+            right_plan = DerivedColumn(
+                right_plan,
+                derived_attr,
+                _parent_of(right_attr),
+                description=f"parent({right_attr})",
+            )
+            combined = ValueJoin(
+                combined,
+                right_plan,
+                Compare(Attr(left_attr, 0), "=", Attr(derived_attr, 1)),
+            )
+
+    # rename view attrs to query-node attrs, then trim to the query schema
+    mapping: dict[str, str] = {}
+    for use in uses:
+        for q_name, view_name in use.direct.items():
+            mapping[view_name] = q_name
+        for q_name, (_c, _s, _a, out_name) in use.navs.items():
+            mapping[out_name] = q_name
+        for q_name, (_child, out_name) in use.derived.items():
+            mapping[out_name] = q_name
+    renamed: Operator = DeepRename(combined, mapping)
+    if regroup:
+        keys, collection_specs = regroup
+        return Regroup(renamed, keys, collection_specs)
+    top_level = _query_top_level_attrs(query)
+    return Project(renamed, top_level, dedup=True)
+
+
+def _parent_of(attr_path: str):
+    def derive(t: NestedTuple):
+        value = t.first(attr_path)
+        if isinstance(value, DeweyID) and value.path:
+            return value.parent()
+        return None
+
+    return derive
+
+
+def _view_columns(pattern: Pattern) -> list[str]:
+    columns: list[str] = []
+    for edge in pattern.root.edges:
+        columns.extend(subtree_attribute_names(edge.child))
+    return columns
+
+
+def _prefix_map(pattern: Pattern, prefix: str) -> dict[str, str]:
+    return {node.name: f"{prefix}{node.name}" for node in pattern.nodes()}
+
+
+def _query_top_level_attrs(query: Pattern) -> list[str]:
+    columns: list[str] = []
+    for edge in query.root.edges:
+        columns.extend(subtree_attribute_names(edge.child))
+    return columns
+
+
+# ---------------------------------------------------------------------------
+# Union rewritings (§5.3)
+# ---------------------------------------------------------------------------
+
+def _union_plans(
+    query: Pattern,
+    query_returns: list[str],
+    catalog: Catalog,
+    candidates: dict[str, list[_Candidate]],
+    summary: PathSummary,
+    max_union: int,
+):
+    """Views one-way contained in the query that jointly cover it."""
+    arity = len(query_returns)
+    usable: list[tuple[CatalogEntry, list[str]]] = []
+    for entry in catalog.views():
+        view_returns = [n.name for n in entry.pattern.return_nodes()]
+        if len(view_returns) != arity:
+            continue
+        if is_contained(
+            entry.pattern,
+            query,
+            summary,
+            pattern_returns=view_returns,
+            view_returns=[query_returns],
+        ):
+            usable.append((entry, view_returns))
+    if len(usable) < 2:
+        return
+    for size in range(2, min(max_union, len(usable)) + 1):
+        for subset in _subsets_of_size(usable, size):
+            members = [entry.pattern for entry, _ in subset]
+            orders = [order for _, order in subset]
+            if is_contained(
+                query,
+                members,
+                summary,
+                pattern_returns=query_returns,
+                view_returns=orders,
+            ):
+                parts = []
+                for entry, order in subset:
+                    columns = _view_columns(entry.pattern)
+                    part: Operator = Scan(entry.relation, columns)
+                    mapping = dict(zip(order, query_returns))
+                    part = DeepRename(part, mapping)
+                    parts.append(part)
+                plan: Operator = UnionOp(*parts)
+                plan = Project(plan, _query_top_level_attrs(query), dedup=True)
+                yield Rewriting(
+                    plan=plan,
+                    views=tuple(entry.name for entry, _ in subset),
+                    equivalent_patterns=tuple(members),
+                    kind="union",
+                )
+
+
+def _subsets_of_size(items: list, size: int):
+    import itertools
+
+    return itertools.combinations(items, size)

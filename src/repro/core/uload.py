@@ -1,0 +1,241 @@
+"""The ULoad-style database facade (thesis Fig. 5.1 and [13]).
+
+:class:`Database` wires the full pipeline together:
+
+1. documents are loaded, labeled and summarized;
+2. storage structures / indexes / materialized views are installed — each
+   is *described to the optimizer purely as a XAM* in the catalog;
+3. an XQuery (the Q subset) is parsed, translated, and its **maximal
+   query patterns** extracted (Chapter 3);
+4. each query pattern is rewritten over the view catalog under summary
+   constraints (Chapters 4–5); patterns without a usable rewriting fall
+   back to direct evaluation against the documents (the "base store"
+   access path, itself describable as XAMs);
+5. the per-pattern plans are stitched into the full query plan (value
+   joins / products + compensations + XML construction) and executed.
+
+Dropping or adding a view changes future access-path choices without any
+other code change — the physical data independence the thesis targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..algebra.model import NestedTuple
+from ..algebra.operators import Operator
+from ..engine.physical import compile_plan
+from ..engine.storage import Store
+from ..storage.catalog import Catalog, CatalogEntry
+from ..storage.materialize import materialize_view
+from ..summary.enhanced import annotate_edges
+from ..summary.path_summary import PathSummary
+from ..xmldata import Document, load
+from ..xquery.ast import Expr
+from ..xquery.extract import (
+    ExtractionUnit,
+    PatternAccess,
+    assemble_plan,
+    extract,
+)
+from ..xquery.parser import parse_query
+from .embedding import evaluate_pattern
+from .rewrite import Rewriting, rewrite_pattern
+from .xam import Pattern
+from .xam_parser import parse_pattern
+
+__all__ = ["Database", "QueryResult", "PatternResolution"]
+
+
+@dataclass
+class PatternResolution:
+    """How one query pattern was answered."""
+
+    pattern: Pattern
+    access_path: str  # "rewriting" or "base"
+    rewriting: Optional[Rewriting] = None
+
+    def __repr__(self) -> str:
+        if self.rewriting is not None:
+            return f"<via views {list(self.rewriting.views)}>"
+        return "<via base store>"
+
+
+@dataclass
+class QueryResult:
+    """Execution outcome of one query."""
+
+    xml: list[str] = field(default_factory=list)
+    values: list = field(default_factory=list)
+    tuples: list[NestedTuple] = field(default_factory=list)
+    resolutions: list[PatternResolution] = field(default_factory=list)
+    plans: list[Operator] = field(default_factory=list)
+
+    @property
+    def used_views(self) -> list[str]:
+        names: list[str] = []
+        for resolution in self.resolutions:
+            if resolution.rewriting is not None:
+                names.extend(resolution.rewriting.views)
+        return names
+
+
+class Database:
+    """An XML database with XAM-described physical storage."""
+
+    def __init__(self) -> None:
+        self.store = Store()
+        self.catalog = Catalog()
+        self.documents: list[Document] = []
+        self.summary = PathSummary()
+
+    # -- loading ------------------------------------------------------------
+
+    @classmethod
+    def from_xml(cls, source: str, name: str = "doc.xml") -> "Database":
+        db = cls()
+        db.add_document_xml(source, name)
+        return db
+
+    def add_document_xml(self, source: str, name: str = "doc.xml") -> Document:
+        return self.add_document(load(source, name))
+
+    def add_document(self, doc: Document) -> Document:
+        self.documents.append(doc)
+        self.summary.add_document(doc)
+        self.summary.finalize()
+        for existing in self.documents:
+            annotate_edges(self.summary, existing)
+        return doc
+
+    # -- storage management ----------------------------------------------------
+
+    def add_view(self, name: str, pattern: Pattern | str, kind: str = "view") -> CatalogEntry:
+        """Materialize a XAM view over all documents and register it.
+
+        Raises :class:`ValueError` if a view of that name already exists
+        (``drop_view`` it first).
+        """
+        if any(entry.name == name for entry in self.catalog):
+            raise ValueError(f"view {name!r} already exists")
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        if len(self.documents) == 1:
+            return materialize_view(
+                name, pattern, self.documents[0], self.store, self.catalog, kind
+            )
+        # multi-document: concatenate per-document materializations
+        tuples: list[NestedTuple] = []
+        for doc in self.documents:
+            tuples.extend(evaluate_pattern(pattern, doc))
+        self.store.add(name, tuples)
+        return self.catalog.register(name, pattern, relation=name, kind=kind)
+
+    def drop_view(self, name: str) -> None:
+        self.catalog.unregister(name)
+        if name in self.store:
+            self.store.drop(name)
+
+    def views(self) -> list[str]:
+        return [entry.name for entry in self.catalog.views()]
+
+    # -- querying ---------------------------------------------------------------
+
+    def query(
+        self,
+        query: str | Expr,
+        prefer_views: bool = True,
+        physical: bool = False,
+    ) -> QueryResult:
+        """Parse, extract, rewrite, stitch and execute.
+
+        ``prefer_views=False`` forces base-store evaluation (useful to
+        compare access paths).  ``physical=True`` runs pattern-access
+        plans through the physical engine compiler.
+        """
+        expr = parse_query(query) if isinstance(query, str) else query
+        extraction = extract(expr)
+        result = QueryResult()
+        for unit in extraction.units:
+            self._run_unit(unit, result, prefer_views, physical)
+        return result
+
+    def explain(self, query: str | Expr) -> list[PatternResolution]:
+        """Access-path selection report without executing."""
+        expr = parse_query(query) if isinstance(query, str) else query
+        resolutions = []
+        for unit in extract(expr).units:
+            for pattern in unit.patterns:
+                resolutions.append(self._resolve_pattern(pattern, True))
+        return resolutions
+
+    def rewrite(self, pattern: Pattern | str, **kwargs) -> list[Rewriting]:
+        """Expose pattern rewriting directly (Chapter 5 entry point)."""
+        if isinstance(pattern, str):
+            pattern = parse_pattern(pattern)
+        return rewrite_pattern(pattern, self.catalog, self.summary, **kwargs)
+
+    # -- internals -------------------------------------------------------------
+
+    def _resolve_pattern(
+        self, pattern: Pattern, prefer_views: bool
+    ) -> PatternResolution:
+        if prefer_views and len(self.catalog.views()) > 0:
+            rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
+            if rewritings:
+                from .statistics import rank_rewritings
+
+                best = rank_rewritings(
+                    rewritings, self.catalog, self.summary, self.store
+                )[0]
+                return PatternResolution(pattern, "rewriting", best)
+        return PatternResolution(pattern, "base")
+
+    def _pattern_tuples(
+        self, resolution: PatternResolution, physical: bool
+    ) -> list[NestedTuple]:
+        if resolution.rewriting is not None:
+            plan = resolution.rewriting.plan
+            context = self.store.context()
+            if physical:
+                return list(compile_plan(plan, self.store.scan_orders()).execute(context))
+            return plan.evaluate(context)
+        tuples: list[NestedTuple] = []
+        for doc in self.documents:
+            tuples.extend(evaluate_pattern(resolution.pattern, doc))
+        return tuples
+
+    def _run_unit(
+        self,
+        unit: ExtractionUnit,
+        result: QueryResult,
+        prefer_views: bool,
+        physical: bool,
+    ) -> None:
+        resolutions = [
+            self._resolve_pattern(pattern, prefer_views) for pattern in unit.patterns
+        ]
+        result.resolutions.extend(resolutions)
+        bindings = {
+            f"__pattern_{index}": self._pattern_tuples(resolution, physical)
+            for index, resolution in enumerate(resolutions)
+        }
+        plan = assemble_plan(unit)
+        result.plans.append(plan)
+        tuples = plan.evaluate(bindings)
+        result.tuples.extend(tuples)
+        if unit.template is not None:
+            result.xml.extend(t["xml"] for t in tuples)
+        else:
+            for t in tuples:
+                for _pidx, path in unit.outputs:
+                    for value in t.iter_path(path):
+                        if value is not None and not isinstance(value, list):
+                            result.values.append(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Database docs={len(self.documents)} views={len(self.catalog)} "
+            f"|S|={len(self.summary) if self.documents else 0}>"
+        )

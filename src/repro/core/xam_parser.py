@@ -1,0 +1,267 @@
+"""Text syntax for XAM patterns.
+
+The concrete syntax mirrors Fig. 2.3 compactly::
+
+    root{//item[id:s, cont]{/nj:name[val], //no:keyword[id:s, val]}}
+
+* ``root`` is ⊤ and may carry several top-level edges; a pattern starting
+  directly with ``/`` or ``//`` is shorthand for a single-edge root.
+* Edges: ``/`` parent-child, ``//`` ancestor-descendant, optionally
+  prefixed semantics ``o:``, ``s:``, ``nj:``, ``no:`` (default ``j``).
+* Nodes: an element tag, ``*`` (any tag), ``@name`` (attribute) or
+  ``#text``; followed by an optional spec list in ``[...]`` and an optional
+  child list in ``{...}``.
+* Specs: ``id`` (simple), ``id:o`` / ``id:s`` / ``id:p``; ``tag``;
+  ``val``; ``cont``; value predicates ``val=c``, ``val<c``, ``val>c``,
+  ``val<=c``, ``val>=c`` (``c`` a number or a quoted/bare string); a ``!``
+  suffix marks an ``R`` (required) annotation, e.g. ``id:s!``, ``tag!``,
+  ``val!``.  Predicates and storage compose: ``[val, val>3]`` stores the
+  value and constrains it.
+* Prefix ``unordered`` clears the order flag.
+
+``parse_pattern`` is the inverse of :meth:`Pattern.to_text`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from ..algebra.formulas import Formula
+from ..xmldata.ids import ID_KINDS
+from .xam import CHILD, DESCENDANT, EDGE_SEMANTICS, JOIN, Pattern, PatternNode
+
+__all__ = ["parse_pattern", "pattern_from_path", "XAMParseError"]
+
+
+class XAMParseError(ValueError):
+    pass
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        //|/|\{|\}|\[|\]|,|:|!|
+        <=|>=|=|<|>|
+        "(?:[^"\\]|\\.)*"|
+        '(?:[^'\\]|\\.)*'|
+        [@\#]?[\w.\-]+|\*
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize(text: str) -> list[str]:
+    tokens = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN.match(text, pos)
+        if match is None:
+            if text[pos:].strip():
+                raise XAMParseError(f"cannot tokenize at {text[pos:pos+20]!r}")
+            break
+        tokens.append(match.group(1))
+        pos = match.end()
+    return tokens
+
+
+class _Stream:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Optional[str]:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise XAMParseError("unexpected end of pattern")
+        self.pos += 1
+        return token
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise XAMParseError(f"expected {token!r}, found {found!r}")
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.pos += 1
+            return True
+        return False
+
+
+def parse_pattern(text: str) -> Pattern:
+    """Parse the text syntax into a finalized :class:`Pattern`."""
+    stream = _Stream(_tokenize(text))
+    ordered = not stream.accept("unordered")
+    pattern = Pattern(ordered=ordered)
+    if stream.accept("root"):
+        _parse_edge_list(stream, pattern.root)
+    else:
+        _parse_edge(stream, pattern.root)
+    if stream.peek() is not None:
+        raise XAMParseError(f"trailing tokens from {stream.peek()!r}")
+    return pattern.finalize()
+
+
+def _parse_edge_list(stream: _Stream, parent: PatternNode) -> None:
+    stream.expect("{")
+    while True:
+        _parse_edge(stream, parent)
+        if not stream.accept(","):
+            break
+    stream.expect("}")
+
+
+def _parse_edge(stream: _Stream, parent: PatternNode) -> None:
+    token = stream.next()
+    if token not in (CHILD, DESCENDANT):
+        raise XAMParseError(f"expected '/' or '//', found {token!r}")
+    axis = token
+    semantics = JOIN
+    candidate = stream.peek()
+    if candidate in EDGE_SEMANTICS and stream.tokens[stream.pos + 1 : stream.pos + 2] == [":"]:
+        semantics = stream.next()
+        stream.expect(":")
+    node = _parse_node(stream)
+    parent.add_child(node, axis, semantics)
+    if stream.peek() == "{":
+        _parse_edge_list(stream, node)
+    elif stream.peek() in (CHILD, DESCENDANT):
+        # chain syntax: /a/b//c parses as nested single-child edges
+        _parse_edge(stream, node)
+
+
+def _parse_node(stream: _Stream) -> PatternNode:
+    token = stream.next()
+    if token == "*":
+        node = PatternNode(tag=None)
+    elif token in ("{", "}", "[", "]", ",", "/", "//"):
+        raise XAMParseError(f"expected a node name, found {token!r}")
+    else:
+        node = PatternNode(tag=token)
+    if stream.peek() == "[":
+        _parse_specs(stream, node)
+    return node
+
+
+def _parse_specs(stream: _Stream, node: PatternNode) -> None:
+    stream.expect("[")
+    if stream.accept("]"):
+        return
+    while True:
+        _parse_spec(stream, node)
+        if not stream.accept(","):
+            break
+    stream.expect("]")
+
+
+def _parse_spec(stream: _Stream, node: PatternNode) -> None:
+    keyword = stream.next()
+    if keyword == "id":
+        kind = "i"
+        if stream.accept(":"):
+            kind = stream.next()
+            if kind not in ID_KINDS:
+                raise XAMParseError(
+                    f"unknown ID kind {kind!r} (expected one of {ID_KINDS})"
+                )
+        node.store_id = kind
+        node.id_required = stream.accept("!")
+    elif keyword == "tag":
+        if stream.peek() == "=":
+            stream.next()
+            constant = _parse_constant(stream.next())
+            node.tag = str(constant)
+        else:
+            node.store_tag = True
+            node.tag_required = stream.accept("!")
+    elif keyword == "val":
+        op = stream.peek()
+        if op in ("=", "<", ">", "<=", ">="):
+            stream.next()
+            constant = _parse_constant(stream.next())
+            node.value_formula = node.value_formula.conjoin(
+                Formula.compare(op, constant)
+            )
+        else:
+            node.store_value = True
+            node.value_required = stream.accept("!")
+    elif keyword == "cont":
+        node.store_content = True
+    else:
+        raise XAMParseError(f"unknown node spec {keyword!r}")
+
+
+def _parse_constant(token: str):
+    if token and token[0] in "\"'":
+        return token[1:-1].replace("\\" + token[0], token[0])
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    return token
+
+
+def pattern_from_path(
+    path: str,
+    store: Sequence[str] = ("ID",),
+    id_kind: str = "s",
+    value_equals=None,
+) -> Pattern:
+    """Build a linear XAM from an XPath-like string, e.g.
+    ``pattern_from_path("//item/name", store=("ID", "V"))``.
+
+    ``store`` applies to the last step; intermediate steps store nothing.
+    ``value_equals`` adds a value predicate on the last step.
+    """
+    steps = _split_path(path)
+    if not steps:
+        raise XAMParseError(f"empty path {path!r}")
+    pattern = Pattern()
+    node = pattern.root
+    for axis, label in steps:
+        child = PatternNode(tag=None if label == "*" else label)
+        node.add_child(child, axis, JOIN)
+        node = child
+    if "ID" in store:
+        node.store_id = id_kind
+    if "L" in store:
+        node.store_tag = True
+    if "V" in store:
+        node.store_value = True
+    if "C" in store:
+        node.store_content = True
+    if value_equals is not None:
+        node.value_formula = Formula.compare("=", value_equals)
+    return pattern.finalize()
+
+
+def _split_path(path: str) -> list[tuple[str, str]]:
+    steps = []
+    pos = 0
+    while pos < len(path):
+        if path.startswith("//", pos):
+            axis = DESCENDANT
+            pos += 2
+        elif path.startswith("/", pos):
+            axis = CHILD
+            pos += 1
+        else:
+            raise XAMParseError(f"path must start each step with / or //: {path!r}")
+        end = pos
+        while end < len(path) and path[end] != "/":
+            end += 1
+        label = path[pos:end]
+        if not label:
+            raise XAMParseError(f"empty step in path {path!r}")
+        steps.append((axis, label))
+        pos = end
+    return steps

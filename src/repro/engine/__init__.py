@@ -1,0 +1,47 @@
+"""Execution engine: physical operators, B+ tree, stores."""
+
+from .btree import BPlusTree
+from .orderdesc import satisfies, sort_key_for
+from .physical import (
+    PBase,
+    PConcat,
+    PDifference,
+    PFilter,
+    PHashGroupBy,
+    PHashJoin,
+    PLogicalFallback,
+    PNestedLoopsJoin,
+    PProject,
+    PScan,
+    PSort,
+    PStackTreeAnc,
+    PStackTreeDesc,
+    PhysicalOperator,
+    compile_plan,
+    execute,
+)
+from .storage import Store, StoredRelation
+
+__all__ = [
+    "BPlusTree",
+    "satisfies",
+    "sort_key_for",
+    "PBase",
+    "PConcat",
+    "PDifference",
+    "PFilter",
+    "PHashGroupBy",
+    "PHashJoin",
+    "PLogicalFallback",
+    "PNestedLoopsJoin",
+    "PProject",
+    "PScan",
+    "PSort",
+    "PStackTreeAnc",
+    "PStackTreeDesc",
+    "PhysicalOperator",
+    "compile_plan",
+    "execute",
+    "Store",
+    "StoredRelation",
+]

@@ -1,0 +1,195 @@
+"""A B+ tree.
+
+The thesis' physical ``Sort`` operator is "based on a persistent B+ tree"
+(§1.2.3) and value indexes need ordered composite-key lookups; this module
+supplies both.  Keys are tuples of comparable atoms (``None`` sorts first);
+values are opaque.  Duplicate keys are supported — each leaf slot holds the
+list of values inserted under the key.
+
+The implementation is a classic order-``m`` B+ tree with leaf chaining for
+range scans; it is deliberately free of any repro-specific types so it can
+be reused (and is tested) standalone.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Iterator, Optional, Sequence
+
+__all__ = ["BPlusTree"]
+
+
+class _Node:
+    __slots__ = ("keys", "children", "values", "next_leaf", "is_leaf")
+
+    def __init__(self, is_leaf: bool):
+        self.is_leaf = is_leaf
+        self.keys: list[tuple] = []
+        self.children: list[_Node] = []  # internal nodes
+        self.values: list[list[Any]] = []  # leaves: one bucket per key
+        self.next_leaf: Optional[_Node] = None
+
+
+class _Key:
+    """Comparable wrapper placing ``None`` first and ordering mixed types
+    by type name (total order for heterogeneous keys).  The original key
+    tuple is kept so iteration can hand it back."""
+
+    __slots__ = ("parts", "raw")
+
+    def __init__(self, raw: tuple):
+        self.raw = raw
+        self.parts = tuple(
+            (0, "") if part is None else (1, type(part).__name__, part)
+            for part in raw
+        )
+
+    def __lt__(self, other: "_Key") -> bool:
+        return self.parts < other.parts
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Key) and self.parts == other.parts
+
+    def __le__(self, other: "_Key") -> bool:
+        return self.parts <= other.parts
+
+    def __hash__(self) -> int:
+        return hash(self.parts)
+
+
+class BPlusTree:
+    """An order-``m`` B+ tree mapping tuple keys to value buckets."""
+
+    def __init__(self, order: int = 32):
+        if order < 4:
+            raise ValueError("B+ tree order must be at least 4")
+        self.order = order
+        self.root = _Node(is_leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, key: Sequence[Any], value: Any) -> None:
+        wrapped = _Key(tuple(key))
+        split = self._insert(self.root, wrapped, value)
+        if split is not None:
+            middle, right = split
+            new_root = _Node(is_leaf=False)
+            new_root.keys = [middle]
+            new_root.children = [self.root, right]
+            self.root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, key: _Key, value: Any):
+        if node.is_leaf:
+            index = bisect.bisect_left(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index].append(value)
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, [value])
+            if len(node.keys) > self.order:
+                return self._split_leaf(node)
+            return None
+        index = bisect.bisect_right(node.keys, key)
+        split = self._insert(node.children[index], key, value)
+        if split is not None:
+            middle, right = split
+            node.keys.insert(index, middle)
+            node.children.insert(index + 1, right)
+            if len(node.keys) > self.order:
+                return self._split_internal(node)
+        return None
+
+    def _split_leaf(self, node: _Node):
+        mid = len(node.keys) // 2
+        right = _Node(is_leaf=True)
+        right.keys = node.keys[mid:]
+        right.values = node.values[mid:]
+        node.keys = node.keys[:mid]
+        node.values = node.values[:mid]
+        right.next_leaf = node.next_leaf
+        node.next_leaf = right
+        return right.keys[0], right
+
+    def _split_internal(self, node: _Node):
+        mid = len(node.keys) // 2
+        middle_key = node.keys[mid]
+        right = _Node(is_leaf=False)
+        right.keys = node.keys[mid + 1 :]
+        right.children = node.children[mid + 1 :]
+        node.keys = node.keys[:mid]
+        node.children = node.children[: mid + 1]
+        return middle_key, right
+
+    # -- lookups --------------------------------------------------------------
+
+    def _leaf_for(self, key: _Key) -> _Node:
+        node = self.root
+        while not node.is_leaf:
+            index = bisect.bisect_right(node.keys, key)
+            node = node.children[index]
+        return node
+
+    def search(self, key: Sequence[Any]) -> list[Any]:
+        """All values inserted under ``key`` (empty list when absent)."""
+        wrapped = _Key(tuple(key))
+        leaf = self._leaf_for(wrapped)
+        index = bisect.bisect_left(leaf.keys, wrapped)
+        if index < len(leaf.keys) and leaf.keys[index] == wrapped:
+            return list(leaf.values[index])
+        return []
+
+    def __contains__(self, key: Sequence[Any]) -> bool:
+        return bool(self.search(key))
+
+    def items(self) -> Iterator[tuple[tuple, Any]]:
+        """All (key, value) pairs in key order (duplicates expanded)."""
+        node = self.root
+        while not node.is_leaf:
+            node = node.children[0]
+        while node is not None:
+            for key, bucket in zip(node.keys, node.values):
+                for value in bucket:
+                    yield key.raw, value
+            node = node.next_leaf
+
+    def values_in_order(self) -> Iterator[Any]:
+        for _key, value in self.items():
+            yield value
+
+    def range(
+        self, low: Optional[Sequence[Any]] = None, high: Optional[Sequence[Any]] = None
+    ) -> Iterator[tuple[tuple, Any]]:
+        """(key, value) pairs with ``low ≤ key ≤ high`` (inclusive bounds,
+        ``None`` = unbounded)."""
+        if low is None:
+            node = self.root
+            while not node.is_leaf:
+                node = node.children[0]
+            start_index = 0
+        else:
+            low_key = _Key(tuple(low))
+            node = self._leaf_for(low_key)
+            start_index = bisect.bisect_left(node.keys, low_key)
+        high_key = _Key(tuple(high)) if high is not None else None
+        while node is not None:
+            for index in range(start_index, len(node.keys)):
+                key = node.keys[index]
+                if high_key is not None and high_key < key:
+                    return
+                for value in node.values[index]:
+                    yield key.raw, value
+            node = node.next_leaf
+            start_index = 0
+
+    def depth(self) -> int:
+        node = self.root
+        count = 1
+        while not node.is_leaf:
+            node = node.children[0]
+            count += 1
+        return count

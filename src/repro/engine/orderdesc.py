@@ -1,0 +1,43 @@
+"""Order descriptors (thesis §1.2.3).
+
+Every physical operator advertises the attribute its output is ordered on
+(``None`` when unordered).  The compiler uses descriptors to decide where
+``Sort`` operators must be inserted so that structural joins — which
+require both inputs ordered by their join identifiers — are correctly
+piped into each other.
+
+A descriptor is simply the ``/``-separated nesting path of the ordering
+attribute, e.g. ``"e1.SID"`` or ``"e2/e2.SID"`` (ordering of members
+inside the ``e2`` collection).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..algebra.model import NestedTuple
+
+__all__ = ["sort_key_for", "satisfies"]
+
+
+def sort_key_for(path: str):
+    """A sort key function over nested tuples for an order descriptor.
+
+    ``None`` values sort first; heterogeneous atoms order by type name so
+    sorting never raises.
+    """
+
+    def key(t: NestedTuple) -> Any:
+        value = t.first(path)
+        if value is None:
+            return (0, "")
+        return (1, type(value).__name__, value)
+
+    return key
+
+
+def satisfies(current: Optional[str], required: Optional[str]) -> bool:
+    """Whether an operator ordered by ``current`` satisfies ``required``."""
+    if required is None:
+        return True
+    return current == required

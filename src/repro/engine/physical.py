@@ -1,0 +1,665 @@
+"""Physical operators and the logical→physical compiler (thesis §1.2.3).
+
+Physical operators follow the iterator model (Python generators).  The
+library mirrors the thesis engine:
+
+* ``Scan``/``Filter``/``Project``/``Union`` — straightforward streaming;
+* ``Sort`` — backed by the B+ tree of :mod:`repro.engine.btree`;
+* ``HashGroupBy`` — memory-resident hash table;
+* value joins — nested loops and hash join;
+* structural joins — the **StackTreeDesc** and **StackTreeAnc** algorithms
+  of Al-Khalifa et al., requiring both inputs sorted by structural ID;
+  ``StackTreeDesc`` emits in descendant order, ``StackTreeAnc`` in
+  ancestor order.  Outer/semi/nest variants derive from the
+  ancestor-grouped formulation, as the thesis implements them.
+
+:func:`compile_plan` lowers a logical plan to a physical one, consulting
+order descriptors (:mod:`repro.engine.orderdesc`) and inserting ``Sort``
+operators so that structural joins are correctly piped — the exact
+bookkeeping §1.2.3 motivates.  Operators whose logical semantics is
+inherently nested (map-extended joins, template construction) fall back to
+a materializing wrapper around the logical operator, keeping the compiler
+total.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping, Optional, Sequence
+
+from ..algebra.model import NULL, NestedTuple, concat
+from ..algebra.operators import (
+    BaseTuples,
+    Difference,
+    GroupBy,
+    Operator,
+    Product,
+    Project,
+    Scan,
+    Select,
+    StructuralJoin,
+    Union,
+    ValueJoin,
+)
+from ..algebra.predicates import Attr, Compare
+from ..xmldata.ids import DeweyID, StructuralID
+from .btree import BPlusTree
+from .orderdesc import satisfies, sort_key_for
+
+__all__ = [
+    "PhysicalOperator",
+    "PScan",
+    "PBase",
+    "PFilter",
+    "PProject",
+    "PConcat",
+    "PDifference",
+    "PNestedLoopsJoin",
+    "PHashJoin",
+    "PSort",
+    "PHashGroupBy",
+    "PStackTreeDesc",
+    "PStackTreeAnc",
+    "PLogicalFallback",
+    "compile_plan",
+    "execute",
+]
+
+Context = Mapping[str, Sequence[NestedTuple]]
+
+
+class PhysicalOperator:
+    """Base class: generators in, generator out, plus an order descriptor."""
+
+    children: tuple["PhysicalOperator", ...] = ()
+    output_order: Optional[str] = None
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        raise NotImplementedError
+
+    def label(self) -> str:
+        return type(self).__name__
+
+    def pretty(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.label()]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+    def operator_count(self) -> int:
+        return 1 + sum(child.operator_count() for child in self.children)
+
+    def __repr__(self) -> str:
+        return self.pretty()
+
+
+class PScan(PhysicalOperator):
+    """Read a named base relation from the execution context, advertising
+    the order the store maintains it in (``scan_orders``)."""
+
+    def __init__(self, name: str, order: Optional[str] = None, missing_ok: bool = False):
+        self.name = name
+        self.output_order = order
+        self.missing_ok = missing_ok
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        if context is None or self.name not in context:
+            if self.missing_ok:
+                return
+            raise KeyError(f"base relation {self.name!r} missing from context")
+        yield from context[self.name]
+
+    def label(self) -> str:
+        return f"PScan({self.name})"
+
+
+class PBase(PhysicalOperator):
+    """A literal tuple source (index-lookup results, test fixtures)."""
+
+    def __init__(self, tuples: Sequence[NestedTuple], order: Optional[str] = None):
+        self.tuples = list(tuples)
+        self.output_order = order
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        yield from self.tuples
+
+
+class PFilter(PhysicalOperator):
+    """Pipelined selection; preserves the child's order descriptor."""
+
+    def __init__(self, child: PhysicalOperator, predicate: Callable[[NestedTuple], bool]):
+        self.children = (child,)
+        self.predicate = predicate
+        self.output_order = child.output_order
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        for t in self.children[0].execute(context):
+            if self.predicate(t):
+                yield t
+
+
+class PProject(PhysicalOperator):
+    def __init__(
+        self,
+        child: PhysicalOperator,
+        columns: Sequence[str],
+        dedup: bool = False,
+        renames: Optional[Mapping[str, str]] = None,
+    ):
+        self.children = (child,)
+        self.columns = list(columns)
+        self.dedup = dedup
+        self.renames = dict(renames) if renames else {}
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        seen: set[tuple] = set()
+        for t in self.children[0].execute(context):
+            projected = t.project(self.columns)
+            if self.renames:
+                projected = projected.rename(self.renames)
+            if self.dedup:
+                key = projected.freeze()
+                if key in seen:
+                    continue
+                seen.add(key)
+            yield projected
+
+
+class PConcat(PhysicalOperator):
+    """Bag union of its inputs, in argument order (no order guarantee)."""
+
+    def __init__(self, *parts: PhysicalOperator):
+        self.children = tuple(parts)
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        for child in self.children:
+            yield from child.execute(context)
+
+
+class PDifference(PhysicalOperator):
+    """Bag difference: left tuples minus right multiplicities (blocks on
+    the right input to build the count table)."""
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+        self.children = (left, right)
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        counts: dict[tuple, int] = {}
+        for t in self.children[1].execute(context):
+            key = t.freeze()
+            counts[key] = counts.get(key, 0) + 1
+        for t in self.children[0].execute(context):
+            key = t.freeze()
+            remaining = counts.get(key, 0)
+            if remaining:
+                counts[key] = remaining - 1
+            else:
+                yield t
+
+
+class PSort(PhysicalOperator):
+    """Sort through a B+ tree, as the thesis' Sort_φ operator does."""
+
+    def __init__(self, child: PhysicalOperator, path: str):
+        self.children = (child,)
+        self.path = path
+        self.output_order = path
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        tree = BPlusTree()
+        key = sort_key_for(self.path)
+        for t in self.children[0].execute(context):
+            tree.insert((key(t),), t)
+        yield from tree.values_in_order()
+
+    def label(self) -> str:
+        return f"PSort[{self.path}]"
+
+
+class PHashGroupBy(PhysicalOperator):
+    """Hash grouping: one output tuple per key combination with the group's
+    members nested under ``nest_as``; groups emit in first-seen order."""
+
+    def __init__(self, child: PhysicalOperator, keys: Sequence[str], nest_as: str):
+        self.children = (child,)
+        self.keys = list(keys)
+        self.nest_as = nest_as
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        groups: dict[tuple, list[NestedTuple]] = {}
+        heads: dict[tuple, NestedTuple] = {}
+        order: list[tuple] = []
+        for t in self.children[0].execute(context):
+            head = t.project(self.keys)
+            key = head.freeze()
+            if key not in groups:
+                groups[key] = []
+                heads[key] = head
+                order.append(key)
+            groups[key].append(t.drop(self.keys))
+        for key in order:
+            yield heads[key].with_attrs(**{self.nest_as: groups[key]})
+
+
+def _emit_variant(
+    kind: str,
+    anc: NestedTuple,
+    matches: list[NestedTuple],
+    nest_as: str,
+    right_columns: Sequence[str],
+) -> Iterator[NestedTuple]:
+    if kind == "j":
+        for m in matches:
+            yield concat(anc, m)
+    elif kind == "o":
+        if matches:
+            for m in matches:
+                yield concat(anc, m)
+        else:
+            yield concat(anc, NestedTuple({c: NULL for c in right_columns}))
+    elif kind == "s":
+        if matches:
+            yield anc
+    elif kind == "nj":
+        if matches:
+            yield anc.with_attrs(**{nest_as: matches})
+    elif kind == "no":
+        yield anc.with_attrs(**{nest_as: matches})
+    else:  # pragma: no cover - guarded by constructors
+        raise AssertionError(kind)
+
+
+def _sid(t: NestedTuple, attr: str):
+    value = t.get(attr)
+    if value is None:
+        return None
+    if not isinstance(value, (StructuralID, DeweyID)):
+        raise TypeError(
+            f"structural join attribute {attr!r} holds {type(value).__name__}, "
+            "which is not a structural identifier"
+        )
+    if isinstance(value, DeweyID):
+        # StackTree needs interval tests; Dewey prefixes give them directly.
+        return value
+    return value
+
+
+def _pre(identifier) -> tuple:
+    if isinstance(identifier, StructuralID):
+        return (identifier.pre,)
+    return identifier.path  # DeweyID: document order = path order
+
+
+def _is_rel(anc_id, desc_id, axis: str) -> bool:
+    if axis == "child":
+        return anc_id.is_parent_of(desc_id)
+    return anc_id.is_ancestor_of(desc_id)
+
+
+def _covers(anc_id, desc_id) -> bool:
+    """Whether desc is inside anc's interval (ancestor-descendant test,
+    used for stack maintenance regardless of the join axis)."""
+    return anc_id.is_ancestor_of(desc_id)
+
+
+class PStackTreeDesc(PhysicalOperator):
+    """Stack-based structural join emitting in **descendant** order.
+
+    Requires both inputs sorted by their structural-ID attribute in
+    document (pre) order.  Only the plain-join variant is meaningful in
+    descendant order (per-ancestor variants group naturally in ancestor
+    order — see :class:`PStackTreeAnc`).
+    """
+
+    def __init__(
+        self,
+        ancestors: PhysicalOperator,
+        descendants: PhysicalOperator,
+        anc_attr: str,
+        desc_attr: str,
+        axis: str = "descendant",
+    ):
+        self.children = (ancestors, descendants)
+        self.anc_attr = anc_attr
+        self.desc_attr = desc_attr
+        self.axis = axis
+        self.output_order = desc_attr
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        anc_stream = iter(self.children[0].execute(context))
+        desc_stream = iter(self.children[1].execute(context))
+        stack: list[tuple] = []  # (anc_id, anc_tuple)
+        anc = next(anc_stream, None)
+        desc = next(desc_stream, None)
+        while desc is not None:
+            desc_id = _sid(desc, self.desc_attr)
+            # Push every ancestor starting before this descendant.
+            while anc is not None:
+                anc_id = _sid(anc, self.anc_attr)
+                if _pre(anc_id) < _pre(desc_id):
+                    while stack and not _covers(stack[-1][0], anc_id):
+                        stack.pop()
+                    stack.append((anc_id, anc))
+                    anc = next(anc_stream, None)
+                else:
+                    break
+            while stack and not _covers(stack[-1][0], desc_id):
+                stack.pop()
+            for anc_id, anc_tuple in stack:
+                if _is_rel(anc_id, desc_id, self.axis):
+                    yield concat(anc_tuple, desc)
+            desc = next(desc_stream, None)
+
+    def label(self) -> str:
+        return f"PStackTreeDesc[{self.anc_attr} {self.axis} {self.desc_attr}]"
+
+
+class PStackTreeAnc(PhysicalOperator):
+    """Stack-based structural join emitting in **ancestor** order, with the
+    join/semi/outer/nest/nest-outer variants (the thesis implements outer
+    and semi joins "as variations of the StackTree algorithms").
+
+    Output lists per popped ancestor are produced via inherit lists, the
+    standard StackTreeAnc bookkeeping.
+    """
+
+    def __init__(
+        self,
+        ancestors: PhysicalOperator,
+        descendants: PhysicalOperator,
+        anc_attr: str,
+        desc_attr: str,
+        axis: str = "descendant",
+        kind: str = "j",
+        nest_as: str = "s",
+        right_columns: Sequence[str] = (),
+    ):
+        self.children = (ancestors, descendants)
+        self.anc_attr = anc_attr
+        self.desc_attr = desc_attr
+        self.axis = axis
+        self.kind = kind
+        self.nest_as = nest_as
+        self.right_columns = list(right_columns)
+        self.output_order = anc_attr
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        anc_stream = iter(self.children[0].execute(context))
+        desc_stream = iter(self.children[1].execute(context))
+        # stack entries: [anc_id, anc_tuple, matches]
+        stack: list[list] = []
+        pending: list = []  # popped ancestors not yet emitted (anc order)
+
+        def pop_entry():
+            entry = stack.pop()
+            pending.append(entry)
+
+        def flush_pending() -> Iterator[NestedTuple]:
+            # Ancestors can be emitted once no live stack entry precedes
+            # them; entries are collected in pop order (deepest first), so
+            # sort by pre to restore ancestor order.
+            pending.sort(key=lambda e: _pre(e[0]))
+            for anc_id, anc_tuple, matches in pending:
+                yield from _emit_variant(
+                    self.kind, anc_tuple, matches, self.nest_as, self.right_columns
+                )
+            pending.clear()
+
+        anc = next(anc_stream, None)
+        desc = next(desc_stream, None)
+        while anc is not None or desc is not None:
+            if anc is not None:
+                anc_id = _sid(anc, self.anc_attr)
+            if desc is not None:
+                desc_id = _sid(desc, self.desc_attr)
+            advance_anc = desc is None or (
+                anc is not None and _pre(anc_id) < _pre(desc_id)
+            )
+            if advance_anc:
+                while stack and not _covers(stack[-1][0], anc_id):
+                    pop_entry()
+                if not stack:
+                    yield from flush_pending()
+                stack.append([anc_id, anc, []])
+                anc = next(anc_stream, None)
+            else:
+                while stack and not _covers(stack[-1][0], desc_id):
+                    pop_entry()
+                if not stack:
+                    yield from flush_pending()
+                for entry in stack:
+                    if _is_rel(entry[0], desc_id, self.axis):
+                        entry[2].append(desc)
+                desc = next(desc_stream, None)
+        while stack:
+            pop_entry()
+        yield from flush_pending()
+
+    def label(self) -> str:
+        return (
+            f"PStackTreeAnc[{self.anc_attr} {self.axis} {self.desc_attr}, "
+            f"{self.kind}]"
+        )
+
+
+class PNestedLoopsJoin(PhysicalOperator):
+    """Fallback join for arbitrary match functions; supports the same
+    j/o/s/nj/no semantics as the logical joins.  Blocks on the right
+    input."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        match: Callable[[NestedTuple, NestedTuple], bool],
+        kind: str = "j",
+        nest_as: str = "s",
+        right_columns: Sequence[str] = (),
+        description: str = "pred",
+    ):
+        self.children = (left, right)
+        self.match = match
+        self.kind = kind
+        self.nest_as = nest_as
+        self.right_columns = list(right_columns)
+        self.description = description
+        self.output_order = left.output_order if kind in ("s", "nj", "no") else None
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        right = list(self.children[1].execute(context))
+        for left_tuple in self.children[0].execute(context):
+            matches = [r for r in right if self.match(left_tuple, r)]
+            yield from _emit_variant(
+                self.kind, left_tuple, matches, self.nest_as, self.right_columns
+            )
+
+    def label(self) -> str:
+        return f"PNestedLoopsJoin[{self.description}, {self.kind}]"
+
+
+class PHashJoin(PhysicalOperator):
+    """Equality join backed by a memory-resident hash table on the right
+    input."""
+
+    def __init__(
+        self,
+        left: PhysicalOperator,
+        right: PhysicalOperator,
+        left_attr: str,
+        right_attr: str,
+        kind: str = "j",
+        nest_as: str = "s",
+        right_columns: Sequence[str] = (),
+    ):
+        self.children = (left, right)
+        self.left_attr = left_attr
+        self.right_attr = right_attr
+        self.kind = kind
+        self.nest_as = nest_as
+        self.right_columns = list(right_columns)
+        self.output_order = left.output_order if kind in ("s", "nj", "no") else None
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        table: dict = {}
+        for r in self.children[1].execute(context):
+            key = r.first(self.right_attr)
+            if key is not None:
+                table.setdefault(key, []).append(r)
+        for left_tuple in self.children[0].execute(context):
+            key = left_tuple.first(self.left_attr)
+            matches = table.get(key, []) if key is not None else []
+            yield from _emit_variant(
+                self.kind, left_tuple, matches, self.nest_as, self.right_columns
+            )
+
+    def label(self) -> str:
+        return f"PHashJoin[{self.left_attr} = {self.right_attr}, {self.kind}]"
+
+
+class PLogicalFallback(PhysicalOperator):
+    """Materializing wrapper for logical operators without a streaming
+    counterpart (map-extended joins, templates, navigation…): physical
+    children are materialized, substituted as base inputs, and the logical
+    operator evaluates over them."""
+
+    def __init__(self, logical: Operator, children: Sequence[PhysicalOperator]):
+        self.logical = logical
+        self.children = tuple(children)
+
+    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        substituted = _substitute(self.logical, list(self.children), context)
+        yield from substituted.evaluate(context)
+
+    def label(self) -> str:
+        return f"PLogicalFallback[{self.logical.label()}]"
+
+
+def _substitute(
+    logical: Operator, children: list[PhysicalOperator], context: Optional[Context]
+) -> Operator:
+    import copy
+
+    clone = copy.copy(logical)
+    clone.children = tuple(
+        BaseTuples(list(child.execute(context)), logical.children[index].schema())
+        for index, child in enumerate(children)
+    )
+    return clone
+
+
+# ---------------------------------------------------------------------------
+# Logical → physical compilation
+# ---------------------------------------------------------------------------
+
+def compile_plan(
+    logical: Operator, scan_orders: Optional[Mapping[str, str]] = None
+) -> PhysicalOperator:
+    """Lower a logical plan, picking StackTree algorithms for flat
+    structural joins (inserting B+-tree Sorts when order descriptors do not
+    line up), hash joins for equality predicates, and nested loops or the
+    materializing fallback elsewhere.
+
+    ``scan_orders`` declares the physical order of base relations (e.g.
+    path-partitioned stores keep IDs in document order), letting the
+    compiler skip redundant sorts.
+    """
+    scan_orders = dict(scan_orders or {})
+
+    def lower(op: Operator) -> PhysicalOperator:
+        if isinstance(op, Scan):
+            return PScan(op.name, order=scan_orders.get(op.name), missing_ok=op.missing_ok)
+        if isinstance(op, BaseTuples):
+            return PBase(op.tuples)
+        if isinstance(op, Select) and op.reduce_path is None:
+            predicate = op.predicate
+            return PFilter(lower(op.children[0]), lambda t: predicate.holds(t))
+        if isinstance(op, Project):
+            return PProject(
+                lower(op.children[0]), op.columns, op.dedup, op.renames
+            )
+        if isinstance(op, Union):
+            return PConcat(*(lower(c) for c in op.children))
+        if isinstance(op, Difference):
+            return PDifference(lower(op.children[0]), lower(op.children[1]))
+        if isinstance(op, Product):
+            return PNestedLoopsJoin(
+                lower(op.children[0]),
+                lower(op.children[1]),
+                lambda a, b: True,
+                kind="j",
+                right_columns=op.children[1].schema(),
+                description="×",
+            )
+        if isinstance(op, GroupBy):
+            return PHashGroupBy(lower(op.children[0]), op.keys, op.nest_as)
+        if isinstance(op, ValueJoin):
+            return _lower_value_join(op, lower)
+        if isinstance(op, StructuralJoin) and "/" not in op.left_attr:
+            return _lower_structural_join(op, lower)
+        # everything else: materializing fallback over lowered children
+        return PLogicalFallback(op, [lower(c) for c in op.children])
+
+    return lower(logical)
+
+
+def _lower_value_join(op: ValueJoin, lower) -> PhysicalOperator:
+    right_columns = op.children[1].schema()
+    predicate = op.predicate
+    if (
+        isinstance(predicate, Compare)
+        and predicate.op == "="
+        and isinstance(predicate.left, Attr)
+        and isinstance(predicate.right, Attr)
+        and predicate.left.side != predicate.right.side
+    ):
+        left_attr = predicate.left if predicate.left.side == 0 else predicate.right
+        right_attr = predicate.right if predicate.right.side == 1 else predicate.left
+        return PHashJoin(
+            lower(op.children[0]),
+            lower(op.children[1]),
+            left_attr.path,
+            right_attr.path,
+            kind=op.kind,
+            nest_as=op.nest_as,
+            right_columns=right_columns,
+        )
+    return PNestedLoopsJoin(
+        lower(op.children[0]),
+        lower(op.children[1]),
+        lambda a, b: predicate.holds(a, b),
+        kind=op.kind,
+        nest_as=op.nest_as,
+        right_columns=right_columns,
+        description=repr(predicate),
+    )
+
+
+def _sorted_on(child: PhysicalOperator, attr: str) -> PhysicalOperator:
+    if satisfies(child.output_order, attr):
+        return child
+    return PSort(child, attr)
+
+
+def _lower_structural_join(op: StructuralJoin, lower) -> PhysicalOperator:
+    left = _sorted_on(lower(op.children[0]), op.left_attr)
+    right = _sorted_on(lower(op.children[1]), op.right_attr)
+    if op.kind == "j":
+        return PStackTreeDesc(left, right, op.left_attr, op.right_attr, op.axis)
+    return PStackTreeAnc(
+        left,
+        right,
+        op.left_attr,
+        op.right_attr,
+        op.axis,
+        kind=op.kind,
+        nest_as=op.nest_as,
+        right_columns=op.children[1].schema(),
+    )
+
+
+def execute(
+    logical: Operator,
+    context: Optional[Context] = None,
+    scan_orders: Optional[Mapping[str, str]] = None,
+) -> list[NestedTuple]:
+    """Compile and run a logical plan through the physical engine."""
+    return list(compile_plan(logical, scan_orders).execute(context))

@@ -1,0 +1,103 @@
+"""In-memory persistent store abstraction.
+
+A :class:`Store` holds named base relations (lists of nested tuples), the
+order descriptor each relation is maintained in, and optional B+-tree
+indexes over attribute combinations.  It is the execution context plans run
+against: ``plan.evaluate(store.context())`` /
+``execute(plan, store.context(), store.scan_orders())``.
+
+The thesis' point is that the *optimizer* never touches this layer
+directly — it sees only the XAM catalog (:mod:`repro.storage.catalog`);
+the store is what those XAMs describe.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Sequence
+
+from ..algebra.model import NestedTuple
+from .btree import BPlusTree
+
+__all__ = ["Store", "StoredRelation"]
+
+
+class StoredRelation:
+    """One base relation: tuples + order + named indexes."""
+
+    def __init__(
+        self,
+        name: str,
+        tuples: Iterable[NestedTuple],
+        order: Optional[str] = None,
+    ):
+        self.name = name
+        self.tuples = list(tuples)
+        #: order descriptor (path of the attribute the list is sorted by)
+        self.order = order
+        self._indexes: dict[tuple[str, ...], BPlusTree] = {}
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def __iter__(self) -> Iterator[NestedTuple]:
+        return iter(self.tuples)
+
+    def build_index(self, attrs: Sequence[str]) -> BPlusTree:
+        """Build (or return) a B+-tree index on an attribute combination."""
+        key = tuple(attrs)
+        if key not in self._indexes:
+            tree = BPlusTree()
+            for t in self.tuples:
+                tree.insert(tuple(t.first(attr) for attr in attrs), t)
+            self._indexes[key] = tree
+        return self._indexes[key]
+
+    def lookup(self, attrs: Sequence[str], values: Sequence) -> list[NestedTuple]:
+        """Index lookup (``idxLookup`` of QEP₁₁/QEP₁₃)."""
+        return self.build_index(attrs).search(tuple(values))
+
+    def columns(self) -> list[str]:
+        return self.tuples[0].names() if self.tuples else []
+
+
+class Store:
+    """A set of named relations — the physical database."""
+
+    def __init__(self) -> None:
+        self._relations: dict[str, StoredRelation] = {}
+
+    def add(
+        self,
+        name: str,
+        tuples: Iterable[NestedTuple],
+        order: Optional[str] = None,
+    ) -> StoredRelation:
+        relation = StoredRelation(name, tuples, order)
+        self._relations[name] = relation
+        return relation
+
+    def drop(self, name: str) -> None:
+        del self._relations[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def __getitem__(self, name: str) -> StoredRelation:
+        return self._relations[name]
+
+    def names(self) -> list[str]:
+        return list(self._relations)
+
+    def context(self) -> dict[str, list[NestedTuple]]:
+        """The evaluation context logical/physical plans read from."""
+        return {name: rel.tuples for name, rel in self._relations.items()}
+
+    def scan_orders(self) -> dict[str, str]:
+        return {
+            name: rel.order
+            for name, rel in self._relations.items()
+            if rel.order is not None
+        }
+
+    def total_tuples(self) -> int:
+        return sum(len(rel) for rel in self._relations.values())

@@ -1,0 +1,23 @@
+"""XML index models: value indexes, full-text, structural (XISS, plane)."""
+
+from .value_index import build_value_index, value_index_pattern
+from .fulltext import (
+    build_fulltext_index,
+    contains_word,
+    fulltext_lookup,
+    tokenize,
+    word_index_tree,
+)
+from .structural import PrePostPlane, build_xiss_indexes
+
+__all__ = [
+    "build_value_index",
+    "value_index_pattern",
+    "build_fulltext_index",
+    "contains_word",
+    "fulltext_lookup",
+    "tokenize",
+    "word_index_tree",
+    "PrePostPlane",
+    "build_xiss_indexes",
+]

@@ -1,0 +1,181 @@
+"""Structural indexes (thesis §2.3.3): XISS-style indexes and the
+pre/post plane of XPath Accelerator.
+
+XISS (Figure 2.15) maintains:
+
+* an **element index** — tag → structural IDs (the ``getElementsByTagName``
+  access path);
+* an **attribute index** — attribute name → (ID, value);
+* a **structural index** — given an element ID, its parent and children
+  (the only navigational access of node stores);
+* a **name dictionary** — which the thesis notes XAMs deliberately do
+  *not* model (XAMs assign IDs to nodes, not to values); we expose it as a
+  plain Python mapping outside the catalog, matching that observation;
+* a **value index** — value string → node IDs (same remark applies).
+
+:class:`PrePostPlane` implements the XPath-Accelerator view: all nodes as
+(pre, post) points with window queries for the four quarters of Example
+1.2.1 (ancestors / descendants / preceding / following).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Optional
+
+from ..algebra.model import NestedTuple
+from ..engine.storage import Store
+from ..storage.catalog import Catalog
+from ..xmldata.ids import STRUCTURAL, StructuralID, id_of
+from ..xmldata.node import ATTRIBUTE, ELEMENT, Document
+from .fulltext import tokenize
+
+__all__ = ["build_xiss_indexes", "PrePostPlane"]
+
+
+def build_xiss_indexes(doc: Document, store: Store, catalog: Catalog) -> dict:
+    """Build the XISS index family; returns the out-of-catalog dictionaries
+    (name index, value index) alongside the registered relation names."""
+    element_rows: dict[str, list[NestedTuple]] = {}
+    attribute_rows: dict[str, list[NestedTuple]] = {}
+    structure_rows = []
+    name_dictionary: dict[str, int] = {}
+    value_dictionary: dict[str, list[StructuralID]] = {}
+
+    for node in doc.nodes():
+        if node.kind == ELEMENT:
+            name_dictionary.setdefault(node.label, len(name_dictionary) + 1)
+            element_rows.setdefault(node.label, []).append(
+                NestedTuple({"ID": id_of(node, STRUCTURAL)})
+            )
+            parent = node.parent
+            structure_rows.append(
+                NestedTuple(
+                    {
+                        "ID": id_of(node, STRUCTURAL),
+                        "parentID": (
+                            id_of(parent, STRUCTURAL)
+                            if parent is not None and parent.kind == ELEMENT
+                            else None
+                        ),
+                    }
+                )
+            )
+            if node.value:
+                value_dictionary.setdefault(node.value, []).append(
+                    id_of(node, STRUCTURAL)  # type: ignore[arg-type]
+                )
+        elif node.kind == ATTRIBUTE:
+            name_dictionary.setdefault(node.label, len(name_dictionary) + 1)
+            attribute_rows.setdefault(node.label, []).append(
+                NestedTuple(
+                    {"ID": id_of(node, STRUCTURAL), "value": node.text}
+                )
+            )
+
+    relations = []
+    for tag, rows in sorted(element_rows.items()):
+        relation = f"xiss_elem_{tag}"
+        store.add(relation, rows, order="ID")
+        catalog.register(relation, f"//{tag}[id:s]", relation=relation, kind="index")
+        relations.append(relation)
+    for label, rows in sorted(attribute_rows.items()):
+        relation = f"xiss_attr_{label.lstrip('@')}"
+        store.add(relation, rows, order="ID")
+        catalog.register(
+            relation, f"//*{{/{label}[id:s, val]}}", relation=relation, kind="index"
+        )
+        relations.append(relation)
+    store.add("xiss_structure", structure_rows, order="ID")
+    # Structural index XAM (Figure 2.15(c)): parent→child access requires
+    # knowing one side's ID.
+    catalog.register(
+        "xiss_structure",
+        "//*[id:s!]{/*[id:s]}",
+        relation="xiss_structure",
+        kind="index",
+    )
+    relations.append("xiss_structure")
+    return {
+        "relations": relations,
+        "name_index": name_dictionary,
+        "value_index": value_dictionary,
+    }
+
+
+class PrePostPlane:
+    """The XPath-Accelerator pre/post plane (Example 1.2.1).
+
+    Nodes are (pre, post) points; the four structural relationships of a
+    reference node correspond to the four quarters of the plane, answered
+    with window scans over a pre-sorted array.
+    """
+
+    def __init__(self, doc: Document, elements_only: bool = True):
+        nodes = doc.elements() if elements_only else doc.nodes()
+        self._points: list[tuple[int, int, int, str]] = sorted(
+            (node.pre, node.post, node.depth, node.label)  # type: ignore[misc]
+            for node in nodes
+        )
+        self._pres = [point[0] for point in self._points]
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def _window(self, low_pre: int, high_pre: int):
+        start = bisect.bisect_left(self._pres, low_pre)
+        end = bisect.bisect_right(self._pres, high_pre)
+        return self._points[start:end]
+
+    def descendants(self, ref: StructuralID, label: Optional[str] = None):
+        """Lower-right quarter under the node: pre > ref.pre, post < ref.post."""
+        return [
+            StructuralID(pre, post, depth)
+            for pre, post, depth, node_label in self._window(ref.pre + 1, 10**12)
+            if post < ref.post and (label is None or node_label == label)
+        ]
+
+    def ancestors(self, ref: StructuralID, label: Optional[str] = None):
+        """Top-left quarter: pre < ref.pre, post > ref.post."""
+        return [
+            StructuralID(pre, post, depth)
+            for pre, post, depth, node_label in self._window(0, ref.pre - 1)
+            if post > ref.post and (label is None or node_label == label)
+        ]
+
+    def preceding(self, ref: StructuralID):
+        """Bottom-left quarter: entered *and* exited before the node
+        (with separate pre/post counters, ``pre < ref.pre ∧ post <
+        ref.post`` excludes ancestors, which exit later)."""
+        return [
+            StructuralID(pre, post, depth)
+            for pre, post, depth, _label in self._window(0, ref.pre - 1)
+            if post < ref.post
+        ]
+
+    def following(self, ref: StructuralID):
+        """Top-right quarter: entered and exited after the node (excludes
+        descendants, which exit before)."""
+        return [
+            StructuralID(pre, post, depth)
+            for pre, post, depth, _label in self._window(ref.pre + 1, 10**12)
+            if post > ref.post
+        ]
+
+    def children(self, ref: StructuralID, label: Optional[str] = None):
+        return [
+            sid
+            for sid in self.descendants(ref, label)
+            if sid.depth == ref.depth + 1
+        ]
+
+
+def build_value_word_statistics(doc: Document) -> dict[str, int]:
+    """Word frequency over all element values (useful for workload-driven
+    index selection demos)."""
+    counts: dict[str, int] = {}
+    for node in doc.elements():
+        if node.value:
+            for word in tokenize(node.value):
+                counts[word] = counts.get(word, 0) + 1
+    return counts

@@ -1,0 +1,61 @@
+"""Composite-key value indexes (thesis §2.1.2, the ``booksByYearTitle``
+example).
+
+A value index associates, to a tuple of values found at chosen paths under
+an element, the identifiers of the qualifying elements.  As a XAM it is the
+element pattern with the key nodes' value specifications marked required
+(``R``) — exactly how §2.2.2 models indexes, and how the optimizer learns
+"what is the index key, and what is the lookup result" to build QEP₁₁.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.xam import CHILD, DESCENDANT, JOIN, Pattern, PatternNode
+from ..engine.storage import Store
+from ..storage.catalog import Catalog, CatalogEntry
+from ..storage.materialize import materialize_view
+from ..xmldata.node import Document
+
+__all__ = ["build_value_index", "value_index_pattern"]
+
+
+def value_index_pattern(
+    element_tag: str,
+    key_paths: Sequence[str],
+    id_kind: str = "s",
+) -> Pattern:
+    """The restricted XAM for an index on ``element_tag`` keyed by the
+    values reached through ``key_paths`` (child-step paths such as
+    ``"year"`` or ``"name/last"``)."""
+    pattern = Pattern()
+    element = PatternNode(tag=element_tag, store_id=id_kind)
+    pattern.root.add_child(element, DESCENDANT, JOIN)
+    for path in key_paths:
+        anchor = element
+        steps = [step for step in path.split("/") if step]
+        for position, step in enumerate(steps):
+            last = position == len(steps) - 1
+            node = PatternNode(tag=step)
+            if last:
+                node.store_value = True
+                node.value_required = True
+            anchor = anchor.add_child(node, CHILD, JOIN)
+    return pattern.finalize()
+
+
+def build_value_index(
+    name: str,
+    doc: Document,
+    store: Store,
+    catalog: Catalog,
+    element_tag: str,
+    key_paths: Sequence[str],
+    id_kind: str = "s",
+) -> CatalogEntry:
+    """Materialize the index relation (key values → element IDs) and
+    register its restricted XAM; lookups run through
+    :func:`repro.storage.materialize.index_lookup`."""
+    pattern = value_index_pattern(element_tag, key_paths, id_kind)
+    return materialize_view(name, pattern, doc, store, catalog, kind="index")

@@ -1,0 +1,37 @@
+"""Storage models described as XAMs: relational, native, blob, views."""
+
+from .catalog import Catalog, CatalogEntry
+from .materialize import first_id_attribute, index_lookup, materialize_view
+from .relational import (
+    build_edge_store,
+    build_shredded_store,
+    build_universal_store,
+    build_xrel_store,
+)
+from .native import (
+    build_node_store,
+    build_path_partitioned_store,
+    build_structural_store,
+    build_tag_partitioned_store,
+)
+from .blob import build_content_store, build_document_blob
+from .dom import DOMStore
+
+__all__ = [
+    "Catalog",
+    "CatalogEntry",
+    "first_id_attribute",
+    "index_lookup",
+    "materialize_view",
+    "build_edge_store",
+    "build_shredded_store",
+    "build_universal_store",
+    "build_xrel_store",
+    "build_node_store",
+    "build_path_partitioned_store",
+    "build_structural_store",
+    "build_tag_partitioned_store",
+    "build_content_store",
+    "build_document_blob",
+    "DOMStore",
+]

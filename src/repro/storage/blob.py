@@ -1,0 +1,62 @@
+"""Unfragmented ("blob") storage (thesis §2.1.1, non-fragmented models).
+
+Document-centric data — marked-up text such as XMark item descriptions or
+INEX articles — is best stored *coarsely*: the whole serialized content of
+selected elements in one textual field.  This avoids the join cascades of
+fragmented stores when the textual image must be recomposed: the thesis'
+QEP₉ (one structural join over ``sectionContent``) versus QEP₈ (joins over
+``section``/``title``/``it``/``b``/``#text`` path partitions).
+
+:func:`build_content_store` materializes ``<tag>Content(ID, content)``
+relations for the requested tags, described by ``//tag[id:s, cont]`` XAMs.
+:func:`build_document_blob` is the degenerate whole-document blob.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..algebra.model import NestedTuple
+from ..engine.storage import Store
+from ..xmldata.ids import STRUCTURAL, id_of
+from ..xmldata.node import Document
+from .catalog import Catalog
+
+__all__ = ["build_content_store", "build_document_blob"]
+
+
+def build_content_store(
+    doc: Document, store: Store, catalog: Catalog, tags: Sequence[str]
+) -> list[str]:
+    """Store the full content of every element with one of ``tags``."""
+    names = []
+    for tag in tags:
+        rows = [
+            NestedTuple({"ID": id_of(node, STRUCTURAL), "content": node.content})
+            for node in doc.elements()
+            if node.label == tag
+        ]
+        relation = f"{tag}Content"
+        store.add(relation, rows, order="ID")
+        catalog.register(
+            relation, f"//{tag}[id:s, cont]", relation=relation, kind="storage"
+        )
+        names.append(relation)
+    return names
+
+
+def build_document_blob(doc: Document, store: Store, catalog: Catalog) -> str:
+    """The whole document as a single serialized blob — the lowest
+    fragmentation degree the XAM language must describe."""
+    row = NestedTuple(
+        {"ID": id_of(doc.top, STRUCTURAL), "content": doc.top.content}
+    )
+    relation = "documentBlob"
+    store.add(relation, [row])
+    catalog.register(
+        relation,
+        f"/{doc.top.label}[id:s, cont]",
+        relation=relation,
+        kind="storage",
+    )
+    return relation

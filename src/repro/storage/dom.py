@@ -1,0 +1,94 @@
+"""DOM-style access methods modeled as XAMs (thesis §2.3.2, Fig. 2.13).
+
+Many engines of the era accessed data through DOM trees; the thesis shows
+the DOM primitives are just more storage structures the XAM language
+describes:
+
+* ``get_elements_by_tag_name`` — tag → element IDs (Fig. 2.13(a));
+* ``get_parent_node`` / ``get_child_nodes`` — navigation requiring a known
+  node ID (Fig. 2.13(c)/(d): XAMs with an ``R``-marked ID);
+* ``get_descendants_by_tag`` — known node ID + descendant tag
+  (Fig. 2.13(e)).
+
+Sibling navigation is the documented XAM limitation (§2.3.4) — the class
+deliberately does not offer it.
+
+:class:`DOMStore` materializes the needed relations once, registers the
+describing XAMs, and serves lookups from B+-tree indexes, so it behaves
+like the persistent-tree stores (Natix/Timber) the section discusses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.model import NestedTuple
+from ..engine.storage import Store
+from ..xmldata.ids import STRUCTURAL, StructuralID, id_of
+from ..xmldata.node import ELEMENT, Document
+from .catalog import Catalog
+
+__all__ = ["DOMStore"]
+
+
+class DOMStore:
+    """DOM access methods over a materialized node store."""
+
+    def __init__(self, doc: Document, catalog: Optional[Catalog] = None):
+        self.store = Store()
+        self.catalog = catalog if catalog is not None else Catalog()
+        rows = []
+        for node in doc.elements():
+            parent = node.parent
+            rows.append(
+                NestedTuple(
+                    {
+                        "ID": id_of(node, STRUCTURAL),
+                        "tag": node.label,
+                        "parentID": (
+                            id_of(parent, STRUCTURAL)
+                            if parent is not None and parent.kind == ELEMENT
+                            else None
+                        ),
+                    }
+                )
+            )
+        relation = self.store.add("dom_nodes", rows, order="ID")
+        relation.build_index(["tag"])
+        relation.build_index(["ID"])
+        relation.build_index(["parentID"])
+        # Fig. 2.13(a): elements by tag — the tag is the access key
+        self.catalog.register(
+            "dom_by_tag", "//*[id:s, tag!]", relation="dom_nodes", kind="index"
+        )
+        # Fig. 2.13(c)/(d): parent/child navigation from a known ID
+        self.catalog.register(
+            "dom_children", "//*[id:s!]{/*[id:s, tag]}", relation="dom_nodes",
+            kind="index",
+        )
+
+    def get_elements_by_tag_name(self, tag: str) -> list[StructuralID]:
+        """All element IDs with the given tag, in document order."""
+        hits = self.store["dom_nodes"].lookup(["tag"], [tag])
+        return sorted(t["ID"] for t in hits)
+
+    def get_parent_node(self, node_id: StructuralID) -> Optional[StructuralID]:
+        hits = self.store["dom_nodes"].lookup(["ID"], [node_id])
+        if not hits:
+            raise KeyError(f"unknown node {node_id}")
+        return hits[0]["parentID"]
+
+    def get_child_nodes(self, node_id: StructuralID) -> list[StructuralID]:
+        hits = self.store["dom_nodes"].lookup(["parentID"], [node_id])
+        return sorted(t["ID"] for t in hits)
+
+    def get_descendants_by_tag(
+        self, node_id: StructuralID, tag: str
+    ) -> list[StructuralID]:
+        """Fig. 2.13(e): descendants of a known node with a known tag —
+        answered from the tag index by structural-interval filtering."""
+        return [
+            candidate
+            for candidate in self.get_elements_by_tag_name(tag)
+            if node_id.is_ancestor_of(candidate)
+        ]

@@ -1,0 +1,120 @@
+"""Materializing XAM views over documents.
+
+``materialize_view`` evaluates a XAM against a document and installs the
+resulting (possibly nested) tuples as a base relation, registering the XAM
+in the catalog — after this, the optimizer can use the view for rewriting
+without ever learning how it is stored.
+
+Restricted XAMs (indexes) are materialized *unrestricted* and additionally
+get a B+-tree index on their required attributes, so that binding-driven
+lookups (Definition 2.2.6) run as index probes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..algebra.model import NestedTuple
+from ..core.semantics import tuple_intersection
+from ..core.embedding import evaluate_pattern
+from ..core.xam import Pattern
+from ..core.xam_parser import parse_pattern
+from ..engine.storage import Store
+from ..xmldata.node import Document
+from .catalog import Catalog, CatalogEntry
+
+__all__ = ["materialize_view", "index_lookup", "first_id_attribute"]
+
+
+def first_id_attribute(pattern: Pattern) -> Optional[str]:
+    """The output attribute holding the first stored ID, if any — views
+    materialized in document order are ordered on it."""
+    for node in pattern.nodes():
+        if node.store_id:
+            return f"{node.name}.ID"
+    return None
+
+
+def materialize_view(
+    name: str,
+    pattern: Pattern | str,
+    doc: Document,
+    store: Store,
+    catalog: Catalog,
+    kind: str = "view",
+) -> CatalogEntry:
+    """Evaluate the XAM over ``doc``, store the tuples, register the XAM."""
+    if isinstance(pattern, str):
+        pattern = parse_pattern(pattern)
+    unrestricted = _erase_required(pattern)
+    tuples = evaluate_pattern(unrestricted, doc)
+    order = first_id_attribute(pattern) if pattern.ordered else None
+    relation = store.add(name, tuples, order=order)
+    entry = catalog.register(name, pattern, relation=name, order=order, kind=kind)
+    required = _required_attributes(pattern)
+    if required:
+        relation.build_index(required)
+        entry.metadata["index_key"] = required
+    return entry
+
+
+def _erase_required(pattern: Pattern) -> Pattern:
+    clone = pattern.copy()
+    for node in clone.nodes():
+        node.id_required = False
+        node.tag_required = False
+        node.value_required = False
+    return clone
+
+
+def _required_attributes(pattern: Pattern) -> list[str]:
+    """Top-level lookup key attributes of a restricted XAM.
+
+    Keys nested under nest edges cannot feed a flat B+-tree key; such
+    XAMs fall back to binding-by-intersection (Definition 2.2.6) at lookup
+    time.
+    """
+    attrs = []
+    for node in pattern.nodes():
+        nested = _under_nest_edge(node)
+        if node.id_required and not nested:
+            attrs.append(f"{node.name}.ID")
+        if node.tag_required and not nested:
+            attrs.append(f"{node.name}.L")
+        if node.value_required and not nested:
+            attrs.append(f"{node.name}.V")
+    return attrs
+
+
+def _under_nest_edge(node) -> bool:
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.nested:
+            return True
+        walk = walk.parent_edge.parent
+    return False
+
+
+def index_lookup(
+    entry: CatalogEntry,
+    store: Store,
+    bindings: Sequence[NestedTuple],
+) -> list[NestedTuple]:
+    """Evaluate a restricted XAM against bindings (Definition 2.2.6),
+    probing the B+-tree when the key is flat, falling back to nested
+    tuple intersection otherwise."""
+    relation = store[entry.relation]
+    key_attrs = entry.metadata.get("index_key")
+    out: list[NestedTuple] = []
+    for binding in bindings:
+        if key_attrs and all(attr in binding for attr in key_attrs):
+            candidates = relation.lookup(
+                key_attrs, [binding.first(attr) for attr in key_attrs]
+            )
+        else:
+            candidates = relation.tuples
+        for t in candidates:
+            meet = tuple_intersection(t, binding)
+            if meet is not None:
+                out.append(meet)
+    return out

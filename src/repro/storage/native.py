@@ -1,0 +1,215 @@
+"""Native XML storage models (thesis §2.1.1, native models #1–#4).
+
+* **Model #1** (:func:`build_node_store`) — the Galax-like node store:
+  ``main(ID, parentID, kind, nameID)`` + ``text(ID, text)`` +
+  ``name(nameID, name)``; simple integer IDs, parent pointers.
+* **Model #2** (:func:`build_structural_store`) — same content but
+  ``(pre, post, depth)`` structural identifiers; the ``parentID`` column
+  disappears because structural joins replace pointer chasing.
+* **Model #3** (:func:`build_tag_partitioned_store`) — Timber/Natix-style
+  tag partitioning: one relation of structural IDs per element tag, plus
+  ``text(ID, text)``.
+* **Model #4** (:func:`build_path_partitioned_store`) — Monet/XQueC-style
+  path partitioning: one relation per summary path; text/attribute paths
+  store ``(ID, value)`` pairs in document order.
+
+Each builder loads relations into the store and registers the describing
+XAMs, so switching models is — as the thesis argues — a catalog swap, not
+an optimizer rewrite.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.model import NULL, NestedTuple
+from ..engine.storage import Store
+from ..summary.enhanced import build_enhanced_summary
+from ..summary.path_summary import PathSummary
+from ..xmldata.ids import ORDERED, STRUCTURAL, id_of
+from ..xmldata.node import ATTRIBUTE, ELEMENT, TEXT, Document
+from .catalog import Catalog
+
+__all__ = [
+    "build_node_store",
+    "build_structural_store",
+    "build_tag_partitioned_store",
+    "build_path_partitioned_store",
+]
+
+
+def _name_dictionary(doc: Document) -> dict[str, int]:
+    labels = sorted(
+        {n.label for n in doc.nodes() if n.kind in (ELEMENT, ATTRIBUTE)}
+    )
+    return {label: number for number, label in enumerate(labels, start=1)}
+
+
+def build_node_store(doc: Document, store: Store, catalog: Catalog) -> list[str]:
+    """Native model #1: one ``main`` entry per node, parent pointers."""
+    names = _name_dictionary(doc)
+    main, text = [], []
+    for node in doc.nodes():
+        parent = node.parent
+        parent_id = (
+            id_of(parent, ORDERED) if parent is not None and parent.kind != "document" else NULL
+        )
+        if node.kind == TEXT:
+            main.append(
+                NestedTuple(
+                    {
+                        "ID": id_of(node, ORDERED),
+                        "parentID": parent_id,
+                        "kind": "text",
+                        "nameID": NULL,
+                    }
+                )
+            )
+            text.append(NestedTuple({"ID": id_of(node, ORDERED), "text": node.text}))
+        else:
+            main.append(
+                NestedTuple(
+                    {
+                        "ID": id_of(node, ORDERED),
+                        "parentID": parent_id,
+                        "kind": node.kind,
+                        "nameID": names[node.label],
+                    }
+                )
+            )
+            if node.kind == ATTRIBUTE:
+                text.append(
+                    NestedTuple({"ID": id_of(node, ORDERED), "text": node.text})
+                )
+    store.add("main", main, order="ID")
+    store.add("text", text, order="ID")
+    store.add(
+        "name",
+        [NestedTuple({"nameID": num, "name": label}) for label, num in names.items()],
+    )
+    catalog.register("node_store", "//*[id:o, tag, val]", relation="main", kind="storage")
+    return ["main", "text", "name"]
+
+
+def build_structural_store(doc: Document, store: Store, catalog: Catalog) -> list[str]:
+    """Native model #2: structural ``(pre, post, depth)`` IDs; no parent
+    pointers — structural joins connect levels."""
+    names = _name_dictionary(doc)
+    main, text = [], []
+    for node in doc.nodes():
+        if node.kind == TEXT:
+            text.append(NestedTuple({"ID": id_of(node, STRUCTURAL), "text": node.text}))
+            continue
+        main.append(
+            NestedTuple(
+                {
+                    "ID": id_of(node, STRUCTURAL),
+                    "kind": node.kind,
+                    "nameID": names[node.label],
+                }
+            )
+        )
+        if node.kind == ATTRIBUTE:
+            text.append(NestedTuple({"ID": id_of(node, STRUCTURAL), "text": node.text}))
+    store.add("main", main, order="ID")
+    store.add("text", text, order="ID")
+    store.add(
+        "name",
+        [NestedTuple({"nameID": num, "name": label}) for label, num in names.items()],
+    )
+    catalog.register(
+        "structural_store", "//*[id:s, tag, val]", relation="main", kind="storage"
+    )
+    return ["main", "text", "name"]
+
+
+def build_tag_partitioned_store(
+    doc: Document, store: Store, catalog: Catalog
+) -> list[str]:
+    """Native model #3: per-tag collections of structural IDs (the indexes
+    Timber and Natix use), tag moved from data into metadata."""
+    by_tag: dict[str, list[NestedTuple]] = {}
+    text = []
+    for node in doc.nodes():
+        if node.kind == ELEMENT:
+            by_tag.setdefault(node.label, []).append(
+                NestedTuple({"ID": id_of(node, STRUCTURAL)})
+            )
+        elif node.kind in (ATTRIBUTE, TEXT):
+            owner = node.parent
+            if owner is not None:
+                text.append(
+                    NestedTuple({"ID": id_of(node, STRUCTURAL), "text": node.text})
+                )
+    names = []
+    for tag, rows in sorted(by_tag.items()):
+        relation = f"tag_{tag}"
+        store.add(relation, rows, order="ID")
+        names.append(relation)
+        catalog.register(
+            relation, f"//{tag}[id:s]", relation=relation, kind="storage"
+        )
+    store.add("text", text, order="ID")
+    names.append("text")
+    return names
+
+
+def build_path_partitioned_store(
+    doc: Document,
+    store: Store,
+    catalog: Catalog,
+    summary: Optional[PathSummary] = None,
+    with_values: bool = True,
+) -> list[str]:
+    """Native model #4: one relation per rooted path, IDs in document
+    order; value paths (``#text`` / attributes) store ``(ID, value)``.
+
+    The registered XAMs use the precise ``[Tag=c]``-chain description the
+    thesis prefers (Figure 2.14(b)) — one XAM per simple path.
+    """
+    if summary is None:
+        summary = build_enhanced_summary(doc)
+    rows_by_path: dict[int, list[NestedTuple]] = {snode.number: [] for snode in summary.nodes()}
+    for node in doc.nodes():
+        snode = summary.node_for(node)
+        if snode is None:
+            raise ValueError("document does not conform to the provided summary")
+        if node.kind == ELEMENT:
+            rows_by_path[snode.number].append(
+                NestedTuple({"ID": id_of(node, STRUCTURAL)})
+            )
+        elif with_values and node.kind in (ATTRIBUTE, TEXT):
+            rows_by_path[snode.number].append(
+                NestedTuple({"ID": id_of(node, STRUCTURAL), "value": node.text})
+            )
+    names = []
+    for snode in summary.nodes():
+        rows = rows_by_path[snode.number]
+        relation = f"path_{snode.number}"
+        store.add(relation, rows, order="ID")
+        names.append(relation)
+        catalog.register(
+            relation,
+            _path_xam_text(snode),
+            relation=relation,
+            kind="storage",
+            path_number=snode.number,
+        )
+    return names
+
+
+def _path_xam_text(snode) -> str:
+    """The Figure 2.14(b) XAM for one summary path: a ``/``-chain of
+    ``[Tag=c]`` nodes whose last node stores the structural ID (and the
+    value, for attribute/text paths)."""
+    labels = snode.path_labels()
+    pieces = []
+    for position, label in enumerate(labels):
+        last = position == len(labels) - 1
+        if not last:
+            pieces.append(f"/{label}")
+        elif label == "#text" or label.startswith("@"):
+            pieces.append(f"/{label}[id:s, val]")
+        else:
+            pieces.append(f"/{label}[id:s]")
+    return "".join(pieces)

@@ -1,0 +1,277 @@
+"""Relational XML storage models (thesis §2.1.1 / §2.3.1).
+
+Every builder shreds a document into base relations inside a
+:class:`~repro.engine.storage.Store` and registers the XAMs describing the
+resulting structures in a :class:`~repro.storage.catalog.Catalog`:
+
+* :func:`build_edge_store` — the Edge approach [Florescu & Kossmann]:
+  one ``edge`` tuple per parent-child pair plus a ``value`` table.
+* :func:`build_universal_store` — the Universal table: the full outerjoin
+  of all Edge tables, one row per element with one (ordinal, flag, target)
+  column group per label.
+* :func:`build_shredded_store` — schema-driven inlining in the spirit of
+  the Basic/Shared/Hybrid schemes [Shanmugasundaram et al.]: one relation
+  per element type, with single-occurrence leaf children inlined as value
+  columns.  The inlining decisions are driven by the enhanced summary
+  (the thesis' storage examples in Table 2.1/2.2 — ``yearValue`` and
+  ``titleValue`` inlined into ``book``), standing in for the DTD the
+  original used.
+* :func:`build_xrel_store` — XRel/XParent-style path tables: a ``path``
+  relation numbering all rooted paths plus ``element``/``attribute``/
+  ``text`` relations keyed by pathID and (start, end) region IDs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..algebra.model import NULL, NestedTuple
+from ..core.xam import DESCENDANT, CHILD, JOIN, Pattern, PatternNode
+from ..engine.storage import Store
+from ..summary.enhanced import build_enhanced_summary
+from ..summary.path_summary import PathSummary
+from ..xmldata.ids import ORDERED, STRUCTURAL, id_of
+from ..xmldata.node import ATTRIBUTE, ELEMENT, TEXT, Document, XMLNode
+from .catalog import Catalog
+
+__all__ = [
+    "build_edge_store",
+    "build_universal_store",
+    "build_shredded_store",
+    "build_xrel_store",
+]
+
+
+# ---------------------------------------------------------------------------
+# Edge
+# ---------------------------------------------------------------------------
+
+def build_edge_store(doc: Document, store: Store, catalog: Catalog) -> list[str]:
+    """The Edge relation: (source, target, ordinal, name, flag) + values."""
+    edges = []
+    values = []
+    for node in doc.nodes():
+        parent = node.parent
+        if parent is None:
+            continue
+        source = id_of(parent, ORDERED) if parent.kind != "document" else 0
+        if node.kind == TEXT:
+            values.append(
+                NestedTuple({"vID": id_of(node, ORDERED), "value": node.text})
+            )
+            continue
+        ordinal = parent.children.index(node) + 1
+        edges.append(
+            NestedTuple(
+                {
+                    "source": source,
+                    "target": id_of(node, ORDERED),
+                    "ordinal": ordinal,
+                    "name": node.label,
+                    "flag": "attribute" if node.kind == ATTRIBUTE else "element",
+                }
+            )
+        )
+        if node.kind == ATTRIBUTE:
+            values.append(
+                NestedTuple({"vID": id_of(node, ORDERED), "value": node.text})
+            )
+    store.add("edge", edges)
+    store.add("value", values)
+
+    # XAMs of Figure 2.11(a): element access, attribute access, values.
+    catalog.register(
+        "edge_elements", "//*[id:o, tag, val]", relation="edge", kind="storage"
+    )
+    elements_pattern = Pattern()
+    parent = PatternNode(tag=None, store_id="o")
+    child = PatternNode(tag=None, store_id="o", store_tag=True)
+    elements_pattern.root.add_child(parent, DESCENDANT, JOIN)
+    parent.add_child(child, CHILD, JOIN)
+    catalog.register(
+        "edge_pairs", elements_pattern.finalize(), relation="edge", kind="storage"
+    )
+    return ["edge", "value"]
+
+
+# ---------------------------------------------------------------------------
+# Universal table
+# ---------------------------------------------------------------------------
+
+def build_universal_store(doc: Document, store: Store, catalog: Catalog) -> list[str]:
+    """One wide row per element: (source, ordinal_l, flag_l, target_l, …)
+    for every label ``l`` in the document; missing children are ⊥.
+
+    Elements with several same-label children contribute one row per
+    combination member (the outerjoin definition of [48]); we keep the
+    first child per label, the standard simplification for the shape study.
+    """
+    labels = sorted(
+        {n.label for n in doc.nodes() if n.kind in (ELEMENT, ATTRIBUTE)}
+    )
+    rows = []
+    for node in doc.nodes():
+        if node.kind != ELEMENT:
+            continue
+        attrs: dict = {"source": id_of(node, ORDERED)}
+        first: dict[str, XMLNode] = {}
+        for position, child in enumerate(node.children):
+            if child.kind in (ELEMENT, ATTRIBUTE) and child.label not in first:
+                first[child.label] = child
+                attrs[f"ordinal_{child.label}"] = position + 1
+        for label in labels:
+            child = first.get(label)
+            if child is None:
+                attrs.setdefault(f"ordinal_{label}", NULL)
+                attrs[f"flag_{label}"] = NULL
+                attrs[f"target_{label}"] = NULL
+            else:
+                attrs[f"flag_{label}"] = (
+                    "attribute" if child.kind == ATTRIBUTE else "element"
+                )
+                attrs[f"target_{label}"] = id_of(child, ORDERED)
+        rows.append(NestedTuple(attrs))
+    store.add("universal", rows)
+
+    # Figure 2.11(b): a wide XAM with one optional child per label.
+    pattern = Pattern()
+    source = PatternNode(tag=None, store_id="o")
+    pattern.root.add_child(source, DESCENDANT, JOIN)
+    for label in labels:
+        child = PatternNode(tag=label, store_id="o")
+        source.add_child(child, CHILD, "o")
+    catalog.register(
+        "universal", pattern.finalize(), relation="universal", kind="storage"
+    )
+    return ["universal"]
+
+
+# ---------------------------------------------------------------------------
+# Schema-driven shredding (Basic / Shared / Hybrid spirit)
+# ---------------------------------------------------------------------------
+
+def _inlinable_children(
+    snode, summary: PathSummary
+) -> list[str]:
+    """Child labels inlined into the parent relation: attributes, plus
+    element children that occur at most once (edge annotation ``1``) and
+    are leaves (only text below)."""
+    inlined = []
+    for label, child in snode.children.items():
+        if label == "#text":
+            continue
+        if label.startswith("@"):
+            inlined.append(label)
+            continue
+        only_text = set(child.children) <= {"#text"}
+        if child.edge_annotation == "1" and only_text:
+            inlined.append(label)
+    return inlined
+
+
+def build_shredded_store(
+    doc: Document,
+    store: Store,
+    catalog: Catalog,
+    summary: Optional[PathSummary] = None,
+) -> list[str]:
+    """One relation per element type with inlined single leaf children —
+    the Hybrid-style schema of Table 2.1 (``book(ID, parentID, yearValue,
+    titleValue)``…)."""
+    if summary is None:
+        summary = build_enhanced_summary(doc)
+
+    # decide the inlined columns per element label (union over paths)
+    inlined_by_label: dict[str, set[str]] = {}
+    for snode in summary.nodes():
+        if snode.is_attribute or snode.is_text:
+            continue
+        inlined_by_label.setdefault(snode.label, set()).update(
+            _inlinable_children(snode, summary)
+        )
+
+    rows_by_label: dict[str, list[NestedTuple]] = {}
+    for node in doc.elements():
+        label = node.label
+        inlined = inlined_by_label.get(label, set())
+        attrs: dict = {"ID": id_of(node, ORDERED)}
+        parent = node.parent
+        if parent is not None and parent.kind == ELEMENT:
+            attrs["parentID"] = id_of(parent, ORDERED)
+            attrs["parentType"] = parent.label
+        else:
+            attrs["parentID"] = NULL
+            attrs["parentType"] = NULL
+        for column in sorted(inlined):
+            attrs[_column_name(column)] = NULL
+        for child in node.children:
+            if child.kind == ATTRIBUTE and child.label in inlined:
+                attrs[_column_name(child.label)] = child.text
+            elif child.kind == ELEMENT and child.label in inlined:
+                attrs[_column_name(child.label)] = child.value
+        rows_by_label.setdefault(label, []).append(NestedTuple(attrs))
+
+    names = []
+    for label, rows in rows_by_label.items():
+        relation = f"shred_{label}"
+        store.add(relation, rows)
+        names.append(relation)
+        pattern = Pattern()
+        element = PatternNode(tag=label, store_id="o")
+        pattern.root.add_child(element, DESCENDANT, JOIN)
+        for column in sorted(inlined_by_label.get(label, ())):
+            child = PatternNode(tag=column, store_value=True)
+            element.add_child(child, CHILD, "o")
+        catalog.register(relation, pattern.finalize(), relation=relation, kind="storage")
+    return names
+
+
+def _column_name(label: str) -> str:
+    return label.lstrip("@") + "Value"
+
+
+# ---------------------------------------------------------------------------
+# XRel / XParent path tables
+# ---------------------------------------------------------------------------
+
+def build_xrel_store(
+    doc: Document,
+    store: Store,
+    catalog: Catalog,
+    summary: Optional[PathSummary] = None,
+) -> list[str]:
+    """Path-table storage: ``path(pathID, pathexpr)`` plus region-encoded
+    ``element``/``attribute``/``text`` relations pointing into it."""
+    if summary is None:
+        summary = build_enhanced_summary(doc)
+    paths = [
+        NestedTuple({"pathID": snode.number, "pathexpr": snode.path_string()})
+        for snode in summary.nodes()
+    ]
+    elements, attributes, texts = [], [], []
+    for node in doc.nodes():
+        snode = summary.node_for(node)
+        if snode is None:
+            raise ValueError("document does not conform to the provided summary")
+        sid = id_of(node, STRUCTURAL)
+        base = {"pathID": snode.number, "start": sid.pre, "end": sid.post}
+        if node.kind == ELEMENT:
+            elements.append(NestedTuple(base))
+        elif node.kind == ATTRIBUTE:
+            attributes.append(NestedTuple({**base, "value": node.text}))
+        elif node.kind == TEXT:
+            texts.append(NestedTuple({**base, "value": node.text}))
+    store.add("path", paths)
+    store.add("element", elements, order="start")
+    store.add("attribute", attributes, order="start")
+    store.add("text", texts, order="start")
+
+    catalog.register("xrel_elements", "//*[id:s, tag]", relation="element", kind="storage")
+    for label in sorted({n.label for n in doc.attributes()}):
+        catalog.register(
+            f"xrel_attr_{label.lstrip('@')}",
+            f"//*{{/{label}[id:s, val]}}",
+            relation="attribute",
+            kind="storage",
+        )
+    return ["path", "element", "attribute", "text"]

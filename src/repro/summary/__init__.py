@@ -1,0 +1,21 @@
+"""Structural summaries: path summaries (DataGuides) and enhanced summaries."""
+
+from .path_summary import PathSummary, SummaryNode, build_summary
+from .enhanced import (
+    annotate_edges,
+    build_enhanced_summary,
+    is_one_to_one_chain,
+    is_strong_chain,
+    summary_statistics,
+)
+
+__all__ = [
+    "PathSummary",
+    "SummaryNode",
+    "build_summary",
+    "annotate_edges",
+    "build_enhanced_summary",
+    "is_one_to_one_chain",
+    "is_strong_chain",
+    "summary_statistics",
+]

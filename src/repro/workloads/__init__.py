@@ -1,0 +1,26 @@
+"""Workload generators: synthetic corpora, random patterns, XMark queries."""
+
+from .xmark import generate_xmark
+from .dblp import generate_dblp
+from .corpora import (
+    generate_bib,
+    generate_nasa,
+    generate_shakespeare,
+    generate_swissprot,
+)
+from .random_patterns import GeneratorConfig, generate_pattern, generate_patterns
+from .xmark_queries import XMARK_QUERIES, xmark_query_patterns
+
+__all__ = [
+    "generate_xmark",
+    "generate_dblp",
+    "generate_bib",
+    "generate_nasa",
+    "generate_shakespeare",
+    "generate_swissprot",
+    "GeneratorConfig",
+    "generate_pattern",
+    "generate_patterns",
+    "XMARK_QUERIES",
+    "xmark_query_patterns",
+]

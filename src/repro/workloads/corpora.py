@@ -1,0 +1,165 @@
+"""Synthetic analogs of the remaining Figure 4.13 corpora.
+
+Shakespeare (per-play drama markup), NASA (astronomical dataset records)
+and SwissProt (protein entries) differ from XMark/DBLP in summary size and
+edge-annotation mix; the table experiment (E1) only needs documents whose
+summaries land in the right regime — small and stable as data grows.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmldata import Document, XMLNode, label_document
+from ..xmldata.node import DOCUMENT
+
+__all__ = ["generate_shakespeare", "generate_nasa", "generate_swissprot", "generate_bib"]
+
+_LINE_WORDS = (
+    "thou art more lovely temperate rough winds shake darling buds may "
+    "summer lease hath all too short a date"
+).split()
+
+
+def _sentence(rng: random.Random, count: int = 6) -> str:
+    return " ".join(rng.choice(_LINE_WORDS) for _ in range(count))
+
+
+def generate_shakespeare(
+    scale: int = 1, seed: int = 2, name: str = "shakespeare.xml"
+) -> Document:
+    """A PLAY document in the Bosak markup (ACT/SCENE/SPEECH/LINE…)."""
+    rng = random.Random(seed)
+    play = XMLNode("element", "PLAY")
+    play.add_element("TITLE").add_text("The Tragedy of Synthetic Data")
+    front = play.add_element("FM")
+    for _ in range(3):
+        front.add_element("P").add_text(_sentence(rng))
+    personae = play.add_element("PERSONAE")
+    personae.add_element("TITLE").add_text("Dramatis Personae")
+    speakers = []
+    for index in range(6):
+        speaker = f"SPEAKER{index}"
+        speakers.append(speaker)
+        personae.add_element("PERSONA").add_text(speaker)
+    group = personae.add_element("PGROUP")
+    group.add_element("PERSONA").add_text("ATTENDANT")
+    group.add_element("GRPDESCR").add_text("attendants and messengers")
+    for act_index in range(2 * scale):
+        act = play.add_element("ACT")
+        act.add_element("TITLE").add_text(f"ACT {act_index + 1}")
+        for scene_index in range(3):
+            scene = act.add_element("SCENE")
+            scene.add_element("TITLE").add_text(f"SCENE {scene_index + 1}")
+            scene.add_element("STAGEDIR").add_text("Enter " + rng.choice(speakers))
+            for _ in range(4):
+                speech = scene.add_element("SPEECH")
+                speech.add_element("SPEAKER").add_text(rng.choice(speakers))
+                for _ in range(rng.randint(1, 4)):
+                    speech.add_element("LINE").add_text(_sentence(rng, 8))
+                if rng.random() < 0.2:
+                    speech.add_element("STAGEDIR").add_text("Aside")
+    document_node = XMLNode(DOCUMENT, "#document")
+    document_node.append(play)
+    return label_document(Document(document_node, name))
+
+
+def generate_nasa(scale: int = 1, seed: int = 3, name: str = "nasa.xml") -> Document:
+    """Astronomical ``datasets`` records (titles, references, keywords…)."""
+    rng = random.Random(seed)
+    datasets = XMLNode("element", "datasets")
+    for index in range(8 * scale):
+        dataset = datasets.add_element("dataset")
+        dataset.add_attribute("subject", "astronomy")
+        dataset.add_element("title").add_text(f"Survey {index}")
+        if rng.random() < 0.5:
+            dataset.add_element("altname").add_text(f"SRV-{index}")
+        reference = dataset.add_element("reference")
+        source = reference.add_element("source")
+        other = source.add_element("other")
+        other.add_element("title").add_text("Astronomical Journal")
+        author = other.add_element("author")
+        author.add_element("lastName").add_text("Hale")
+        author.add_element("firstName").add_text("George")
+        other.add_element("name").add_text("AJ")
+        other.add_element("publisher").add_text("AAS")
+        if rng.random() < 0.6:
+            other.add_element("city").add_text("Washington")
+        date = other.add_element("date")
+        date.add_element("year").add_text(str(rng.randint(1980, 2002)))
+        keywords = dataset.add_element("keywords")
+        for _ in range(rng.randint(1, 3)):
+            keywords.add_element("keyword").add_text(rng.choice(_LINE_WORDS))
+        descriptions = dataset.add_element("descriptions")
+        description = descriptions.add_element("description")
+        description.add_element("para").add_text(_sentence(rng, 12))
+        if rng.random() < 0.4:
+            details = descriptions.add_element("details")
+            details.add_text(_sentence(rng))
+        dataset.add_element("identifier").add_text(f"ID-{index}")
+    document_node = XMLNode(DOCUMENT, "#document")
+    document_node.append(datasets)
+    return label_document(Document(document_node, name))
+
+
+def generate_swissprot(scale: int = 1, seed: int = 4, name: str = "swissprot.xml") -> Document:
+    """Protein ``Entry`` records with references and feature tables."""
+    rng = random.Random(seed)
+    root = XMLNode("element", "root")
+    feature_kinds = ("DOMAIN", "CHAIN", "BINDING", "CONFLICT", "MUTAGEN")
+    for index in range(10 * scale):
+        entry = root.add_element("Entry")
+        entry.add_attribute("id", f"P{10000 + index}")
+        entry.add_attribute("seqlen", str(rng.randint(80, 900)))
+        entry.add_element("AC").add_text(f"Q{20000 + index}")
+        entry.add_element("Mod").add_text("01-JAN-2002")
+        entry.add_element("Descr").add_text("Synthetic protein " + str(index))
+        entry.add_element("Species").add_text("Homo sapiens")
+        entry.add_element("Org").add_text("Eukaryota")
+        for _ in range(rng.randint(1, 2)):
+            entry.add_element("OC").add_text("Metazoa")
+        for ref_index in range(rng.randint(1, 3)):
+            ref = entry.add_element("Ref")
+            ref.add_attribute("num", str(ref_index + 1))
+            for _ in range(rng.randint(1, 2)):
+                ref.add_element("Author").add_text("Doe J.")
+            ref.add_element("Cite").add_text("J. Biol. Chem. 270:1-9(1995)")
+            if rng.random() < 0.5:
+                ref.add_element("MedlineID").add_text(str(rng.randint(9_000_000, 9_999_999)))
+            comment = ref.add_element("Comment")
+            comment.add_text("SEQUENCE FROM N.A.")
+        for _ in range(rng.randint(1, 3)):
+            entry.add_element("Keyword").add_text(rng.choice(_LINE_WORDS).title())
+        features = entry.add_element("Features")
+        for _ in range(rng.randint(1, 4)):
+            kind = rng.choice(feature_kinds)
+            feature = features.add_element(kind)
+            feature.add_element("from").add_text(str(rng.randint(1, 100)))
+            feature.add_element("to").add_text(str(rng.randint(101, 200)))
+            if rng.random() < 0.5:
+                feature.add_element("Descr").add_text(_sentence(rng, 3))
+    document_node = XMLNode(DOCUMENT, "#document")
+    document_node.append(root)
+    return label_document(Document(document_node, name))
+
+
+def generate_bib(seed: int = 5, name: str = "bib.xml") -> Document:
+    """The thesis' running bibliographic example (Figure 2.5 flavor)."""
+    rng = random.Random(seed)
+    del rng  # fixed content, kept for signature symmetry
+    library = XMLNode("element", "library")
+    book1 = library.add_element("book")
+    book1.add_attribute("year", "1999")
+    book1.add_element("title").add_text("Data on the Web")
+    book1.add_element("author").add_text("Abiteboul")
+    book1.add_element("author").add_text("Suciu")
+    book2 = library.add_element("book")
+    book2.add_element("title").add_text("The Syntactic Web")
+    book2.add_element("author").add_text("Tom Lerners-Bee")
+    thesis = library.add_element("phdthesis")
+    thesis.add_attribute("year", "2004")
+    thesis.add_element("title").add_text("The Web: next generation")
+    thesis.add_element("author").add_text("Jim Smith")
+    document_node = XMLNode(DOCUMENT, "#document")
+    document_node.append(library)
+    return label_document(Document(document_node, name))

@@ -1,0 +1,237 @@
+"""Synthetic XMark-like auction documents.
+
+The thesis evaluates on XMark [115] instances (11/111/233 MB).  We cannot
+ship the original generator's output, so this module builds deterministic
+synthetic documents following the XMark DTD's shape: a ``site`` with
+regions/items (with marked-up descriptions: parlist/listitem/text/keyword/
+bold/emph — the recursion §5.2 discusses), categories, people (profiles,
+watches, addresses), and open/closed auctions with bidders and
+annotations.
+
+What matters for the reproduced experiments is the **path summary**: its
+size, its recursion (parlist inside listitem), its breadth of formatting
+tags, and its strong/one-to-one edge mix — containment and rewriting
+complexity depend only on those, not on document bytes (DESIGN.md,
+substitutions).  ``scale=1`` yields a small document whose summary has the
+XMark character; larger scales add data volume while the summary stays
+almost fixed — reproducing the Figure 4.13 observation.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..xmldata import Document, XMLNode, label_document
+from ..xmldata.node import DOCUMENT
+
+__all__ = ["generate_xmark", "REGIONS"]
+
+REGIONS = ("africa", "asia", "australia", "europe", "namerica", "samerica")
+
+_WORDS = (
+    "auction antique rare vintage gold silver painting book chair lamp "
+    "watch ring coin stamp map camera guitar violin carpet vase clock"
+).split()
+
+_CITIES = ("Paris", "Cairo", "Sydney", "Lima", "Oslo", "Kyoto", "Boston")
+_COUNTRIES = ("France", "Egypt", "Australia", "Peru", "Norway", "Japan", "USA")
+_NAMES = ("Alice", "Bob", "Carol", "Dan", "Erin", "Frank", "Grace", "Heidi")
+
+
+def generate_xmark(scale: int = 1, seed: int = 0, name: str = "xmark.xml") -> Document:
+    """A deterministic XMark-like document; ``scale`` multiplies entity
+    counts (items per region, people, auctions)."""
+    rng = random.Random(seed)
+    site = XMLNode("element", "site")
+
+    regions = site.add_element("regions")
+    item_ids: list[str] = []
+    for region in REGIONS:
+        region_node = regions.add_element(region)
+        for index in range(2 * scale):
+            item_id = f"item{region[0]}{index}"
+            item_ids.append(item_id)
+            _add_item(region_node, item_id, rng)
+
+    categories = site.add_element("categories")
+    category_ids = []
+    for index in range(max(2, scale)):
+        category_id = f"category{index}"
+        category_ids.append(category_id)
+        category = categories.add_element("category")
+        category.add_attribute("id", category_id)
+        category.add_element("name").add_text(rng.choice(_WORDS).title())
+        _add_rich_text(category.add_element("description"), rng, depth=1)
+
+    catgraph = site.add_element("catgraph")
+    for index in range(len(category_ids) - 1):
+        edge = catgraph.add_element("edge")
+        edge.add_attribute("from", category_ids[index])
+        edge.add_attribute("to", category_ids[index + 1])
+
+    people = site.add_element("people")
+    person_ids = []
+    for index in range(4 * scale):
+        person_id = f"person{index}"
+        person_ids.append(person_id)
+        _add_person(people, person_id, rng, category_ids)
+
+    open_auctions = site.add_element("open_auctions")
+    for index in range(3 * scale):
+        _add_open_auction(open_auctions, index, rng, item_ids, person_ids)
+
+    closed_auctions = site.add_element("closed_auctions")
+    for index in range(2 * scale):
+        _add_closed_auction(closed_auctions, index, rng, item_ids, person_ids)
+
+    document_node = XMLNode(DOCUMENT, "#document")
+    document_node.append(site)
+    return label_document(Document(document_node, name))
+
+
+def _sentence(rng: random.Random, words: int = 6) -> str:
+    return " ".join(rng.choice(_WORDS) for _ in range(words))
+
+
+def _add_rich_text(parent: XMLNode, rng: random.Random, depth: int) -> None:
+    """XMark-style marked-up description: text with bold/keyword/emph and
+    the parlist/listitem recursion."""
+    text = parent.add_element("text")
+    text.add_text(_sentence(rng))
+    text.add_element("bold").add_text(rng.choice(_WORDS))
+    text.add_text(_sentence(rng, 3))
+    text.add_element("keyword").add_text(rng.choice(_WORDS))
+    text.add_element("emph").add_text(rng.choice(_WORDS))
+    if depth > 0:
+        parlist = parent.add_element("parlist")
+        for _ in range(rng.randint(1, 2)):
+            listitem = parlist.add_element("listitem")
+            inner = listitem.add_element("text")
+            inner.add_text(_sentence(rng, 4))
+            inner.add_element("keyword").add_text(rng.choice(_WORDS))
+            if depth > 1 and rng.random() < 0.5:
+                _add_rich_text(listitem, rng, depth - 1)
+
+
+def _add_item(region_node: XMLNode, item_id: str, rng: random.Random) -> None:
+    item = region_node.add_element("item")
+    item.add_attribute("id", item_id)
+    item.add_attribute("featured", "yes" if rng.random() < 0.3 else "no")
+    item.add_element("location").add_text(rng.choice(_COUNTRIES))
+    item.add_element("quantity").add_text(str(rng.randint(1, 5)))
+    item.add_element("name").add_text(f"{rng.choice(_WORDS)} {item_id}")
+    payment = item.add_element("payment")
+    payment.add_text("Creditcard")
+    description = item.add_element("description")
+    _add_rich_text(description, rng, depth=2)
+    item.add_element("shipping").add_text("Will ship internationally")
+    if rng.random() < 0.8:
+        mailbox = item.add_element("mailbox")
+        for _ in range(rng.randint(1, 2)):
+            mail = mailbox.add_element("mail")
+            mail.add_element("from").add_text(rng.choice(_NAMES))
+            mail.add_element("to").add_text(rng.choice(_NAMES))
+            mail.add_element("date").add_text(f"0{rng.randint(1,9)}/2005")
+            mail.add_element("text").add_text(_sentence(rng))
+
+
+def _add_person(
+    people: XMLNode, person_id: str, rng: random.Random, category_ids: list[str]
+) -> None:
+    person = people.add_element("person")
+    person.add_attribute("id", person_id)
+    person.add_element("name").add_text(rng.choice(_NAMES))
+    person.add_element("emailaddress").add_text(f"mailto:{person_id}@example.com")
+    if rng.random() < 0.6:
+        person.add_element("phone").add_text(f"+33 {rng.randint(100, 999)}")
+    if rng.random() < 0.7:
+        address = person.add_element("address")
+        address.add_element("street").add_text(f"{rng.randint(1, 99)} Main St")
+        address.add_element("city").add_text(rng.choice(_CITIES))
+        address.add_element("country").add_text(rng.choice(_COUNTRIES))
+        address.add_element("zipcode").add_text(str(rng.randint(10000, 99999)))
+    if rng.random() < 0.4:
+        person.add_element("homepage").add_text(f"http://{person_id}.example.com")
+    if rng.random() < 0.5:
+        person.add_element("creditcard").add_text(
+            " ".join(str(rng.randint(1000, 9999)) for _ in range(4))
+        )
+    if rng.random() < 0.8:
+        profile = person.add_element("profile")
+        profile.add_attribute("income", str(rng.randint(20000, 90000)))
+        for _ in range(rng.randint(0, 2)):
+            interest = profile.add_element("interest")
+            interest.add_attribute("category", rng.choice(category_ids))
+        if rng.random() < 0.5:
+            profile.add_element("education").add_text("Graduate School")
+        if rng.random() < 0.5:
+            profile.add_element("gender").add_text(rng.choice(("male", "female")))
+        profile.add_element("business").add_text("No")
+        if rng.random() < 0.5:
+            profile.add_element("age").add_text(str(rng.randint(18, 80)))
+    watches = person.add_element("watches")
+    for _ in range(rng.randint(0, 2)):
+        watch = watches.add_element("watch")
+        watch.add_attribute("open_auction", f"auction{rng.randint(0, 5)}")
+
+
+def _add_open_auction(
+    open_auctions: XMLNode,
+    index: int,
+    rng: random.Random,
+    item_ids: list[str],
+    person_ids: list[str],
+) -> None:
+    auction = open_auctions.add_element("open_auction")
+    auction.add_attribute("id", f"auction{index}")
+    auction.add_element("initial").add_text(f"{rng.uniform(1, 100):.2f}")
+    if rng.random() < 0.5:
+        auction.add_element("reserve").add_text(f"{rng.uniform(100, 200):.2f}")
+    for _ in range(rng.randint(0, 3)):
+        bidder = auction.add_element("bidder")
+        bidder.add_element("date").add_text(f"0{rng.randint(1,9)}/2005")
+        bidder.add_element("time").add_text(f"{rng.randint(0,23)}:{rng.randint(10,59)}")
+        personref = bidder.add_element("personref")
+        personref.add_attribute("person", rng.choice(person_ids))
+        bidder.add_element("increase").add_text(f"{rng.uniform(1, 20):.2f}")
+    auction.add_element("current").add_text(f"{rng.uniform(1, 300):.2f}")
+    if rng.random() < 0.3:
+        auction.add_element("privacy").add_text("Yes")
+    itemref = auction.add_element("itemref")
+    itemref.add_attribute("item", rng.choice(item_ids))
+    seller = auction.add_element("seller")
+    seller.add_attribute("person", rng.choice(person_ids))
+    annotation = auction.add_element("annotation")
+    author = annotation.add_element("author")
+    author.add_attribute("person", rng.choice(person_ids))
+    _add_rich_text(annotation.add_element("description"), rng, depth=1)
+    annotation.add_element("happiness").add_text(str(rng.randint(1, 10)))
+    auction.add_element("quantity").add_text(str(rng.randint(1, 3)))
+    auction.add_element("type").add_text("Regular")
+    interval = auction.add_element("interval")
+    interval.add_element("start").add_text("01/2005")
+    interval.add_element("end").add_text("12/2005")
+
+
+def _add_closed_auction(
+    closed_auctions: XMLNode,
+    index: int,
+    rng: random.Random,
+    item_ids: list[str],
+    person_ids: list[str],
+) -> None:
+    auction = closed_auctions.add_element("closed_auction")
+    seller = auction.add_element("seller")
+    seller.add_attribute("person", rng.choice(person_ids))
+    buyer = auction.add_element("buyer")
+    buyer.add_attribute("person", rng.choice(person_ids))
+    itemref = auction.add_element("itemref")
+    itemref.add_attribute("item", rng.choice(item_ids))
+    auction.add_element("price").add_text(f"{rng.uniform(1, 500):.2f}")
+    auction.add_element("date").add_text(f"0{rng.randint(1,9)}/2005")
+    auction.add_element("quantity").add_text(str(rng.randint(1, 3)))
+    auction.add_element("type").add_text("Regular")
+    annotation = auction.add_element("annotation")
+    author = annotation.add_element("author")
+    author.add_attribute("person", rng.choice(person_ids))
+    _add_rich_text(annotation.add_element("description"), rng, depth=1)

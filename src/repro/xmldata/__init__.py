@@ -1,0 +1,56 @@
+"""XML data model substrate: tree model, parser, serializer, node IDs."""
+
+from .node import ATTRIBUTE, DOCUMENT, ELEMENT, TEXT, Document, XMLNode
+from .parser import XMLSyntaxError, parse_document, parse_fragment
+from .serialize import serialize
+from .ids import (
+    ID_KINDS,
+    ORDERED,
+    PARENT_DERIVING,
+    SIMPLE,
+    STRUCTURAL,
+    DeweyID,
+    NodeID,
+    StructuralID,
+    id_of,
+    is_ancestor_id,
+    is_parent_id,
+    kind_supports,
+    label_document,
+    prepost_plane,
+    strongest_common_kind,
+)
+
+__all__ = [
+    "ATTRIBUTE",
+    "DOCUMENT",
+    "ELEMENT",
+    "TEXT",
+    "Document",
+    "XMLNode",
+    "XMLSyntaxError",
+    "parse_document",
+    "parse_fragment",
+    "serialize",
+    "ID_KINDS",
+    "SIMPLE",
+    "ORDERED",
+    "STRUCTURAL",
+    "PARENT_DERIVING",
+    "DeweyID",
+    "NodeID",
+    "StructuralID",
+    "id_of",
+    "is_ancestor_id",
+    "is_parent_id",
+    "kind_supports",
+    "label_document",
+    "prepost_plane",
+    "strongest_common_kind",
+]
+
+
+def load(source: str, name: str = "doc.xml") -> Document:
+    """Parse ``source`` and assign identifier labels — the common entry
+    point (equivalent to ``label_document(parse_document(source))``)."""
+    return label_document(parse_document(source, name))

@@ -1,0 +1,231 @@
+"""A small, self-contained XML parser.
+
+The reproduction implements every substrate from scratch, including document
+parsing.  The parser covers the XML subset the thesis workloads need:
+
+* elements with attributes (single or double quoted),
+* character data with the five predefined entities plus numeric references,
+* comments ``<!-- ... -->``, processing instructions ``<? ... ?>`` and a
+  leading ``<!DOCTYPE ...>`` declaration (all skipped),
+* CDATA sections.
+
+Namespaces are treated literally (prefixes stay part of the label), which is
+what the thesis data model does.  Parse errors raise :class:`XMLSyntaxError`
+with a position.
+"""
+
+from __future__ import annotations
+
+from .node import DOCUMENT, Document, XMLNode
+
+__all__ = ["parse_document", "parse_fragment", "XMLSyntaxError"]
+
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "quot": '"', "apos": "'"}
+
+
+class XMLSyntaxError(ValueError):
+    """Raised on malformed input, with the offending character offset."""
+
+    def __init__(self, message: str, position: int):
+        super().__init__(f"{message} (at offset {position})")
+        self.position = position
+
+
+def parse_document(source: str, name: str = "doc.xml") -> Document:
+    """Parse a complete document and return a :class:`Document`."""
+    parser = _Parser(source)
+    top = parser.parse()
+    doc_node = XMLNode(DOCUMENT, "#document")
+    doc_node.append(top)
+    return Document(doc_node, name)
+
+
+def parse_fragment(source: str) -> XMLNode:
+    """Parse a single element and return it unattached to any document."""
+    return _Parser(source).parse()
+
+
+class _Parser:
+    """Recursive-descent parser over a source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.length = len(source)
+
+    # -- public entry point -------------------------------------------------
+
+    def parse(self) -> XMLNode:
+        self._skip_prolog()
+        element = self._parse_element()
+        self._skip_misc()
+        if self.pos != self.length:
+            raise XMLSyntaxError("trailing content after top element", self.pos)
+        return element
+
+    # -- lexical helpers ------------------------------------------------------
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, self.pos)
+
+    def _skip_whitespace(self) -> None:
+        while self.pos < self.length and self.source[self.pos] in " \t\r\n":
+            self.pos += 1
+
+    def _expect(self, literal: str) -> None:
+        if not self.source.startswith(literal, self.pos):
+            raise self._error(f"expected {literal!r}")
+        self.pos += len(literal)
+
+    def _skip_until(self, terminator: str) -> None:
+        end = self.source.find(terminator, self.pos)
+        if end < 0:
+            raise self._error(f"unterminated construct, missing {terminator!r}")
+        self.pos = end + len(terminator)
+
+    def _skip_prolog(self) -> None:
+        """Skip the XML declaration, DOCTYPE, comments and PIs."""
+        while True:
+            self._skip_whitespace()
+            if self.source.startswith("<?", self.pos):
+                self._skip_until("?>")
+            elif self.source.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            elif self.source.startswith("<!DOCTYPE", self.pos):
+                self._skip_doctype()
+            else:
+                return
+
+    def _skip_doctype(self) -> None:
+        depth = 0
+        while self.pos < self.length:
+            ch = self.source[self.pos]
+            self.pos += 1
+            if ch == "[":
+                depth += 1
+            elif ch == "]":
+                depth -= 1
+            elif ch == ">" and depth <= 0:
+                return
+        raise self._error("unterminated DOCTYPE")
+
+    def _skip_misc(self) -> None:
+        while True:
+            self._skip_whitespace()
+            if self.source.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            elif self.source.startswith("<?", self.pos):
+                self._skip_until("?>")
+            else:
+                return
+
+    def _read_name(self) -> str:
+        start = self.pos
+        while self.pos < self.length and self.source[self.pos] not in " \t\r\n/>=":
+            self.pos += 1
+        if self.pos == start:
+            raise self._error("expected a name")
+        return self.source[start : self.pos]
+
+    def _decode_entities(self, data: str) -> str:
+        if "&" not in data:
+            return data
+        parts: list[str] = []
+        i = 0
+        while i < len(data):
+            ch = data[i]
+            if ch != "&":
+                parts.append(ch)
+                i += 1
+                continue
+            end = data.find(";", i)
+            if end < 0:
+                raise self._error("unterminated entity reference")
+            name = data[i + 1 : end]
+            if name.startswith("#x") or name.startswith("#X"):
+                parts.append(chr(int(name[2:], 16)))
+            elif name.startswith("#"):
+                parts.append(chr(int(name[1:])))
+            elif name in _ENTITIES:
+                parts.append(_ENTITIES[name])
+            else:
+                raise self._error(f"unknown entity &{name};")
+            i = end + 1
+        return "".join(parts)
+
+    # -- grammar --------------------------------------------------------------
+
+    def _parse_element(self) -> XMLNode:
+        self._expect("<")
+        tag = self._read_name()
+        element = XMLNode("element", tag)
+        self._parse_attributes(element)
+        if self.source.startswith("/>", self.pos):
+            self.pos += 2
+            return element
+        self._expect(">")
+        self._parse_content(element)
+        self._expect("</")
+        closing = self._read_name()
+        if closing != tag:
+            raise self._error(f"mismatched end tag </{closing}>, expected </{tag}>")
+        self._skip_whitespace()
+        self._expect(">")
+        return element
+
+    def _parse_attributes(self, element: XMLNode) -> None:
+        seen: set[str] = set()
+        while True:
+            self._skip_whitespace()
+            if self.pos >= self.length:
+                raise self._error("unterminated start tag")
+            if self.source[self.pos] in "/>":
+                return
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self.source[self.pos : self.pos + 1]
+            if quote not in ('"', "'"):
+                raise self._error("attribute value must be quoted")
+            self.pos += 1
+            end = self.source.find(quote, self.pos)
+            if end < 0:
+                raise self._error("unterminated attribute value")
+            raw = self.source[self.pos : end]
+            self.pos = end + 1
+            if name in seen:
+                raise self._error(f"duplicate attribute {name!r}")
+            seen.add(name)
+            element.add_attribute(name, self._decode_entities(raw))
+
+    def _parse_content(self, element: XMLNode) -> None:
+        text_start = self.pos
+        while self.pos < self.length:
+            ch = self.source[self.pos]
+            if ch != "<":
+                self.pos += 1
+                continue
+            self._flush_text(element, text_start)
+            if self.source.startswith("</", self.pos):
+                return
+            if self.source.startswith("<!--", self.pos):
+                self._skip_until("-->")
+            elif self.source.startswith("<![CDATA[", self.pos):
+                self.pos += len("<![CDATA[")
+                end = self.source.find("]]>", self.pos)
+                if end < 0:
+                    raise self._error("unterminated CDATA section")
+                element.add_text(self.source[self.pos : end])
+                self.pos = end + 3
+            elif self.source.startswith("<?", self.pos):
+                self._skip_until("?>")
+            else:
+                element.append(self._parse_element())
+            text_start = self.pos
+        raise self._error(f"unterminated element <{element.label}>")
+
+    def _flush_text(self, element: XMLNode, start: int) -> None:
+        raw = self.source[start : self.pos]
+        if raw and raw.strip():
+            element.add_text(self._decode_entities(raw))

@@ -1,0 +1,71 @@
+"""Serialization of XML trees.
+
+``serialize(node)`` produces the *content* of a node in the thesis sense:
+the serialized labels and values of the subtree rooted at the node, in a
+top-down left-to-right traversal.  Attribute nodes serialize as
+``name="value"`` inside their parent's begin tag.
+"""
+
+from __future__ import annotations
+
+from .node import ATTRIBUTE, DOCUMENT, TEXT, XMLNode
+
+__all__ = ["serialize", "escape_text", "escape_attribute"]
+
+_TEXT_ESCAPES = [("&", "&amp;"), ("<", "&lt;"), (">", "&gt;")]
+_ATTR_ESCAPES = _TEXT_ESCAPES + [('"', "&quot;")]
+
+
+def escape_text(data: str) -> str:
+    for raw, escaped in _TEXT_ESCAPES:
+        data = data.replace(raw, escaped)
+    return data
+
+
+def escape_attribute(data: str) -> str:
+    for raw, escaped in _ATTR_ESCAPES:
+        data = data.replace(raw, escaped)
+    return data
+
+
+def serialize(node: XMLNode) -> str:
+    """Serialize the subtree rooted at ``node``.
+
+    * document nodes serialize as their single element child;
+    * element nodes serialize as ``<tag a="v">children</tag>`` (or the
+      self-closing ``<tag a="v"/>`` when there is no non-attribute child);
+    * attribute nodes serialize as ``name="value"`` (used when a XAM stores
+      the *content* of an attribute node);
+    * text nodes serialize as their escaped character data.
+    """
+    parts: list[str] = []
+    _serialize_into(node, parts)
+    return "".join(parts)
+
+
+def _serialize_into(node: XMLNode, parts: list[str]) -> None:
+    if node.kind == DOCUMENT:
+        for child in node.children:
+            _serialize_into(child, parts)
+        return
+    if node.kind == TEXT:
+        parts.append(escape_text(node.text or ""))
+        return
+    if node.kind == ATTRIBUTE:
+        parts.append(f'{node.label.lstrip("@")}="{escape_attribute(node.text or "")}"')
+        return
+
+    attributes = node.attribute_children()
+    others = [c for c in node.children if c.kind != ATTRIBUTE]
+    parts.append("<")
+    parts.append(node.label)
+    for attr in attributes:
+        parts.append(" ")
+        _serialize_into(attr, parts)
+    if not others:
+        parts.append("/>")
+        return
+    parts.append(">")
+    for child in others:
+        _serialize_into(child, parts)
+    parts.append(f"</{node.label}>")

@@ -1,0 +1,55 @@
+"""XQuery subset Q: AST, parser, algebraic translation, pattern extraction."""
+
+from .ast import (
+    DOC_ROOT,
+    Comparison,
+    ElementConstructor,
+    Expr,
+    FLWR,
+    ForBinding,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    Step,
+    StepPredicate,
+    free_variables,
+)
+from .parser import XQueryParseError, parse_query
+from .translate import alg_path, alg_query, collections_context, full_path
+from .extract import (
+    Extraction,
+    ExtractionUnit,
+    PatternAccess,
+    assemble_plan,
+    attribute_path,
+    bind_patterns,
+    extract,
+)
+
+__all__ = [
+    "DOC_ROOT",
+    "Comparison",
+    "ElementConstructor",
+    "Expr",
+    "FLWR",
+    "ForBinding",
+    "Literal",
+    "PathExpr",
+    "SequenceExpr",
+    "Step",
+    "StepPredicate",
+    "free_variables",
+    "XQueryParseError",
+    "parse_query",
+    "alg_path",
+    "alg_query",
+    "collections_context",
+    "full_path",
+    "Extraction",
+    "ExtractionUnit",
+    "PatternAccess",
+    "assemble_plan",
+    "attribute_path",
+    "bind_patterns",
+    "extract",
+]

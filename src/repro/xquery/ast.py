@@ -1,0 +1,200 @@
+"""AST for the XQuery subset Q (thesis §3.2).
+
+The language:
+
+1. core XPath{/,//,*,[]} absolute path expressions with ``text()`` and
+   ``[p]`` / ``[p = c]`` qualifiers (navigation branches comparing a node
+   against a constant);
+2. variable-rooted relative paths ``$x/p``;
+3. concatenation ``e₁, e₂``;
+4. element constructors ``<t>{e}</t>``;
+5. for-where-return blocks with multiple variables, conjunctive where
+   clauses over one or two paths, arbitrarily nested returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+__all__ = [
+    "Step",
+    "StepPredicate",
+    "PathExpr",
+    "Comparison",
+    "ForBinding",
+    "FLWR",
+    "ElementConstructor",
+    "SequenceExpr",
+    "Literal",
+    "Expr",
+    "DOC_ROOT",
+]
+
+#: sentinel root for absolute paths (``doc("…")//a`` or ``//a``)
+DOC_ROOT = "$doc"
+
+
+@dataclass(frozen=True)
+class StepPredicate:
+    """A ``[...]`` qualifier on a step: a relative path, optionally
+    compared to a constant (``[author]``, ``[year/text() = 1999]``)."""
+
+    path: "PathExpr"
+    op: Optional[str] = None
+    value: Optional[object] = None
+
+    def __repr__(self) -> str:
+        if self.op is None:
+            return f"[{self.path!r}]"
+        return f"[{self.path!r} {self.op} {self.value!r}]"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One navigation step: axis (``/`` or ``//``), a node test (a tag,
+    ``*``, ``@name`` or ``text()``), and qualifiers."""
+
+    axis: str
+    test: str
+    predicates: tuple[StepPredicate, ...] = ()
+
+    def __repr__(self) -> str:
+        preds = "".join(map(repr, self.predicates))
+        return f"{self.axis}{self.test}{preds}"
+
+
+@dataclass(frozen=True)
+class PathExpr:
+    """A path: root (a variable name or :data:`DOC_ROOT`) plus steps.
+
+    ``$x`` alone is a PathExpr with no steps.
+    """
+
+    root: str
+    steps: tuple[Step, ...] = ()
+    document: Optional[str] = None  # doc("name") argument, informational
+
+    @property
+    def is_absolute(self) -> bool:
+        return self.root == DOC_ROOT
+
+    @property
+    def ends_with_text(self) -> bool:
+        return bool(self.steps) and self.steps[-1].test == "text()"
+
+    def navigation_steps(self) -> tuple[Step, ...]:
+        """Steps excluding a trailing ``text()`` call."""
+        if self.ends_with_text:
+            return self.steps[:-1]
+        return self.steps
+
+    def __repr__(self) -> str:
+        prefix = "" if self.is_absolute else self.root
+        return prefix + "".join(map(repr, self.steps))
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """A where-clause conjunct: ``p₁ θ p₂`` or ``p₁ θ c``."""
+
+    left: PathExpr
+    op: str
+    right: Union[PathExpr, object]
+
+    @property
+    def against_constant(self) -> bool:
+        return not isinstance(self.right, PathExpr)
+
+    def __repr__(self) -> str:
+        return f"{self.left!r} {self.op} {self.right!r}"
+
+
+@dataclass(frozen=True)
+class ForBinding:
+    """One ``for $var in path`` clause of a FLWR block."""
+
+    var: str
+    path: PathExpr
+
+    def __repr__(self) -> str:
+        return f"${self.var} in {self.path!r}"
+
+
+@dataclass(frozen=True)
+class FLWR:
+    """A for-where-return block (the Q subset has no ``let``/``order by``)."""
+
+    bindings: tuple[ForBinding, ...]
+    where: tuple[Comparison, ...]
+    ret: "Expr"
+
+    def __repr__(self) -> str:
+        where = f" where {' and '.join(map(repr, self.where))}" if self.where else ""
+        return f"for {', '.join(map(repr, self.bindings))}{where} return {self.ret!r}"
+
+
+@dataclass(frozen=True)
+class ElementConstructor:
+    """``<tag>{ e1, e2, … }</tag>`` — direct element construction."""
+
+    tag: str
+    children: tuple["Expr", ...] = ()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(map(repr, self.children))
+        return f"<{self.tag}>{{{inner}}}</{self.tag}>"
+
+
+@dataclass(frozen=True)
+class SequenceExpr:
+    """Concatenation ``e₁, e₂``."""
+
+    items: tuple["Expr", ...]
+
+    def __repr__(self) -> str:
+        return "(" + ", ".join(map(repr, self.items)) + ")"
+
+
+@dataclass(frozen=True)
+class Literal:
+    """Literal character data inside a constructor."""
+
+    text: str
+
+    def __repr__(self) -> str:
+        return repr(self.text)
+
+
+Expr = Union[PathExpr, FLWR, ElementConstructor, SequenceExpr, Literal]
+
+
+def free_variables(expr: Expr, bound: frozenset[str] = frozenset()) -> set[str]:
+    """Variables referenced by ``expr`` and not bound inside it."""
+    if isinstance(expr, PathExpr):
+        return set() if expr.is_absolute or expr.root in bound else {expr.root}
+    if isinstance(expr, Literal):
+        return set()
+    if isinstance(expr, ElementConstructor):
+        out: set[str] = set()
+        for child in expr.children:
+            out |= free_variables(child, bound)
+        return out
+    if isinstance(expr, SequenceExpr):
+        out = set()
+        for item in expr.items:
+            out |= free_variables(item, bound)
+        return out
+    if isinstance(expr, FLWR):
+        inner_bound = set(bound)
+        out = set()
+        for binding in expr.bindings:
+            out |= free_variables(binding.path, frozenset(inner_bound))
+            inner_bound.add(binding.var)
+        for comparison in expr.where:
+            out |= free_variables(comparison.left, frozenset(inner_bound))
+            if isinstance(comparison.right, PathExpr):
+                out |= free_variables(comparison.right, frozenset(inner_bound))
+        out |= free_variables(expr.ret, frozenset(inner_bound))
+        return out
+    raise TypeError(f"not a Q expression: {expr!r}")

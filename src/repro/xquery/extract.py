@@ -1,0 +1,563 @@
+"""Pattern extraction: XQuery → maximal query XAMs (thesis Chapter 3).
+
+The thesis translates Q queries to the nested algebra (§3.3.1–3.3.2) and
+then isolates pattern-shaped subexpressions (§3.3.3).  This module
+implements the composition of the two steps directly: it walks the query
+and *builds* the patterns the algebraic isolation would produce, together
+with
+
+* the cross-pattern join predicates (value joins / cartesian products
+  between patterns with unrelated roots — the ``×`` of Fig. 3.1),
+* the tagging template driving XML construction,
+* the **compensating selections** for dependencies tree patterns cannot
+  express (the ``(d.ID ≠ ⊥) ∨ (d.ID = ⊥ ∧ e.Cont = ⊥)`` example of §3.1).
+
+The resulting patterns are *maximal*: a nested for-where-return block whose
+variable is rooted in an outer variable grafts into the outer pattern as
+an optional (outerjoin) nested subtree, so one pattern spans query blocks —
+the property distinguishing this extractor from per-XPath approaches.
+
+Edge-semantics rules implemented (matching §3.3.2's translations):
+
+* top-level ``for`` binding paths: ``j`` edges (iteration requires a
+  match);
+* ``where p θ c`` and step qualifiers ``[p]`` / ``[p = c]``: ``s``
+  (semijoin) edges with a value formula on the last node — existential
+  filters leaving the tuple arity unchanged;
+* everything extracted inside a ``return`` that constructs elements:
+  ``no`` (nest-outerjoin) edges — an element is constructed even when the
+  sub-expression is empty, and repeated bindings group under their
+  ancestor (the σ/⟕ⁿ of the ``xq₃`` rule);
+* a bare (non-constructing) return path: ``nj`` — grouped but required,
+  per the ``xq₂`` rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from ..algebra.formulas import Formula
+from ..algebra.model import NestedTuple
+from ..algebra.operators import (
+    BaseTuples,
+    Operator,
+    Product,
+    Select,
+    TemplateAttr,
+    TemplateElement,
+    Union as UnionOp,
+    ValueJoin,
+    XMLize,
+)
+from ..algebra.predicates import And, Attr, Compare, IsNull, NotNull, Or
+from ..core.xam import (
+    CHILD,
+    DESCENDANT,
+    JOIN,
+    NEST,
+    NEST_OUTER,
+    SEMI,
+    Pattern,
+    PatternNode,
+)
+from .ast import (
+    DOC_ROOT,
+    Comparison,
+    ElementConstructor,
+    Expr,
+    FLWR,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    Step,
+)
+
+__all__ = [
+    "ExtractionUnit",
+    "Extraction",
+    "extract",
+    "attribute_path",
+    "assemble_plan",
+    "PatternAccess",
+]
+
+
+class PatternAccess(Operator):
+    """A logical-plan leaf standing for 'the tuples of this query XAM'.
+
+    The ULoad layer later replaces it either by direct evaluation over the
+    base store, or by an equivalent plan over materialized views (the
+    rewriting of Chapter 5) — this indirection *is* physical data
+    independence.
+    """
+
+    def __init__(self, pattern: Pattern, index: int):
+        self.pattern = pattern
+        self.index = index
+
+    def schema(self) -> list[str]:
+        from ..core.embedding import subtree_attribute_names
+
+        names: list[str] = []
+        for edge in self.pattern.root.edges:
+            names.extend(subtree_attribute_names(edge.child))
+        return names
+
+    def evaluate(self, context=None):
+        key = f"__pattern_{self.index}"
+        if context is None or key not in context:
+            raise KeyError(
+                f"pattern access #{self.index} not bound; supply context[{key!r}]"
+            )
+        return list(context[key])
+
+    def label(self) -> str:
+        return f"PatternAccess#{self.index}[{self.pattern.to_text()}]"
+
+
+@dataclass
+class ExtractionUnit:
+    """Patterns + glue for one top-level query expression."""
+
+    patterns: list[Pattern] = field(default_factory=list)
+    #: variable → (pattern index, node name)
+    var_nodes: dict[str, tuple[int, str]] = field(default_factory=dict)
+    #: cross-pattern value predicates: (pidx₁, path₁, op, pidx₂, path₂)
+    join_predicates: list[tuple[int, str, str, int, str]] = field(default_factory=list)
+    #: unexpressible dependencies: (guard pidx, guard ID path, dependent
+    #: pidx, dependent attr path) — σ (guard ≠ ⊥) ∨ (dependent = ⊥)
+    compensations: list[tuple[int, str, int, str]] = field(default_factory=list)
+    template: Optional[TemplateElement] = None
+    #: flat outputs when the query constructs nothing: (pidx, attr path)
+    outputs: list[tuple[int, str]] = field(default_factory=list)
+
+
+@dataclass
+class Extraction:
+    """The full result of pattern extraction: one unit per top-level
+    query expression (queries are usually a single unit)."""
+
+    units: list[ExtractionUnit]
+
+    @property
+    def patterns(self) -> list[Pattern]:
+        return [pattern for unit in self.units for pattern in unit.patterns]
+
+
+def attribute_path(pattern: Pattern, node: PatternNode, attr: str) -> str:
+    """The nesting path addressing ``node.attr`` inside the pattern's
+    output tuples: one path segment per nest edge on the root→node chain,
+    then the flat attribute name."""
+    segments: list[str] = []
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.nested:
+            segments.append(walk.name)
+        walk = walk.parent_edge.parent
+    segments.reverse()
+    segments.append(f"{node.name}.{attr}")
+    return "/".join(segments)
+
+
+# ---------------------------------------------------------------------------
+# The extractor
+# ---------------------------------------------------------------------------
+
+class _Extractor:
+    def __init__(self) -> None:
+        self.unit = ExtractionUnit()
+        self._counter = 0
+        #: extraction log: (attr ref, pattern index, node name) per
+        #: return path — consumed by the compensation analysis
+        self._extracted_refs: list[tuple[TemplateAttr, int, str]] = []
+
+    # -- naming ------------------------------------------------------------
+
+    def _fresh_name(self) -> str:
+        self._counter += 1
+        return f"n{self._counter}"
+
+    def _new_pattern(self) -> int:
+        pattern = Pattern()
+        self.unit.patterns.append(pattern)
+        return len(self.unit.patterns) - 1
+
+    def _node(self, pidx: int, name: str) -> PatternNode:
+        pattern = self.unit.patterns[pidx]
+        if name == pattern.root.name:
+            return pattern.root
+        return pattern.node_by_name(name)
+
+    # -- chains ---------------------------------------------------------------
+
+    def _add_chain(
+        self,
+        pidx: int,
+        anchor: PatternNode,
+        steps: Sequence[Step],
+        semantics: str,
+        chain_semantics: Optional[str] = None,
+    ) -> PatternNode:
+        """Attach a chain of steps below ``anchor``.
+
+        ``semantics`` applies to the first edge, ``chain_semantics`` (default:
+        same) to the rest.  Step qualifiers become semijoin branches.
+        Returns the node of the last step.
+        """
+        if chain_semantics is None:
+            chain_semantics = semantics
+        node = anchor
+        for position, step in enumerate(steps):
+            edge_semantics = semantics if position == 0 else chain_semantics
+            axis = CHILD if step.axis == "/" else DESCENDANT
+            tag = None if step.test == "*" else step.test
+            child = PatternNode(tag=tag, name=self._fresh_name())
+            node.add_child(child, axis, edge_semantics)
+            node = child
+            for qualifier in step.predicates:
+                self._add_qualifier(pidx, node, qualifier)
+        return node
+
+    def _add_qualifier(self, pidx: int, anchor: PatternNode, qualifier) -> None:
+        steps = list(qualifier.path.navigation_steps())
+        if not steps:
+            # ``[text() = c]`` — a value condition on the anchor itself
+            if qualifier.op is not None:
+                anchor.value_formula = anchor.value_formula.conjoin(
+                    Formula.compare(qualifier.op, qualifier.value)
+                )
+            return
+        last = self._add_chain(pidx, anchor, steps, SEMI)
+        if qualifier.op is not None:
+            last.value_formula = last.value_formula.conjoin(
+                Formula.compare(qualifier.op, qualifier.value)
+            )
+
+    # -- entry ------------------------------------------------------------------
+
+    def run(self, expr: Expr) -> ExtractionUnit:
+        if isinstance(expr, PathExpr):
+            self._extract_bare_path(expr)
+        elif isinstance(expr, FLWR):
+            self._extract_flwr(expr, enclosing_var=None, constructing=False)
+            self.unit.template = self._build_template(expr.ret, top=True)
+        elif isinstance(expr, ElementConstructor):
+            raise ValueError(
+                "a top-level bare constructor has no data needs; wrap it in a query"
+            )
+        else:
+            raise TypeError(f"unsupported top-level expression: {expr!r}")
+        for pattern in self.unit.patterns:
+            pattern.finalize()
+        return self.unit
+
+    # -- path queries --------------------------------------------------------------
+
+    def _extract_bare_path(self, path: PathExpr) -> None:
+        if not path.is_absolute:
+            raise ValueError("a top-level path must be absolute")
+        pidx = self._new_pattern()
+        pattern = self.unit.patterns[pidx]
+        last = self._add_chain(pidx, pattern.root, path.navigation_steps(), JOIN)
+        if path.ends_with_text:
+            last.store_value = True
+            attr = "V"
+        else:
+            last.store_content = True
+            attr = "C"
+        last.store_id = "s"
+        self.unit.outputs.append((pidx, attribute_path(pattern, last, attr)))
+
+    # -- FLWR blocks ------------------------------------------------------------------
+
+    def _extract_flwr(
+        self, flwr: FLWR, enclosing_var: Optional[str], constructing: bool
+    ) -> None:
+        """Install bindings and where clauses; return handled separately.
+
+        ``enclosing_var`` is set when this block sits inside another
+        block's return (its bindings graft as optional nested subtrees).
+        """
+        nested = enclosing_var is not None
+        for binding in flwr.bindings:
+            pidx, anchor = self._resolve_root(binding.path)
+            semantics = NEST_OUTER if nested and constructing else (
+                NEST if nested else JOIN
+            )
+            node = self._add_chain(
+                pidx,
+                anchor,
+                binding.path.navigation_steps(),
+                semantics,
+                chain_semantics=semantics if nested else JOIN,
+            )
+            node.store_id = "s"
+            self.unit.var_nodes[binding.var] = (pidx, node.name)
+        for comparison in flwr.where:
+            self._extract_where(comparison)
+
+    def _resolve_root(self, path: PathExpr) -> tuple[int, PatternNode]:
+        if path.is_absolute:
+            pidx = self._new_pattern()
+            return pidx, self.unit.patterns[pidx].root
+        if path.root not in self.unit.var_nodes:
+            raise ValueError(f"unbound variable ${path.root}")
+        pidx, node_name = self.unit.var_nodes[path.root]
+        return pidx, self._node(pidx, node_name)
+
+    def _extract_where(self, comparison: Comparison) -> None:
+        if comparison.against_constant:
+            pidx, anchor = self._resolve_root(comparison.left)
+            steps = list(comparison.left.navigation_steps())
+            if steps:
+                last = self._add_chain(pidx, anchor, steps, SEMI)
+            else:
+                last = anchor
+            last.value_formula = last.value_formula.conjoin(
+                Formula.compare(comparison.op, comparison.right)
+            )
+            return
+        # path θ path: value join — not expressible inside one XAM
+        left_pidx, left_anchor = self._resolve_root(comparison.left)
+        right_pidx, right_anchor = self._resolve_root(comparison.right)
+        left_node = self._value_node(left_pidx, left_anchor, comparison.left)
+        right_node = self._value_node(right_pidx, right_anchor, comparison.right)
+        self.unit.join_predicates.append(
+            (
+                left_pidx,
+                attribute_path(self.unit.patterns[left_pidx], left_node, "V"),
+                comparison.op,
+                right_pidx,
+                attribute_path(self.unit.patterns[right_pidx], right_node, "V"),
+            )
+        )
+
+    def _value_node(
+        self, pidx: int, anchor: PatternNode, path: PathExpr
+    ) -> PatternNode:
+        steps = list(path.navigation_steps())
+        if steps:
+            node = self._add_chain(pidx, anchor, steps, JOIN)
+        else:
+            node = anchor
+        node.store_value = True
+        return node
+
+    # -- return clauses / templates -------------------------------------------------------
+
+    def _build_template(self, expr: Expr, top: bool = False) -> Optional[TemplateElement]:
+        """Walk a return expression, installing extraction nodes and
+        building the tagging template.  Returns None when the query
+        constructs nothing (flat outputs recorded instead)."""
+        constructing = _constructs_elements(expr)
+        pieces = self._walk_return(expr, constructing=constructing)
+        if not constructing:
+            return None
+        if len(pieces) == 1 and isinstance(pieces[0], TemplateElement):
+            return pieces[0]
+        return TemplateElement("result", pieces)
+
+    def _walk_return(self, expr: Expr, constructing: bool) -> list:
+        """Returns template pieces (TemplateElement / TemplateAttr / str)."""
+        if isinstance(expr, Literal):
+            return [expr.text]
+        if isinstance(expr, SequenceExpr):
+            pieces: list = []
+            for item in expr.items:
+                pieces.extend(self._walk_return(item, constructing))
+            return pieces
+        if isinstance(expr, ElementConstructor):
+            children: list = []
+            for child in expr.children:
+                children.extend(self._walk_return(child, constructing=True))
+            return [TemplateElement(expr.tag, children)]
+        if isinstance(expr, PathExpr):
+            return [self._extract_return_path(expr, constructing)]
+        if isinstance(expr, FLWR):
+            return self._extract_nested_flwr(expr, constructing)
+        raise TypeError(f"unsupported return expression: {expr!r}")
+
+    def _extract_return_path(self, path: PathExpr, constructing: bool):
+        pidx, anchor = self._resolve_root(path)
+        semantics = NEST_OUTER if constructing else NEST
+        steps = list(path.navigation_steps())
+        if steps:
+            node = self._add_chain(pidx, anchor, steps, semantics)
+        else:
+            node = anchor
+        if path.ends_with_text:
+            node.store_value = True
+            attr = "V"
+        else:
+            node.store_content = True
+            attr = "C"
+        ref_path = attribute_path(self.unit.patterns[pidx], node, attr)
+        ref = TemplateAttr(ref_path)
+        self._extracted_refs.append((ref, pidx, node.name))
+        if not constructing:
+            self.unit.outputs.append((pidx, ref_path))
+        return ref
+
+    def _extract_nested_flwr(self, flwr: FLWR, constructing: bool) -> list:
+        """A for-where-return inside a return clause: graft bindings as
+        (optional) nested subtrees spanning the block boundary."""
+        outer_vars = set(self.unit.var_nodes)
+        # the block is "enclosed" by whatever variable its first binding
+        # hangs from (document-rooted bindings start fresh patterns)
+        first_root = flwr.bindings[0].path.root
+        enclosing = first_root if first_root in outer_vars else None
+        self._extract_flwr(flwr, enclosing_var=enclosing or "", constructing=constructing)
+        mark = len(self._extracted_refs)
+        pieces = self._walk_return(
+            flwr.ret, constructing=constructing or _constructs_elements(flwr.ret)
+        )
+        # Constructors returned by this block repeat once per binding of
+        # the block's (first) variable: record the driving collection so
+        # the template renderer iterates the right nesting level.
+        first_var = flwr.bindings[0].var
+        w_pidx, w_name = self.unit.var_nodes[first_var]
+        repeat = _collection_path(self._node(w_pidx, w_name))
+        if repeat is not None:
+            for piece in pieces:
+                if isinstance(piece, TemplateElement) and piece.repeat_over is None:
+                    piece.repeat_over = repeat
+        # Compensations: content extracted from inside this block but
+        # anchored at an *outer* variable depends on the block's bindings
+        # — a dependency tree patterns cannot express (§3.1), recovered by
+        # a selection (guard.ID ≠ ⊥) ∨ (dependent = ⊥).
+        block_vars = [b.var for b in flwr.bindings]
+        block_nodes = {self.unit.var_nodes[v][1] for v in block_vars}
+        for ref, ref_pidx, node_name in self._extracted_refs[mark:]:
+            owner = self._anchor_variable(ref_pidx, node_name)
+            if owner is None or owner in block_vars:
+                continue
+            for block_var in block_vars:
+                w_pidx, w_name = self.unit.var_nodes[block_var]
+                if w_name == node_name:
+                    continue
+                w_node = self._node(w_pidx, w_name)
+                guard = attribute_path(self.unit.patterns[w_pidx], w_node, "ID")
+                self.unit.compensations.append((w_pidx, guard, ref_pidx, ref.path))
+        del block_nodes
+        return pieces
+
+    def _anchor_variable(self, pidx: int, node_name: str) -> Optional[str]:
+        """The variable whose node is the nearest ancestor (or the node
+        itself) of the named extraction node."""
+        by_node = {
+            name: var
+            for var, (var_pidx, name) in self.unit.var_nodes.items()
+            if var_pidx == pidx
+        }
+        walk: Optional[PatternNode] = self._node(pidx, node_name)
+        while walk is not None:
+            if walk.name in by_node:
+                return by_node[walk.name]
+            walk = walk.parent
+        return None
+
+
+def _collection_path(node: PatternNode) -> Optional[str]:
+    """Absolute nesting path of the collection containing ``node``'s
+    tuples (None when the node's attrs are flat at the top level)."""
+    segments: list[str] = []
+    walk = node
+    while walk.parent_edge is not None:
+        if walk.parent_edge.nested:
+            segments.append(walk.name)
+        walk = walk.parent_edge.parent
+    if not segments:
+        return None
+    segments.reverse()
+    return "/".join(segments)
+
+
+def _constructs_elements(expr: Expr) -> bool:
+    if isinstance(expr, ElementConstructor):
+        return True
+    if isinstance(expr, SequenceExpr):
+        return any(_constructs_elements(item) for item in expr.items)
+    if isinstance(expr, FLWR):
+        return _constructs_elements(expr.ret)
+    return False
+
+
+def _attr_refs(pieces) -> list[TemplateAttr]:
+    found: list[TemplateAttr] = []
+    for piece in pieces:
+        if isinstance(piece, TemplateAttr):
+            found.append(piece)
+        elif isinstance(piece, TemplateElement):
+            found.extend(_attr_refs(piece.children))
+    return found
+
+
+def extract(query: Expr) -> Extraction:
+    """Extract maximal query XAMs from a parsed Q query."""
+    if isinstance(query, SequenceExpr):
+        units = [_Extractor().run(item) for item in query.items]
+    else:
+        units = [_Extractor().run(query)]
+    return Extraction(units)
+
+
+# ---------------------------------------------------------------------------
+# Plan assembly (the Fig. 5.1 "XMLize over value joins over patterns" shape)
+# ---------------------------------------------------------------------------
+
+def assemble_plan(unit: ExtractionUnit, apply_compensations: bool = False) -> Operator:
+    """The logical plan of one unit: pattern accesses combined by
+    products/value joins, then XML construction (or flat outputs).
+
+    ``unit.compensations`` holds the §3.1 compensating selections, e.g.
+    ``(d.ID ≠ ⊥) ∨ (e.Cont = ⊥)``.  They matter when a *flattened* view
+    (one tuple per (d, e) combination, as the thesis' V₁₁ stores) feeds
+    the plan; our nested-tuple pipeline enforces the dependency
+    structurally — repeat-scoped template rendering only emits content of
+    blocks that produced bindings — so they are off by default and offered
+    for the flattened-consumption path (``apply_compensations=True``).
+    """
+    plan: Operator = PatternAccess(unit.patterns[0], 0)
+    for index in range(1, len(unit.patterns)):
+        right = PatternAccess(unit.patterns[index], index)
+        predicate = _join_predicate_between(unit, index)
+        if predicate is None:
+            plan = Product(plan, right)
+        else:
+            plan = ValueJoin(plan, right, predicate)
+    if apply_compensations:
+        for _guard_pidx, guard_path, _dep_pidx, dep_path in unit.compensations:
+            plan = Select(
+                plan,
+                Or((NotNull(Attr(guard_path)), IsNull(Attr(dep_path)))),
+            )
+    if unit.template is not None:
+        plan = XMLize(plan, unit.template)
+    return plan
+
+
+def _join_predicate_between(unit: ExtractionUnit, right_index: int):
+    """Value-join predicates connecting pattern ``right_index`` to the
+    already-joined prefix (patterns 0..right_index-1)."""
+    parts = []
+    for left_pidx, left_path, op, right_pidx, right_path in unit.join_predicates:
+        if right_pidx == right_index and left_pidx < right_index:
+            parts.append(Compare(Attr(left_path, 0), op, Attr(right_path, 1)))
+        elif left_pidx == right_index and right_pidx < right_index:
+            flipped = {"<": ">", ">": "<", "<=": ">=", ">=": "<="}.get(op, op)
+            parts.append(Compare(Attr(right_path, 0), flipped, Attr(left_path, 1)))
+    if not parts:
+        return None
+    if len(parts) == 1:
+        return parts[0]
+    return And(tuple(parts))
+
+
+def bind_patterns(
+    unit: ExtractionUnit, results: Sequence[Sequence[NestedTuple]]
+) -> dict[str, list[NestedTuple]]:
+    """Evaluation context binding each PatternAccess leaf to tuples."""
+    return {
+        f"__pattern_{index}": list(tuples) for index, tuples in enumerate(results)
+    }

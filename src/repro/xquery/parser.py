@@ -1,0 +1,339 @@
+"""Parser for the XQuery subset Q (thesis §3.2).
+
+Recursive descent over a hand-rolled token stream.  Accepted forms::
+
+    //book/title
+    doc("bib.xml")//book[year/text() = "1999"]/author
+    for $x in //item, $y in $x/name where $x/quantity = 2 return $y
+    for $x in //item return <res>{ $x/name/text(), $x//keyword }</res>
+
+Element constructors switch the lexer into markup mode: ``<tag>`` opens a
+constructor whose content is literal text plus ``{ … }`` enclosed
+expressions, closed by ``</tag>``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from .ast import (
+    DOC_ROOT,
+    Comparison,
+    ElementConstructor,
+    Expr,
+    FLWR,
+    ForBinding,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    Step,
+    StepPredicate,
+)
+
+__all__ = ["parse_query", "XQueryParseError"]
+
+
+class XQueryParseError(ValueError):
+    pass
+
+
+_TOKEN = re.compile(
+    r"""
+    \s*(
+        \$\w+|                       # variables
+        doc\s*\(|document\s*\(|      # doc("…")
+        "(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*'|
+        //|/|\*|\[|\]|\(|\)|,|
+        !=|<=|>=|=|<|>|
+        \d+\.\d+|\d+|
+        @?\w[\w.\-]*
+    )
+    """,
+    re.VERBOSE,
+)
+
+_KEYWORDS = {"for", "in", "where", "and", "return"}
+_COMPARATORS = {"=", "!=", "<", "<=", ">", ">="}
+_WORD_COMPARATORS = {"eq": "=", "ne": "!=", "lt": "<", "le": "<=", "gt": ">", "ge": ">="}
+
+
+class _Lexer:
+    """Token stream with raw-text access for constructor content.
+
+    The peek cache is keyed to the position it was computed at, so direct
+    ``pos`` manipulation (constructor-content scanning) safely invalidates
+    it.
+    """
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self._peeked: Optional[str] = None
+        self._peeked_at = -1
+        self._peek_origin = -1
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.source) and self.source[self.pos].isspace():
+            self.pos += 1
+
+    def at_constructor(self) -> bool:
+        self.skip_ws()
+        return (
+            self.pos < len(self.source)
+            and self.source[self.pos] == "<"
+            and not self.source.startswith("</", self.pos)
+            and re.match(r"<\w", self.source[self.pos:]) is not None
+        )
+
+    def peek(self) -> Optional[str]:
+        if self._peeked is not None and self._peek_origin == self.pos:
+            return self._peeked
+        match = _TOKEN.match(self.source, self.pos)
+        if match is None:
+            self._peeked = None
+            return None
+        self._peeked = match.group(1)
+        self._peeked_at = match.end()
+        self._peek_origin = self.pos
+        return self._peeked
+
+    def next(self) -> str:
+        token = self.peek()
+        if token is None:
+            raise XQueryParseError(
+                f"unexpected end of query at offset {self.pos}"
+            )
+        self.pos = self._peeked_at
+        self._peeked = None
+        return token
+
+    def accept(self, token: str) -> bool:
+        if self.peek() == token:
+            self.next()
+            return True
+        return False
+
+    def expect(self, token: str) -> None:
+        found = self.next()
+        if found != token:
+            raise XQueryParseError(f"expected {token!r}, found {found!r}")
+
+    def done(self) -> bool:
+        return self.peek() is None and not self.at_constructor()
+
+
+def parse_query(source: str) -> Expr:
+    lexer = _Lexer(source)
+    expr = _parse_expr(lexer)
+    lexer.skip_ws()
+    if lexer.pos < len(lexer.source) and lexer.peek() is not None:
+        raise XQueryParseError(
+            f"trailing content at offset {lexer.pos}: {lexer.source[lexer.pos:lexer.pos+20]!r}"
+        )
+    return expr
+
+
+def _parse_expr(lexer: _Lexer) -> Expr:
+    items = [_parse_single(lexer)]
+    while lexer.accept(","):
+        items.append(_parse_single(lexer))
+    if len(items) == 1:
+        return items[0]
+    return SequenceExpr(tuple(items))
+
+
+def _parse_single(lexer: _Lexer) -> Expr:
+    if lexer.at_constructor():
+        return _parse_constructor(lexer)
+    token = lexer.peek()
+    if token == "for":
+        return _parse_flwr(lexer)
+    if token == "(":
+        lexer.next()
+        inner = _parse_expr(lexer)
+        lexer.expect(")")
+        return inner
+    return _parse_path(lexer)
+
+
+def _parse_flwr(lexer: _Lexer) -> FLWR:
+    lexer.expect("for")
+    bindings = []
+    while True:
+        var = lexer.next()
+        if not var.startswith("$"):
+            raise XQueryParseError(f"expected a variable, found {var!r}")
+        lexer.expect("in")
+        path = _parse_path(lexer)
+        bindings.append(ForBinding(var[1:], path))
+        if not lexer.accept(","):
+            break
+    where: list[Comparison] = []
+    if lexer.accept("where"):
+        while True:
+            where.append(_parse_comparison(lexer))
+            if not lexer.accept("and"):
+                break
+    lexer.expect("return")
+    ret = _parse_expr_no_comma(lexer)
+    return FLWR(tuple(bindings), tuple(where), ret)
+
+
+def _parse_expr_no_comma(lexer: _Lexer) -> Expr:
+    """A return clause: a single expression (commas at this level separate
+    outer list items, so sequencing must be parenthesized or bracketed in
+    a constructor — standard XQuery precedence)."""
+    return _parse_single(lexer)
+
+
+def _parse_comparison(lexer: _Lexer) -> Comparison:
+    left = _parse_path(lexer)
+    op = lexer.next()
+    op = _WORD_COMPARATORS.get(op, op)
+    if op not in _COMPARATORS:
+        raise XQueryParseError(f"expected a comparator, found {op!r}")
+    token = lexer.peek()
+    if token is None:
+        raise XQueryParseError("missing comparison right-hand side")
+    if token.startswith("$") or token in ("/", "//") or token.startswith("doc"):
+        right: object = _parse_path(lexer)
+    else:
+        right = _parse_constant(lexer.next())
+    return Comparison(left, op, right)
+
+
+def _parse_constant(token: str):
+    if token and token[0] in "\"'":
+        return token[1:-1]
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    raise XQueryParseError(f"expected a constant, found {token!r}")
+
+
+def _parse_path(lexer: _Lexer) -> PathExpr:
+    token = lexer.peek()
+    document = None
+    if token is None:
+        raise XQueryParseError("expected a path expression")
+    if token.startswith("$"):
+        lexer.next()
+        root = token[1:]
+    elif token in ("doc(", "document(", "doc (", "document ("):
+        lexer.next()
+        name = lexer.next()
+        document = name[1:-1] if name and name[0] in "\"'" else name
+        lexer.expect(")")
+        root = DOC_ROOT
+    elif token in ("/", "//"):
+        root = DOC_ROOT
+    else:
+        raise XQueryParseError(f"expected a path expression, found {token!r}")
+    steps = _parse_steps(lexer)
+    if root != DOC_ROOT and not steps:
+        return PathExpr(root)
+    if root == DOC_ROOT and not steps:
+        raise XQueryParseError("absolute path without steps")
+    return PathExpr(root, tuple(steps), document)
+
+
+def _parse_steps(lexer: _Lexer) -> list[Step]:
+    steps = []
+    while True:
+        token = lexer.peek()
+        if token not in ("/", "//"):
+            break
+        axis = lexer.next()
+        test = lexer.next()
+        if test == "*":
+            pass
+        elif test == "text" and lexer.accept("("):
+            # ``text()`` the function; a bare ``text`` step is an element
+            # test (XMark really has <text> elements)
+            lexer.expect(")")
+            test = "text()"
+        elif re.fullmatch(r"@?\w[\w.\-]*", test):
+            pass
+        else:
+            raise XQueryParseError(f"bad node test {test!r}")
+        predicates = []
+        while lexer.accept("["):
+            predicates.append(_parse_step_predicate(lexer))
+            lexer.expect("]")
+        steps.append(Step(axis, test, tuple(predicates)))
+    return steps
+
+
+def _parse_step_predicate(lexer: _Lexer) -> StepPredicate:
+    # a relative path, optionally compared with a constant
+    token = lexer.peek()
+    if token in ("/", "//"):
+        path = PathExpr("", tuple(_parse_steps(lexer)))
+    else:
+        # leading name means a child step: [author] ≡ [./author]
+        test = lexer.next()
+        if test == "text" and lexer.accept("("):
+            lexer.expect(")")
+            test = "text()"
+        first = Step("/", test)
+        rest = _parse_steps(lexer)
+        path = PathExpr("", (first, *rest))
+    token = lexer.peek()
+    if token in _COMPARATORS or token in _WORD_COMPARATORS:
+        op = _WORD_COMPARATORS.get(lexer.next(), token)
+        value = _parse_constant(lexer.next())
+        return StepPredicate(path, op, value)
+    return StepPredicate(path)
+
+
+# ---------------------------------------------------------------------------
+# Element constructors
+# ---------------------------------------------------------------------------
+
+def _parse_constructor(lexer: _Lexer) -> ElementConstructor:
+    lexer.skip_ws()
+    match = re.match(r"<(\w[\w.\-]*)\s*>", lexer.source[lexer.pos:])
+    if match is None:
+        raise XQueryParseError(f"malformed constructor at offset {lexer.pos}")
+    tag = match.group(1)
+    lexer.pos += match.end()
+    children: list[Expr] = []
+    closing = f"</{tag}>"
+    while True:
+        lexer.skip_ws()
+        if lexer.source.startswith(closing, lexer.pos):
+            lexer.pos += len(closing)
+            return ElementConstructor(tag, tuple(children))
+        if lexer.source.startswith("{", lexer.pos):
+            lexer.pos += 1
+            children.append(_parse_expr(lexer))
+            lexer.skip_ws()
+            if not lexer.source.startswith("}", lexer.pos):
+                raise XQueryParseError(
+                    f"unterminated enclosed expression at offset {lexer.pos}"
+                )
+            lexer.pos += 1
+        elif lexer.at_constructor():
+            children.append(_parse_constructor(lexer))
+        else:
+            end = len(lexer.source)
+            for stop in ("{", "<"):
+                found = lexer.source.find(stop, lexer.pos)
+                if found != -1:
+                    end = min(end, found)
+            if end == lexer.pos:
+                raise XQueryParseError(
+                    f"unterminated constructor <{tag}> at offset {lexer.pos}"
+                )
+            text = lexer.source[lexer.pos:end]
+            if text.strip():
+                # keep interior spacing; trim only the indentation-style
+                # leading/trailing newlines around the content
+                children.append(Literal(text.strip("\n\r\t")))
+            lexer.pos = end

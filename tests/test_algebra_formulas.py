@@ -1,0 +1,169 @@
+"""Tests for value-predicate formulas (thesis §4.1), including property
+tests of the interval normal form."""
+
+from hypothesis import given, strategies as st
+
+from repro.algebra import FALSE, TRUE, Formula, between, eq, ge, gt, le, lt
+
+
+class TestAtoms:
+    def test_equality(self):
+        f = eq(3)
+        assert f.evaluate(3)
+        assert not f.evaluate(4)
+        assert f.equality_constant() == 3
+
+    def test_inequalities(self):
+        assert lt(5).evaluate(4) and not lt(5).evaluate(5)
+        assert le(5).evaluate(5) and not le(5).evaluate(6)
+        assert gt(5).evaluate(6) and not gt(5).evaluate(5)
+        assert ge(5).evaluate(5) and not ge(5).evaluate(4)
+
+    def test_not_equal(self):
+        f = Formula.compare("!=", 3)
+        assert f.evaluate(2) and f.evaluate(4) and not f.evaluate(3)
+
+    def test_between(self):
+        f = between(2, 5)
+        assert f.evaluate(2) and f.evaluate(5) and f.evaluate(3)
+        assert not f.evaluate(1) and not f.evaluate(6)
+
+    def test_strings(self):
+        f = eq("web")
+        assert f.evaluate("web") and not f.evaluate("data")
+        assert lt("m").evaluate("a") and not lt("m").evaluate("z")
+
+
+class TestCombinators:
+    def test_conjunction(self):
+        f = gt(2).conjoin(lt(5))
+        assert f.evaluate(3) and not f.evaluate(2) and not f.evaluate(5)
+
+    def test_contradiction_is_false(self):
+        assert gt(5).conjoin(lt(3)).is_false
+        assert eq(1).conjoin(eq(2)).is_false
+
+    def test_disjunction_merges_adjacent(self):
+        f = lt(3).disjoin(ge(3))
+        assert f.is_true
+
+    def test_negation(self):
+        f = eq(3).negate()
+        assert f.evaluate(2) and f.evaluate(4) and not f.evaluate(3)
+        assert TRUE.negate().is_false
+        assert FALSE.negate().is_true
+
+    def test_double_negation(self):
+        f = between(2, 5)
+        assert f.negate().negate() == f
+
+    def test_operators(self):
+        assert ((gt(1) & lt(3)) | eq(7)).evaluate(7)
+        assert (~eq(1)).evaluate(2)
+
+
+class TestImplication:
+    def test_point_implies_interval(self):
+        assert eq(3).implies(gt(1))
+        assert not gt(1).implies(eq(3))
+
+    def test_interval_inclusion(self):
+        assert between(2, 3).implies(between(1, 5))
+        assert not between(1, 5).implies(between(2, 3))
+
+    def test_everything_implies_true(self):
+        for f in (eq(1), between(2, 3), FALSE):
+            assert f.implies(TRUE)
+
+    def test_false_implies_everything(self):
+        assert FALSE.implies(eq(1))
+
+    def test_thesis_figure_4_9(self):
+        # φ_{t'_{φ2}} = (v=3 ∧ v>0) ⇒ (v>1)
+        left = eq(3).conjoin(gt(0))
+        assert left.implies(gt(1))
+
+
+class TestMixedTypesAndCoercion:
+    def test_mixed_type_constants_do_not_raise(self):
+        f = eq(3).disjoin(eq("three"))
+        assert f.evaluate(3) and f.evaluate("three") and not f.evaluate(4)
+
+    def test_string_value_coerces_to_number(self):
+        assert eq(1999).evaluate("1999")
+        assert gt(50000).evaluate("60000")
+        assert not gt(50000).evaluate("40000")
+
+    def test_null_satisfies_only_true(self):
+        assert TRUE.evaluate(None)
+        assert not eq(1).evaluate(None)
+
+
+class TestQueries:
+    def test_flags(self):
+        assert TRUE.is_true and not TRUE.is_false
+        assert FALSE.is_false and not FALSE.is_true
+        assert eq(1).satisfiable() and not FALSE.satisfiable()
+
+    def test_equality_constant_only_for_points(self):
+        assert between(1, 2).equality_constant() is None
+        assert TRUE.equality_constant() is None
+
+    def test_repr_forms(self):
+        assert repr(TRUE) == "T"
+        assert repr(FALSE) == "F"
+        assert "v=" in repr(eq(3))
+
+
+# -- property tests ---------------------------------------------------------
+
+values = st.integers(min_value=-20, max_value=20)
+
+
+def formulas():
+    atom = st.builds(
+        Formula.compare,
+        st.sampled_from(["=", "!=", "<", "<=", ">", ">="]),
+        values,
+    )
+    return st.recursive(
+        atom,
+        lambda children: st.one_of(
+            st.builds(lambda a, b: a.conjoin(b), children, children),
+            st.builds(lambda a, b: a.disjoin(b), children, children),
+            st.builds(lambda a: a.negate(), children),
+        ),
+        max_leaves=6,
+    )
+
+
+@given(formulas(), values)
+def test_negation_complements_evaluation(formula, value):
+    assert formula.evaluate(value) != formula.negate().evaluate(value)
+
+
+@given(formulas(), formulas(), values)
+def test_conjunction_evaluates_pointwise(f, g, value):
+    assert f.conjoin(g).evaluate(value) == (f.evaluate(value) and g.evaluate(value))
+
+
+@given(formulas(), formulas(), values)
+def test_disjunction_evaluates_pointwise(f, g, value):
+    assert f.disjoin(g).evaluate(value) == (f.evaluate(value) or g.evaluate(value))
+
+
+@given(formulas(), formulas(), values)
+def test_implication_is_sound_on_values(f, g, value):
+    if f.implies(g) and f.evaluate(value):
+        assert g.evaluate(value)
+
+
+@given(formulas())
+def test_self_implication(f):
+    assert f.implies(f)
+
+
+@given(formulas(), formulas(), formulas())
+def test_implication_transitive(f, g, h):
+    if f.implies(g) and g.implies(h):
+        assert f.implies(h)

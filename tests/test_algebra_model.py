@@ -1,0 +1,96 @@
+"""Tests for nested tuples (thesis §1.2.2 data model)."""
+
+import pytest
+
+from repro.algebra import NULL, NestedTuple, concat
+
+
+def nested():
+    return NestedTuple(
+        {
+            "A1": 1,
+            "A2": [
+                NestedTuple({"A21": 3, "A22": NULL}),
+                NestedTuple({"A21": 4, "A22": 5}),
+            ],
+        }
+    )
+
+
+def test_basic_access():
+    t = nested()
+    assert t["A1"] == 1
+    assert t.get("missing") is NULL
+    assert "A2" in t
+    assert t.names() == ["A1", "A2"]
+
+
+def test_iter_path_flat():
+    assert list(nested().iter_path("A1")) == [1]
+
+
+def test_iter_path_descends_collections_existentially():
+    t = nested()
+    assert list(t.iter_path("A2/A21")) == [3, 4]
+    assert list(t.iter_path("A2/A22")) == [NULL, 5]
+
+
+def test_iter_path_missing_segments_yield_nothing():
+    t = nested()
+    assert list(t.iter_path("A2/nope")) == []
+    assert list(t.iter_path("A1/deeper")) == []
+
+
+def test_first():
+    t = nested()
+    assert t.first("A2/A21") == 3
+    assert t.first("nope", default="d") == "d"
+
+
+def test_with_attrs_does_not_mutate():
+    t = nested()
+    t2 = t.with_attrs(A3=9)
+    assert "A3" not in t
+    assert t2["A3"] == 9
+
+
+def test_project_drop_rename():
+    t = nested()
+    assert t.project(["A1"]).names() == ["A1"]
+    assert t.project(["A1", "ghost"]).get("ghost") is NULL
+    assert t.drop(["A1"]).names() == ["A2"]
+    assert t.rename({"A1": "B1"}).names() == ["B1", "A2"]
+
+
+def test_freeze_equality_and_hash():
+    assert nested() == nested()
+    assert hash(nested()) == hash(nested())
+    assert nested() != nested().with_attrs(A1=2)
+    assert len({nested(), nested()}) == 1
+
+
+def test_freeze_is_order_insensitive_on_attr_names():
+    a = NestedTuple({"x": 1, "y": 2})
+    b = NestedTuple({"y": 2, "x": 1})
+    assert a == b
+
+
+def test_freeze_is_order_sensitive_inside_collections():
+    a = NestedTuple({"c": [NestedTuple({"v": 1}), NestedTuple({"v": 2})]})
+    b = NestedTuple({"c": [NestedTuple({"v": 2}), NestedTuple({"v": 1})]})
+    assert a != b
+
+
+def test_concat_merges_disjoint():
+    t = concat(NestedTuple({"a": 1}), NestedTuple({"b": 2}))
+    assert t.attrs == {"a": 1, "b": 2}
+
+
+def test_concat_rejects_collisions():
+    with pytest.raises(ValueError):
+        concat(NestedTuple({"a": 1}), NestedTuple({"a": 2}))
+
+
+def test_kwargs_constructor():
+    t = NestedTuple(a=1, b=2)
+    assert t["a"] == 1 and t["b"] == 2

@@ -1,0 +1,77 @@
+"""Tests for plan inspection helpers and order descriptors."""
+
+from repro.algebra import (
+    BaseTuples,
+    NestedTuple,
+    Project,
+    Scan,
+    StructuralJoin,
+    Union,
+    count_by_type,
+    plan_shape,
+    scans_used,
+)
+from repro.engine import sort_key_for
+from repro.engine.orderdesc import satisfies
+
+
+def sample_plan():
+    left = Project(Scan("a", ["x.ID"]), ["x.ID"])
+    right = Scan("b", ["y.ID"])
+    return StructuralJoin(left, right, "x.ID", "y.ID", axis="descendant")
+
+
+def test_count_by_type():
+    counts = count_by_type(sample_plan())
+    assert counts["Scan"] == 2
+    assert counts["StructuralJoin"] == 1
+    assert counts["Project"] == 1
+
+
+def test_scans_used_in_leaf_order():
+    assert scans_used(sample_plan()) == ["a", "b"]
+
+
+def test_plan_shape():
+    shape = plan_shape(sample_plan())
+    assert shape["joins"] == 1
+    assert shape["structural_joins"] == 1
+    assert shape["value_joins"] == 0
+    assert shape["scans"] == 2
+    assert shape["depth"] == 3
+
+
+def test_union_has_no_joins():
+    plan = Union(Scan("a", ["x"]), Scan("b", ["x"]))
+    assert plan_shape(plan)["joins"] == 0
+
+
+def test_base_tuples_leaf_not_a_scan():
+    plan = BaseTuples([NestedTuple({"x": 1})])
+    assert scans_used(plan) == []
+
+
+class TestOrderDescriptors:
+    def test_satisfies(self):
+        assert satisfies("a.ID", "a.ID")
+        assert satisfies(None, None)
+        assert satisfies("anything", None)
+        assert not satisfies(None, "a.ID")
+        assert not satisfies("a.ID", "b.ID")
+
+    def test_sort_key_handles_nulls_and_mixed_types(self):
+        key = sort_key_for("x")
+        rows = [NestedTuple({"x": v}) for v in (3, None, "a", 1)]
+        ordered = sorted(rows, key=key)
+        assert ordered[0]["x"] is None  # nulls first
+        values = [t["x"] for t in ordered[1:]]
+        assert values == [1, 3, "a"] or values == ["a", 1, 3]
+
+    def test_sort_key_descends_collections(self):
+        key = sort_key_for("c/v")
+        rows = [
+            NestedTuple({"c": [NestedTuple({"v": 2})]}),
+            NestedTuple({"c": [NestedTuple({"v": 1})]}),
+        ]
+        ordered = sorted(rows, key=key)
+        assert ordered[0].first("c/v") == 1

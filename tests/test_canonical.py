@@ -1,0 +1,277 @@
+"""Tests for canonical models (thesis §4.3): Figure 4.7/4.8-style
+fixtures, optional expansion, decoration, satisfiability, annotations."""
+
+import pytest
+
+from repro.core import (
+    canonical_model,
+    is_satisfiable,
+    parse_pattern,
+    path_annotations,
+    pattern_from_path,
+    summary_embeddings,
+)
+from repro.summary import PathSummary
+
+
+@pytest.fixture()
+def fig47_summary():
+    """The Figure 4.7 summary: a with nested b chains (b under b)."""
+    return PathSummary.from_paths(
+        ["/a/b/c/b", "/a/b/c/b/e", "/a/d", "/a/b/e"]
+    )
+
+
+class TestEmbeddingsIntoSummaries:
+    def test_chain_pattern(self, fig47_summary):
+        pattern = pattern_from_path("//a//b")
+        embeddings = summary_embeddings(pattern, fig47_summary)
+        targets = {e[pattern.nodes()[-1]].path_string() for e in embeddings}
+        assert targets == {"/a/b", "/a/b/c/b"}
+
+    def test_child_axis_restricts(self, fig47_summary):
+        pattern = pattern_from_path("/a/b")
+        embeddings = summary_embeddings(pattern, fig47_summary)
+        assert len(embeddings) == 1
+
+    def test_wildcards_match_any_element(self, fig47_summary):
+        pattern = pattern_from_path("//*")
+        embeddings = summary_embeddings(pattern, fig47_summary)
+        assert len(embeddings) == len(fig47_summary)
+
+    def test_unsatisfiable_pattern_has_no_embedding(self, fig47_summary):
+        assert summary_embeddings(pattern_from_path("//z"), fig47_summary) == []
+
+
+class TestCanonicalTrees:
+    def test_chains_expand_edges(self, fig47_summary):
+        pattern = parse_pattern("//a{//e[id:s]}")
+        trees = canonical_model(pattern, fig47_summary, use_strong_edges=False)
+        sizes = sorted(t.size() for t in trees)
+        # /a/b/e needs 3 nodes; /a/b/c/b/e needs 5
+        assert sizes == [3, 5]
+
+    def test_return_tuples_recorded(self, fig47_summary):
+        pattern = parse_pattern("//b[id:s]")
+        trees = canonical_model(pattern, fig47_summary, use_strong_edges=False)
+        paths = [t.return_paths() for t in trees]
+        numbers = {
+            fig47_summary.node_for_path(p).number for p in ("/a/b", "/a/b/c/b")
+        }
+        assert {p[0] for p in paths} == numbers
+
+    def test_duplicate_embeddings_deduplicate(self, fig47_summary):
+        # //a//*//e: both * placements can yield the same expanded tree
+        pattern = parse_pattern("//a{//*{//e[id:s]}}")
+        trees = canonical_model(pattern, fig47_summary, use_strong_edges=False)
+        keys = [t.structure_key() for t in trees]
+        assert len(keys) == len(set(keys))
+
+    def test_worst_case_growth_with_unrelated_stars(self, fig47_summary):
+        # Figure 4.8: unrelated return nodes multiply the model
+        one = parse_pattern("//*[id:s]")
+        two = parse_pattern("root{//*[id:s], //*[id:s]}")
+        assert len(canonical_model(two, fig47_summary, use_strong_edges=False)) > len(
+            canonical_model(one, fig47_summary, use_strong_edges=False)
+        )
+
+
+class TestDecoratedTrees:
+    def test_formulas_attach_to_end_nodes(self, fig47_summary):
+        pattern = parse_pattern("//d[val=5, id:s]")
+        tree = canonical_model(pattern, fig47_summary, use_strong_edges=False)[0]
+        decorated = [n for n in tree.root.iter_subtree() if not n.formula.is_true]
+        assert len(decorated) == 1 and decorated[0].label == "d"
+
+    def test_false_formula_empties_model(self, fig47_summary):
+        pattern = parse_pattern("//d[val=5, id:s]")
+        pattern.nodes()[0].value_formula = (
+            pattern.nodes()[0].value_formula.conjoin(
+                parse_pattern("//d[val=6]").nodes()[0].value_formula
+            )
+        )
+        assert canonical_model(pattern, fig47_summary) == []
+        assert not is_satisfiable(pattern, fig47_summary)
+
+    def test_var_formulas_keyed_per_node(self, fig47_summary):
+        pattern = parse_pattern("root{//d[val=5, id:s], //d[val=7, id:s]}")
+        tree = canonical_model(pattern, fig47_summary, use_strong_edges=False)[0]
+        assert len(tree.var_formulas()) == 2
+
+
+class TestOptionalExpansion:
+    def test_erasure_variants(self, fig47_summary):
+        pattern = parse_pattern("//a[id:s]{/o:d[id:s]}")
+        trees = canonical_model(pattern, fig47_summary, use_strong_edges=False)
+        paths = {t.return_paths() for t in trees}
+        d_number = fig47_summary.node_for_path("/a/d").number
+        a_number = fig47_summary.node_for_path("/a").number
+        assert (a_number, None) in paths
+        assert (a_number, d_number) in paths
+
+    def test_whole_chain_erased(self, fig47_summary):
+        # optional //e via /a/b/e: erasing e must not leave a dangling b
+        pattern = parse_pattern("//a[id:s]{//o:e[id:s]}")
+        trees = canonical_model(pattern, fig47_summary, use_strong_edges=False)
+        bottom = [t for t in trees if t.return_paths()[1] is None]
+        assert bottom and all(t.size() == 1 for t in bottom)
+
+    def test_strong_edges_prune_unrealizable_erasures(self):
+        summary = PathSummary.from_paths(["/a/b"])
+        summary.node_for_path("/a/b").edge_annotation = "+"
+        summary.node_for_path("/a").edge_annotation = "+"
+        pattern = parse_pattern("//a[id:s]{/o:b[id:s]}")
+        trees = canonical_model(pattern, summary)
+        # every a has a b: the ⊥ variant is unrealizable
+        assert all(t.return_paths()[1] is not None for t in trees)
+
+    def test_without_strong_edges_erasure_stays(self):
+        summary = PathSummary.from_paths(["/a/b"])
+        pattern = parse_pattern("//a[id:s]{/o:b[id:s]}")
+        trees = canonical_model(pattern, summary, use_strong_edges=False)
+        assert any(t.return_paths()[1] is None for t in trees)
+
+
+class TestStrongAugmentation:
+    def test_guaranteed_children_added(self):
+        summary = PathSummary.from_paths(["/a/b/c"])
+        summary.node_for_path("/a/b").edge_annotation = "+"
+        summary.node_for_path("/a/b/c").edge_annotation = "+"
+        pattern = parse_pattern("//a[id:s]")
+        tree = canonical_model(pattern, summary)[0]
+        labels = sorted(n.label for n in tree.root.iter_subtree())
+        assert labels == ["#document", "a", "b", "c"]
+
+    def test_full_strong_closure_added(self):
+        paths = ["/a" + "/b" * 6]
+        summary = PathSummary.from_paths(paths)
+        for node in summary.nodes():
+            node.edge_annotation = "+"
+        pattern = parse_pattern("//a[id:s]")
+        tree = canonical_model(pattern, summary)[0]
+        # the whole guaranteed chain appears (height-bounded by the summary)
+        assert tree.size() == 7
+
+
+class TestAnnotationsAndSatisfiability:
+    def test_path_annotations(self, fig47_summary):
+        pattern = parse_pattern("//a{//b[id:s]}")
+        annotations = path_annotations(pattern, fig47_summary)
+        b_name = pattern.nodes()[1].name
+        expected = {
+            fig47_summary.node_for_path(p).number for p in ("/a/b", "/a/b/c/b")
+        }
+        assert annotations[b_name] == expected
+
+    def test_satisfiability(self, fig47_summary):
+        assert is_satisfiable(pattern_from_path("//c//e"), fig47_summary)
+        assert not is_satisfiable(pattern_from_path("//e//c"), fig47_summary)
+        assert not is_satisfiable(pattern_from_path("/a/e"), fig47_summary)
+
+    def test_xmark_query_models_are_small(self, xmark_summary):
+        # the Figure 4.14 observation: |mod_S(p)| ≪ |S|^|p|
+        from repro.workloads import xmark_query_patterns
+
+        for query_id, patterns in xmark_query_patterns().items():
+            for pattern in patterns:
+                if not is_satisfiable(pattern, xmark_summary):
+                    continue
+                model = canonical_model(pattern, xmark_summary)
+                assert len(model) <= 600, query_id
+
+
+class TestExpansionDedup:
+    """The copy-free variant keys must agree with materialized keys."""
+
+    def test_skipping_key_matches_materialized(self, xmark_summary):
+        import random
+        from repro.workloads.random_patterns import GeneratorConfig, generate_pattern
+        from repro.core.canonical import canonical_model
+
+        config = GeneratorConfig(return_labels=("item", "name", "initial"))
+        rng = random.Random(5)
+        for _ in range(6):
+            pattern = generate_pattern(xmark_summary, rng.randint(3, 7), 1, rng, config)
+            model = canonical_model(pattern, xmark_summary, use_strong_edges=False)
+            keys = [tree.structure_key() for tree in model]
+            # materialized trees must be pairwise distinct — if the fast
+            # key disagreed with the real key, duplicates would slip in
+            assert len(keys) == len(set(keys))
+
+    def test_erased_variant_keys_distinct_from_full(self):
+        from repro.core import parse_pattern
+        from repro.core.canonical import canonical_model
+        from repro.summary import PathSummary
+
+        summary = PathSummary.from_paths(["/a/b", "/a/c"])
+        pattern = parse_pattern("//a[id:s]{/o:b[id:s], /o:c[id:s]}")
+        model = canonical_model(pattern, summary, use_strong_edges=False)
+        # full + 3 erasure shapes (b⊥, c⊥, both ⊥)
+        assert len(model) == 4
+
+
+class TestValueCapablePlacement:
+    """Decorated nodes may only embed onto value-capable paths (attributes
+    or elements with a #text child) — when the summary tracks text at all."""
+
+    @pytest.fixture()
+    def text_summary(self):
+        from repro.summary import build_enhanced_summary
+        from repro.xmldata import load
+
+        # b carries text, d does not; @k is an attribute
+        return build_enhanced_summary(
+            load('<a><b>hello</b><d><e k="1">x</e></d></a>')
+        )
+
+    def test_decorated_wildcard_skips_valueless_paths(self, text_summary):
+        pattern = parse_pattern("//*[id:s, val=hello]")
+        model = canonical_model(pattern, text_summary, use_strong_edges=False)
+        placed = {
+            text_summary.node_by_number(t.return_paths()[0]).path_string()
+            for t in model
+        }
+        # d has no #text child: a value predicate can never hold there
+        assert "/a/d" not in placed
+        assert "/a/b" in placed and "/a/d/e" in placed
+
+    def test_attribute_placements_always_value_capable(self, text_summary):
+        pattern = parse_pattern("//e{/@k[id:s, val=1]}")
+        assert is_satisfiable(pattern, text_summary)
+
+    def test_predicate_on_valueless_element_unsatisfiable(self, text_summary):
+        assert not is_satisfiable(
+            parse_pattern("/a/d[val=x]"), text_summary
+        )
+        # same path without the predicate stays satisfiable
+        assert is_satisfiable(parse_pattern("/a/d"), text_summary)
+
+    def test_label_only_summary_skips_the_filter(self):
+        # from_paths summaries carry no value information: the filter must
+        # not fire, otherwise every decorated pattern becomes unsatisfiable
+        summary = PathSummary.from_paths(["/a/b", "/a/d"])
+        assert is_satisfiable(parse_pattern("/a/b[val=x]"), summary)
+        model = canonical_model(
+            parse_pattern("//b[id:s, val=x]"), summary, use_strong_edges=False
+        )
+        assert len(model) == 1
+
+    def test_true_formula_nodes_unaffected(self, text_summary):
+        # undecorated nodes embed everywhere regardless of value capability
+        model = canonical_model(
+            parse_pattern("//*[id:s]"), text_summary, use_strong_edges=False
+        )
+        placed = {
+            text_summary.node_by_number(t.return_paths()[0]).path_string()
+            for t in model
+        }
+        assert "/a/d" in placed
+
+    def test_containment_respects_value_capability(self, text_summary):
+        from repro.core import is_contained
+
+        # the decorated wildcard can only ever bind /a/b or /a/d/e: a view
+        # returning exactly those two paths covers it
+        query = parse_pattern("//*[id:s, val=hello]")
+        view = parse_pattern("//*[id:s, val=hello]")
+        assert is_contained(query, view, text_summary)

@@ -1,0 +1,106 @@
+"""Proposition 4.3.1 made executable: every canonical tree instantiates
+to a concrete conforming document on which the pattern produces the
+tree's return tuple."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import evaluate_pattern
+from repro.core.canonical import CanonNode, canonical_model
+from repro.summary import build_enhanced_summary
+from repro.workloads import GeneratorConfig, generate_pattern
+from repro.xmldata import Document, XMLNode, label_document
+from repro.xmldata.node import DOCUMENT
+
+
+def tree_to_document(tree) -> Document:
+    """Materialize a canonical tree as a real document (formulas realized
+    by their equality constants, unconstrained values left empty)."""
+
+    def build(canon: CanonNode) -> XMLNode:
+        if canon.label.startswith("@"):
+            node = XMLNode("attribute", canon.label, _value_for(canon))
+            return node
+        if canon.label == "#text":
+            return XMLNode("text", "#text", _value_for(canon) or "x")
+        node = XMLNode("element", canon.label)
+        constant = canon.formula.equality_constant()
+        if constant is not None:
+            node.add_text(str(constant))
+        for child in canon.children:
+            node.append(build(child))
+        return node
+
+    def _value_for(canon: CanonNode):
+        constant = canon.formula.equality_constant()
+        return str(constant) if constant is not None else "x"
+
+    roots = [build(child) for child in tree.root.children]
+    document_node = XMLNode(DOCUMENT, "#document")
+    if len(roots) == 1:
+        document_node.append(roots[0])
+    else:
+        # several top branches share the same top label by construction
+        merged = roots[0]
+        for extra in roots[1:]:
+            for child in list(extra.children):
+                merged.append(child)
+        document_node.append(merged)
+    return label_document(Document(document_node, "canonical.xml"))
+
+
+_DOC_SOURCE = (
+    "<a><b><c>v1</c><d/></b><b><c>v2</c></b>"
+    "<e><c>v1</c><f><c>v3</c></f></e></a>"
+)
+
+
+@pytest.fixture(scope="module")
+def summary():
+    from repro.xmldata import load
+
+    return build_enhanced_summary(load(_DOC_SOURCE))
+
+
+_CONFIG = GeneratorConfig(
+    return_labels=("c",),
+    optional_probability=0.3,
+    predicate_probability=0.3,
+    value_pool=3,
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=4))
+def test_canonical_trees_instantiate(summary, seed, size):
+    rng = random.Random(seed)
+    pattern = generate_pattern(summary, size, 1, rng, _CONFIG)
+    model = canonical_model(pattern, summary, use_strong_edges=False)
+    assert model  # generator produces satisfiable patterns
+    for tree in model[:5]:
+        doc = tree_to_document(tree)
+        # the document's paths must exist in the summary (conformance in
+        # the describes sense — the tree needn't exercise every path)
+        assert summary.describes(doc)
+        # and the pattern must produce results on it
+        results = evaluate_pattern(pattern, doc)
+        assert results, f"pattern has no match on its own canonical tree: {tree.return_paths()}"
+
+
+def test_specific_tree_return_tuple(summary):
+    from repro.core import parse_pattern
+
+    pattern = parse_pattern("//b{/c[id:s]}")
+    model = canonical_model(pattern, summary, use_strong_edges=False)
+    for tree in model:
+        doc = tree_to_document(tree)
+        results = evaluate_pattern(pattern, doc)
+        expected_path = summary.node_by_number(tree.return_paths()[0]).path_labels()
+        produced_paths = set()
+        for t in results:
+            sid = t.first("e2.ID")
+            node = doc.find_by_pre(sid.pre)
+            produced_paths.add(node.rooted_path())
+        assert tuple(expected_path) in produced_paths

@@ -1,0 +1,74 @@
+"""Tests for the command-line shell."""
+
+import pytest
+
+from repro import Database
+from repro.cli import main, run_command
+from tests.conftest import BIB_XML
+
+
+@pytest.fixture()
+def db():
+    return Database.from_xml(BIB_XML, "bib.xml")
+
+
+def test_query_command(db, capsys):
+    assert run_command(db, "//book/title/text()")
+    out = capsys.readouterr().out
+    assert "Data on the Web" in out
+    assert "base store" in out
+
+
+def test_view_lifecycle(db, capsys):
+    run_command(db, ".view v //book[id:s]{/title[id:s, val]}")
+    run_command(db, ".views")
+    run_command(db, "//book/title/text()")
+    out = capsys.readouterr().out
+    assert "materialized" in out
+    assert "[view] v:" in out
+    assert "answered via views: v" in out
+    run_command(db, ".drop v")
+    run_command(db, "//book/title/text()")
+    out = capsys.readouterr().out
+    assert "base store" in out
+
+
+def test_explain_and_summary(db, capsys):
+    run_command(db, ".view v //book[id:s]")
+    run_command(db, ".explain //book")
+    run_command(db, ".summary")
+    out = capsys.readouterr().out
+    assert "→" in out
+    assert "summary paths" in out
+
+
+def test_errors_are_reported_not_raised(db, capsys):
+    assert run_command(db, "for broken $syntax")
+    assert run_command(db, ".view x not-a-xam[[[")
+    assert run_command(db, ".drop ghost")
+    out = capsys.readouterr().out
+    assert out.count("error:") >= 2
+    assert "no view named" in out
+
+
+def test_quit_and_empty(db):
+    assert run_command(db, "") is True
+    assert run_command(db, ".quit") is False
+
+
+def test_main_one_shot(tmp_path, capsys):
+    document = tmp_path / "doc.xml"
+    document.write_text(BIB_XML)
+    code = main(
+        [
+            str(document),
+            "--view",
+            "v=//book[id:s]{/title[id:s, val]}",
+            "--query",
+            "//book/title/text()",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Data on the Web" in out
+    assert "via views: v" in out

@@ -1,0 +1,66 @@
+"""Tests for the §3.1 compensating selections on flattened views.
+
+The thesis' V₁₁ discussion: a flattened tree-pattern view stores one tuple
+per (d, e) combination; the pattern cannot express that e-content should
+only appear when the block binding d exists, so the consumer applies
+σ (d.ID ≠ ⊥) ∨ (e.Cont = ⊥).  Our pipeline keeps data nested, so the σ is
+off by default — these tests exercise the flattened path explicitly.
+"""
+
+from repro.algebra import NULL, NestedTuple, Select
+from repro.algebra.predicates import Attr, IsNull, NotNull, Or
+from repro.xquery import assemble_plan, extract, parse_query
+
+
+QUERY = (
+    "for $y in //b return <r>{ for $z in $y/d return <s>{ $y/e }</s> }</r>"
+)
+
+
+def test_compensation_recorded_with_thesis_shape():
+    unit = extract(parse_query(QUERY)).units[0]
+    assert len(unit.compensations) == 1
+    _wp, guard, _dp, dependent = unit.compensations[0]
+    assert guard.endswith(".ID")       # d.ID
+    assert dependent.endswith(".C")    # e.Cont
+
+
+def test_plan_without_compensations_by_default():
+    unit = extract(parse_query(QUERY)).units[0]
+    plan = assemble_plan(unit)
+    assert "σ" not in plan.pretty()
+
+
+def test_plan_with_compensations_filters_flattened_tuples():
+    unit = extract(parse_query(QUERY)).units[0]
+    plan = assemble_plan(unit, apply_compensations=True)
+    assert "σ" in plan.pretty()
+    _wp, guard, _dp, dependent = unit.compensations[0]
+
+    # flattened view tuples in the thesis' V11 style:
+    keep_with_d = NestedTuple({guard.split("/")[-1]: "some-id", dependent.split("/")[-1]: "<e/>"})
+    keep_without_both = NestedTuple({guard.split("/")[-1]: NULL, dependent.split("/")[-1]: NULL})
+    drop_e_without_d = NestedTuple({guard.split("/")[-1]: NULL, dependent.split("/")[-1]: "<e/>"})
+
+    predicate = Or((NotNull(Attr(guard.split("/")[-1])), IsNull(Attr(dependent.split("/")[-1]))))
+    assert predicate.holds(keep_with_d)
+    assert predicate.holds(keep_without_both)
+    assert not predicate.holds(drop_e_without_d)
+
+
+def test_select_applies_thesis_sigma_on_view_tuples():
+    """End-to-end σ over a hand-built flattened V11."""
+    from repro.algebra import BaseTuples
+
+    rows = [
+        NestedTuple({"d.ID": 1, "e.C": "<e>E1</e>"}),
+        NestedTuple({"d.ID": NULL, "e.C": "<e>E2</e>"}),  # must be dropped
+        NestedTuple({"d.ID": NULL, "e.C": NULL}),
+    ]
+    sigma = Select(
+        BaseTuples(rows),
+        Or((NotNull(Attr("d.ID")), IsNull(Attr("e.C")))),
+    )
+    out = sigma.evaluate({})
+    assert len(out) == 2
+    assert all(not (t["d.ID"] is NULL and t["e.C"] is not NULL) for t in out)

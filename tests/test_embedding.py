@@ -1,0 +1,122 @@
+"""Tests for the embedding-based semantics (§4.1): edge semantics,
+kind admission, and the generic return-tuple machinery."""
+
+from repro.core import evaluate_pattern, parse_pattern, return_tuples
+from repro.core.embedding import admits_xml_node, embeddings
+from repro.xmldata import load
+
+
+DOC = load(
+    "<site><item><name>Fish</name><kw>a</kw><kw>b</kw></item>"
+    "<item><name>Rock</name></item></site>"
+)
+
+
+class TestAdmission:
+    def test_tag_match(self):
+        pattern = parse_pattern("//item")
+        item = next(n for n in DOC.elements() if n.label == "item")
+        name = next(n for n in DOC.elements() if n.label == "name")
+        assert admits_xml_node(pattern.nodes()[0], item)
+        assert not admits_xml_node(pattern.nodes()[0], name)
+
+    def test_wildcard_admits_elements_only(self):
+        pattern = parse_pattern("//*")
+        star = pattern.nodes()[0]
+        item = next(n for n in DOC.elements() if n.label == "item")
+        attr_doc = load("<a x='1'>t</a>")
+        attribute = attr_doc.top.attribute_children()[0]
+        text = [n for n in attr_doc.nodes() if n.kind == "text"][0]
+        assert admits_xml_node(star, item)
+        assert not admits_xml_node(star, attribute)
+        assert not admits_xml_node(star, text)
+
+    def test_attribute_and_text_tests(self):
+        doc = load("<a x='1'>t</a>")
+        attr_pattern = parse_pattern("//a{/@x[val]}")
+        out = evaluate_pattern(attr_pattern, doc)
+        assert out[0]["e2.V"] == "1"
+        text_pattern = parse_pattern("//a{/#text[val]}")
+        assert evaluate_pattern(text_pattern, doc)[0]["e2.V"] == "t"
+
+    def test_value_formula_admission(self):
+        pattern = parse_pattern('//name[val="Fish", id:s]')
+        assert len(evaluate_pattern(pattern, DOC)) == 1
+
+
+class TestEdgeSemantics:
+    def test_join_drops_unmatched(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/kw[val]}"), DOC)
+        assert len(out) == 2  # two kws of the first item; second item gone
+
+    def test_semi_keeps_but_does_not_multiply(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/s:kw}"), DOC)
+        assert len(out) == 1
+
+    def test_outer_pads(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/o:kw[val]}"), DOC)
+        assert len(out) == 3
+        assert sum(1 for t in out if t["e2.V"] is None) == 1
+
+    def test_nest_groups_and_requires(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/nj:kw[val]}"), DOC)
+        assert len(out) == 1 and len(out[0]["e2"]) == 2
+
+    def test_nest_outer_keeps_empty(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/no:kw[val]}"), DOC)
+        assert [len(t["e2"]) for t in out] == [2, 0]
+
+    def test_descendant_axis(self):
+        out = evaluate_pattern(parse_pattern("//site[id:s]{//kw[val]}"), DOC)
+        assert len(out) == 2
+
+    def test_results_are_duplicate_free(self):
+        # both kws reach the same (site, item-ID) pair through // twice
+        out = evaluate_pattern(parse_pattern("//site{//item[id:s]}"), DOC)
+        assert len(out) == len({t.freeze() for t in out})
+
+
+class TestReturnTuples:
+    def test_on_xml_tree(self):
+        pattern = parse_pattern("//item[id:s]{/name[val]}")
+
+        def children(node):
+            return node.children
+
+        tuples = return_tuples(pattern, DOC.root, children, admits_xml_node)
+        assert len(tuples) == 2
+        labels = {tuple(n.label for n in t) for t in tuples}
+        assert labels == {("item", "name")}
+
+    def test_optional_bottom_is_none(self):
+        pattern = parse_pattern("//item[id:s]{/o:kw[id:s]}")
+
+        def children(node):
+            return node.children
+
+        tuples = return_tuples(pattern, DOC.root, children, admits_xml_node)
+        assert any(t[1] is None for t in tuples)
+        assert any(t[1] is not None for t in tuples)
+
+    def test_embeddings_count(self):
+        pattern = parse_pattern("//kw")
+
+        def children(node):
+            return node.children
+
+        assert len(embeddings(pattern, DOC.root, children, admits_xml_node)) == 2
+
+
+class TestDocumentOrderAndNesting:
+    def test_nested_tuples_preserve_order(self):
+        out = evaluate_pattern(parse_pattern("//item[id:s]{/nj:kw[val]}"), DOC)
+        assert [m["e2.V"] for m in out[0]["e2"]] == ["a", "b"]
+
+    def test_deep_nesting(self):
+        doc = load("<r><a><b><c>1</c></b><b><c>2</c><c>3</c></b></a></r>")
+        out = evaluate_pattern(
+            parse_pattern("//a[id:s]{/nj:b[id:s]{/nj:c[val]}}"), doc
+        )
+        assert len(out) == 1
+        counts = [len(m["e3"]) for m in out[0]["e2"]]
+        assert counts == [1, 2]

@@ -1,0 +1,111 @@
+"""Tests for the B+ tree backing Sort and value indexes."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine import BPlusTree
+
+
+def test_insert_and_search():
+    tree = BPlusTree(order=4)
+    tree.insert((5,), "five")
+    tree.insert((3,), "three")
+    assert tree.search((5,)) == ["five"]
+    assert tree.search((4,)) == []
+    assert (3,) in tree and (4,) not in tree
+
+
+def test_duplicate_keys_accumulate():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "a")
+    tree.insert((1,), "b")
+    assert tree.search((1,)) == ["a", "b"]
+    assert len(tree) == 2
+
+
+def test_items_in_key_order():
+    tree = BPlusTree(order=4)
+    data = list(range(200))
+    random.Random(1).shuffle(data)
+    for value in data:
+        tree.insert((value,), value)
+    assert list(tree.values_in_order()) == sorted(data)
+
+
+def test_range_scan_inclusive():
+    tree = BPlusTree(order=4)
+    for value in range(50):
+        tree.insert((value,), value)
+    assert [v for _k, v in tree.range((10,), (14,))] == [10, 11, 12, 13, 14]
+    assert [v for _k, v in tree.range(None, (2,))] == [0, 1, 2]
+    assert [v for _k, v in tree.range((47,), None)] == [47, 48, 49]
+
+
+def test_composite_keys():
+    tree = BPlusTree(order=4)
+    tree.insert(("1999", "Data on the Web"), 1)
+    tree.insert(("1999", "Another"), 2)
+    tree.insert(("2004", "Thesis"), 3)
+    assert tree.search(("1999", "Data on the Web")) == [1]
+    both = [v for _k, v in tree.range(("1999", ""), ("1999", "zzz"))]
+    assert sorted(both) == [1, 2]
+
+
+def test_none_sorts_first():
+    tree = BPlusTree(order=4)
+    tree.insert((None,), "null")
+    tree.insert((0,), "zero")
+    assert list(tree.values_in_order()) == ["null", "zero"]
+
+
+def test_mixed_types_do_not_raise():
+    tree = BPlusTree(order=4)
+    tree.insert((1,), "int")
+    tree.insert(("a",), "str")
+    tree.insert((2.5,), "float")
+    assert len(list(tree.values_in_order())) == 3
+
+
+def test_depth_grows_logarithmically():
+    tree = BPlusTree(order=8)
+    for value in range(2000):
+        tree.insert((value,), value)
+    assert tree.depth() <= 5
+
+
+def test_order_validation():
+    with pytest.raises(ValueError):
+        BPlusTree(order=2)
+
+
+@given(st.lists(st.integers(min_value=-1000, max_value=1000)))
+def test_property_sorted_iteration(values):
+    tree = BPlusTree(order=6)
+    for value in values:
+        tree.insert((value,), value)
+    assert list(tree.values_in_order()) == sorted(values)
+
+
+@given(
+    st.lists(st.integers(min_value=0, max_value=100), min_size=1),
+    st.integers(min_value=0, max_value=100),
+    st.integers(min_value=0, max_value=100),
+)
+def test_property_range_equals_filter(values, low, high):
+    low, high = min(low, high), max(low, high)
+    tree = BPlusTree(order=6)
+    for value in values:
+        tree.insert((value,), value)
+    got = [v for _k, v in tree.range((low,), (high,))]
+    assert got == sorted(v for v in values if low <= v <= high)
+
+
+@given(st.lists(st.text(max_size=5)))
+def test_property_search_finds_all_inserted(keys):
+    tree = BPlusTree(order=6)
+    for index, key in enumerate(keys):
+        tree.insert((key,), index)
+    for index, key in enumerate(keys):
+        assert index in tree.search((key,))

@@ -1,0 +1,62 @@
+"""Tests for the in-memory store and stored-relation indexes."""
+
+import pytest
+
+from repro.algebra import NestedTuple
+from repro.engine import Store
+
+
+@pytest.fixture()
+def store():
+    s = Store()
+    s.add(
+        "people",
+        [
+            NestedTuple({"id": 1, "name": "Alice", "city": "Paris"}),
+            NestedTuple({"id": 2, "name": "Bob", "city": "Oslo"}),
+            NestedTuple({"id": 3, "name": "Alice", "city": "Lima"}),
+        ],
+        order="id",
+    )
+    return s
+
+
+def test_add_and_lookup(store):
+    assert "people" in store
+    assert len(store["people"]) == 3
+    assert store.names() == ["people"]
+
+
+def test_drop(store):
+    store.drop("people")
+    assert "people" not in store
+
+
+def test_context_and_scan_orders(store):
+    context = store.context()
+    assert len(context["people"]) == 3
+    assert store.scan_orders() == {"people": "id"}
+
+
+def test_index_lookup(store):
+    hits = store["people"].lookup(["name"], ["Alice"])
+    assert sorted(t["id"] for t in hits) == [1, 3]
+    assert store["people"].lookup(["name"], ["Zoe"]) == []
+
+
+def test_composite_index(store):
+    hits = store["people"].lookup(["name", "city"], ["Alice", "Lima"])
+    assert [t["id"] for t in hits] == [3]
+
+
+def test_index_is_cached(store):
+    first = store["people"].build_index(["name"])
+    second = store["people"].build_index(["name"])
+    assert first is second
+
+
+def test_columns_and_totals(store):
+    assert store["people"].columns() == ["id", "name", "city"]
+    assert store.total_tuples() == 3
+    store.add("empty", [])
+    assert store["empty"].columns() == []

@@ -1,0 +1,121 @@
+"""Failure injection: malformed inputs and misuse of the public API must
+fail loudly with precise errors — and valid-but-degenerate inputs must not
+fail at all."""
+
+import pytest
+
+from repro import Database
+from repro.core import parse_pattern
+from repro.core.xam_parser import XAMParseError
+from repro.xmldata import load
+from repro.xmldata.parser import XMLSyntaxError
+from repro.xquery import XQueryParseError, parse_query
+
+
+class TestMalformedXML:
+    @pytest.mark.parametrize(
+        "source, fragment",
+        [
+            ("<a><b></a>", "mismatched end tag"),
+            ("<a attr='x", "unterminated attribute"),
+            ("<a>&unknown;</a>", "unknown entity"),
+            ("", "expected '<'"),
+            ("text only", "expected '<'"),
+            ("<a><b/></a><c/>", "trailing content"),
+            ("<a x='1' x='2'/>", "duplicate attribute"),
+            ("<a x=1/>", "must be quoted"),
+        ],
+    )
+    def test_rejected_with_message(self, source, fragment):
+        with pytest.raises(XMLSyntaxError, match=fragment):
+            load(source)
+
+    def test_error_carries_offset(self):
+        with pytest.raises(XMLSyntaxError, match=r"offset"):
+            load("<a><b></a>")
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "<a/>",
+            "<a></a>",
+            "<a><!-- comment --></a>",
+            "<?xml version='1.0'?><a/>",
+            "<a>&amp;&lt;&gt;&quot;&apos;</a>",
+            "<a x='&#65;'/>",  # numeric character reference
+        ],
+    )
+    def test_degenerate_but_valid(self, source):
+        load(source)
+
+
+class TestMalformedXAMs:
+    @pytest.mark.parametrize(
+        "text",
+        ["", "//a[", "//a{/b", "/q:name", "//a[val~3]", "//a}}", "//a[[val]]"],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XAMParseError):
+            parse_pattern(text)
+
+    def test_unknown_id_kind_rejected(self):
+        with pytest.raises(XAMParseError, match="unknown ID kind 'z'"):
+            parse_pattern("//a[id:z]")
+
+    @pytest.mark.parametrize("kind", ["i", "o", "s", "p"])
+    def test_all_real_id_kinds_accepted(self, kind):
+        node = parse_pattern(f"//a[id:{kind}]").nodes()[0]
+        assert node.store_id == kind
+
+
+class TestMalformedXQuery:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "for $x in //a",            # no return
+            "for $x in //a return",     # empty return
+            "for x in //a return $x",   # $ missing
+            "//a[",                     # unterminated predicate
+            "'unterminated",
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XQueryParseError):
+            parse_query(text)
+
+
+class TestDatabaseMisuse:
+    def test_query_with_no_documents_is_empty(self):
+        result = Database().query("//a")
+        assert result.values == [] and result.xml == []
+
+    def test_duplicate_view_name_rejected(self):
+        db = Database.from_xml("<a><b>x</b></a>")
+        db.add_view("v", "//b[id:s, val]")
+        with pytest.raises(ValueError, match="already exists"):
+            db.add_view("v", "//b[id:s]")
+        # the original view is untouched and still answers
+        assert db.query("//b/text()").values == ["x"]
+        assert db.views() == ["v"]
+
+    def test_drop_then_readd_same_name(self):
+        db = Database.from_xml("<a><b>x</b></a>")
+        db.add_view("v", "//b[id:s, val]")
+        db.drop_view("v")
+        db.add_view("v", "//b[id:s, val]")
+        assert db.views() == ["v"]
+
+    def test_drop_unknown_view_raises(self):
+        with pytest.raises(KeyError):
+            Database.from_xml("<a/>").drop_view("ghost")
+
+    def test_view_matching_nothing_is_legal_and_empty(self):
+        db = Database.from_xml("<a><b>x</b></a>")
+        db.add_view("empty", "//zzz[id:s]")
+        # never usable, never harmful: queries still answer from base
+        assert db.query("//b/text()").values == ["x"]
+
+    def test_malformed_view_pattern_propagates(self):
+        db = Database.from_xml("<a/>")
+        with pytest.raises(XAMParseError):
+            db.add_view("bad", "//a[")

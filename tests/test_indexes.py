@@ -1,0 +1,172 @@
+"""Tests for index models (§2.1.2/§2.3.3): value indexes, full-text
+inverted files, XISS, and the pre/post plane."""
+
+import pytest
+
+from repro.algebra import NestedTuple
+from repro.engine import Store
+from repro.indexes import (
+    PrePostPlane,
+    build_fulltext_index,
+    build_value_index,
+    build_xiss_indexes,
+    contains_word,
+    fulltext_lookup,
+    tokenize,
+    value_index_pattern,
+    word_index_tree,
+)
+from repro.storage import Catalog, index_lookup
+from repro.xmldata import id_of, load
+
+
+class TestValueIndex:
+    def test_pattern_marks_keys_required(self):
+        pattern = value_index_pattern("book", ["@year", "title"])
+        required = [n for n in pattern.nodes() if n.value_required]
+        assert [n.tag for n in required] == ["@year", "title"]
+        assert pattern.has_required_attrs
+
+    def test_lookup_hit_and_miss(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        entry = build_value_index(
+            "byYearTitle", bib_doc, store, catalog, "book", ["@year", "title"]
+        )
+        hit = index_lookup(
+            entry,
+            store,
+            [NestedTuple({"e2.V": "1999", "e3.V": "Data on the Web"})],
+        )
+        assert len(hit) == 1
+        miss = index_lookup(
+            entry, store, [NestedTuple({"e2.V": "2000", "e3.V": "Data on the Web"})]
+        )
+        assert miss == []
+
+    def test_multi_binding_lookup_respects_order(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        entry = build_value_index(
+            "byTitle", bib_doc, store, catalog, "book", ["title"]
+        )
+        out = index_lookup(
+            entry,
+            store,
+            [
+                NestedTuple({"e2.V": "The Syntactic Web"}),
+                NestedTuple({"e2.V": "Data on the Web"}),
+            ],
+        )
+        assert [t["e2.V"] for t in out] == ["The Syntactic Web", "Data on the Web"]
+
+    def test_nested_key_path(self, auction_doc):
+        store, catalog = Store(), Catalog()
+        entry = build_value_index(
+            "byName", auction_doc, store, catalog, "item", ["name"]
+        )
+        out = index_lookup(entry, store, [NestedTuple({"e2.V": "Fish"})])
+        assert len(out) == 1
+
+
+class TestFullText:
+    def test_tokenize(self):
+        assert tokenize("The Web, the DATA!") == ["the", "web", "the", "data"]
+
+    def test_contains_word(self):
+        assert contains_word("Data on the Web", "web")
+        assert not contains_word("Data on the Web", "sea")
+        assert not contains_word(None, "web")
+
+    def test_index_agrees_with_scan(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        entry = build_fulltext_index(
+            "titleFTI", bib_doc, store, catalog, "book/title"
+        )
+        via_index = {t["ID"] for t in fulltext_lookup(entry, store, "Web")}
+        via_scan = {
+            id_of(n, "s")
+            for n in bib_doc.elements()
+            if n.label == "title"
+            and n.rooted_path()[-2] == "book"
+            and contains_word(n.value, "Web")
+        }
+        assert via_index == via_scan
+
+    def test_scope_restricts(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        scoped = build_fulltext_index("a", bib_doc, store, catalog, "book/title")
+        unscoped = build_fulltext_index("b", bib_doc, store, catalog, None)
+        assert len(fulltext_lookup(scoped, store, "web")) < len(
+            fulltext_lookup(unscoped, store, "web")
+        )
+
+    def test_word_index_tree_prefix_scan(self, bib_doc):
+        tree = word_index_tree(bib_doc)
+        words = {key[0] for key, _v in tree.range(("w",), ("wz",))}
+        assert "web" in words
+
+
+class TestXISS:
+    def test_relations_and_dictionaries(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        out = build_xiss_indexes(bib_doc, store, catalog)
+        assert "xiss_elem_book" in out["relations"]
+        assert len(store["xiss_elem_author"]) == 4
+        # the name index is a plain dictionary — XAMs do not model it
+        assert "book" in out["name_index"]
+        assert "Data on the Web" in out["value_index"]
+
+    def test_structural_index_has_parent_pointers(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        build_xiss_indexes(bib_doc, store, catalog)
+        roots = [t for t in store["xiss_structure"] if t["parentID"] is None]
+        assert len(roots) == 1
+
+    def test_structural_index_xam_is_restricted(self, bib_doc):
+        store, catalog = Store(), Catalog()
+        build_xiss_indexes(bib_doc, store, catalog)
+        assert catalog["xiss_structure"].is_index
+
+
+class TestPrePostPlane:
+    @pytest.fixture()
+    def doc(self):
+        return load("<a><b><c/><d/></b><e><f/></e></a>")
+
+    def plane_and(self, doc, label):
+        node = next(n for n in doc.elements() if n.label == label)
+        return PrePostPlane(doc), id_of(node, "s")
+
+    def test_descendants_quarter(self, doc):
+        plane, b = self.plane_and(doc, "b")
+        labels = {doc.find_by_pre(sid.pre).label for sid in plane.descendants(b)}
+        assert labels == {"c", "d"}
+
+    def test_ancestors_quarter(self, doc):
+        plane, c = self.plane_and(doc, "c")
+        labels = {doc.find_by_pre(sid.pre).label for sid in plane.ancestors(c)}
+        assert labels == {"a", "b"}
+
+    def test_preceding_following_quarters(self, doc):
+        plane, e = self.plane_and(doc, "e")
+        preceding = {doc.find_by_pre(s.pre).label for s in plane.preceding(e)}
+        assert preceding == {"b", "c", "d"}
+        plane, b = self.plane_and(doc, "b")
+        following = {doc.find_by_pre(s.pre).label for s in plane.following(b)}
+        assert following == {"e", "f"}
+
+    def test_children_with_label_filter(self, doc):
+        plane, b = self.plane_and(doc, "b")
+        children = plane.children(b)
+        assert len(children) == 2
+        only_c = plane.descendants(b, label="c")
+        assert len(only_c) == 1
+
+    def test_plane_matches_tree_for_all_pairs(self, doc):
+        plane = PrePostPlane(doc)
+        elements = list(doc.elements())
+        for node in elements:
+            sid = id_of(node, "s")
+            expected = {
+                id_of(d, "s") for d in node.iter_subtree() if d is not node and d.kind == "element"
+            }
+            assert set(plane.descendants(sid)) == expected

@@ -1,0 +1,84 @@
+"""Tests for pattern minimization under summary constraints (§4.5),
+including the Figure 4.12 scenario where full minimization beats
+S-contraction."""
+
+import pytest
+
+from repro.core import (
+    contractions,
+    is_equivalent,
+    minimize_by_contraction,
+    minimize_under_summary,
+    parse_pattern,
+    pattern_from_path,
+)
+from repro.summary import PathSummary
+
+
+@pytest.fixture()
+def fig412_summary():
+    """Figure 4.12 flavor: two a-branches both funneling into f/e, so that
+    //a//f//e is equivalent to the two-branch pattern but smaller than any
+    contraction."""
+    return PathSummary.from_paths(
+        ["/r/a/b/d/f/e", "/r/a/c/d/f/e", "/r/a/g"]
+    )
+
+
+def fig412_pattern():
+    """t: //a{//b//e?, //c//e?} — spelled as a two-branch conjunctive
+    pattern returning e."""
+    return parse_pattern("//a{//d{//f{//e[id:s]}}}")
+
+
+class TestContractions:
+    def test_contraction_never_touches_return_nodes(self):
+        pattern = parse_pattern("//a{//b{//e[id:s]}}")
+        for contraction in contractions(pattern):
+            assert any(n.store_id for n in contraction.nodes())
+
+    def test_contraction_reconnects_children(self):
+        pattern = parse_pattern("//a{//b{//e[id:s]}}")
+        results = list(contractions(pattern))
+        sizes = sorted(p.size() for p in results)
+        assert sizes == [2, 2]
+
+    def test_redundant_node_contracts_away(self, fig412_summary):
+        redundant = parse_pattern("//a{//d{//f{//e[id:s]}}}")
+        minimal = minimize_by_contraction(redundant, fig412_summary)
+        assert minimal
+        best = min(p.size() for p in minimal)
+        # f is forced between d and e by the summary: contraction can drop
+        # d and f
+        assert best <= 2
+
+    def test_minimal_patterns_stay_equivalent(self, fig412_summary):
+        pattern = fig412_pattern()
+        for minimal in minimize_by_contraction(pattern, fig412_summary):
+            assert is_equivalent(pattern, minimal, fig412_summary)
+
+
+class TestFullMinimization:
+    def test_summary_labels_beat_contraction(self):
+        """A pattern //a//b//c//e whose b and c can be replaced by the
+        single summary label f lying on every path to e."""
+        summary = PathSummary.from_paths(["/r/a/x/f/e", "/r/a/y/f/e", "/r/f/z"])
+        pattern = parse_pattern("//a{//f{//e[id:s]}}")
+        minima = minimize_under_summary(pattern, summary)
+        assert minima
+        best = min(p.size() for p in minima)
+        assert best <= 2
+        for candidate in minima:
+            assert is_equivalent(pattern, candidate, summary)
+
+    def test_multi_return_falls_back_to_contraction(self, fig412_summary):
+        pattern = parse_pattern("//a{//f[id:s]{//e[id:s]}}")
+        minima = minimize_under_summary(pattern, fig412_summary)
+        assert minima
+        for candidate in minima:
+            assert is_equivalent(pattern, candidate, fig412_summary)
+
+    def test_already_minimal_pattern_is_returned(self, fig412_summary):
+        pattern = pattern_from_path("//g")
+        minima = minimize_under_summary(pattern, fig412_summary)
+        assert min(p.size() for p in minima) == 1

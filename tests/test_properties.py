@@ -1,0 +1,200 @@
+"""Cross-cutting property tests: serializer round-trips, pattern text
+round-trips, containment laws on random generated patterns, and
+rewriting/answer agreement."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    evaluate_pattern,
+    is_contained,
+    is_equivalent,
+    parse_pattern,
+)
+from repro.summary import build_enhanced_summary
+from repro.workloads import GeneratorConfig, generate_pattern
+from repro.xmldata import load, serialize
+
+
+# -- XML round trips ---------------------------------------------------------
+
+@st.composite
+def xml_trees(draw):
+    labels = ["a", "b", "c"]
+    texts = ["x", "1 2", "&<>\"'"]
+
+    def build(depth: int) -> str:
+        label = draw(st.sampled_from(labels))
+        attrs = ""
+        if draw(st.booleans()):
+            value = draw(st.sampled_from(texts))
+            escaped = (
+                value.replace("&", "&amp;").replace("<", "&lt;")
+                .replace(">", "&gt;").replace('"', "&quot;")
+            )
+            attrs = f' k="{escaped}"'
+        if depth >= 3 or not draw(st.booleans()):
+            return f"<{label}{attrs}/>"
+        pieces = []
+        for _ in range(draw(st.integers(min_value=0, max_value=3))):
+            if draw(st.booleans()):
+                pieces.append(build(depth + 1))
+            else:
+                raw = draw(st.sampled_from(texts))
+                pieces.append(
+                    raw.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+                )
+        inner = "".join(pieces)
+        if not inner:
+            return f"<{label}{attrs}/>"
+        return f"<{label}{attrs}>{inner}</{label}>"
+
+    return build(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(xml_trees())
+def test_serialize_parse_round_trip(source):
+    doc = load(source)
+    again = load(serialize(doc.top))
+    assert serialize(again.top) == serialize(doc.top)
+
+
+# -- pattern text round trips --------------------------------------------------
+
+_SUMMARY_DOC = load(
+    "<a>"
+    "<b><c>v1</c><d/></b>"
+    "<b><c>v2</c></b>"
+    "<e><c>v1</c><f><c>v3</c></f></e>"
+    "</a>"
+)
+_SUMMARY = build_enhanced_summary(_SUMMARY_DOC)
+_CONFIG = GeneratorConfig(
+    return_labels=("c",),
+    optional_probability=0.4,
+    predicate_probability=0.3,
+    value_pool=4,
+)
+
+
+def _random_pattern(seed: int, size: int):
+    rng = random.Random(seed)
+    return generate_pattern(_SUMMARY, size, 1, rng, _CONFIG)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=5))
+def test_pattern_text_round_trip(seed, size):
+    pattern = _random_pattern(seed, size)
+    assert parse_pattern(pattern.to_text()).same_structure(pattern)
+
+
+# -- containment laws ------------------------------------------------------------
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=4))
+def test_containment_reflexive(seed, size):
+    pattern = _random_pattern(seed, size)
+    assert is_contained(pattern, pattern.copy(), _SUMMARY)
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+    st.integers(min_value=0, max_value=10_000),
+)
+def test_containment_transitive(seed_a, seed_b, seed_c):
+    a = _random_pattern(seed_a, 3)
+    b = _random_pattern(seed_b, 3)
+    c = _random_pattern(seed_c, 3)
+    if is_contained(a, b, _SUMMARY) and is_contained(b, c, _SUMMARY):
+        assert is_contained(a, c, _SUMMARY)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_equivalence_implies_same_results(seed):
+    a = _random_pattern(seed, 3)
+    b = _random_pattern(seed + 1, 3)
+    if is_equivalent(a, b, _SUMMARY):
+        ra = {
+            t.first(f"{a.return_nodes()[0].name}.ID")
+            for t in evaluate_pattern(a, _SUMMARY_DOC)
+        }
+        rb = {
+            t.first(f"{b.return_nodes()[0].name}.ID")
+            for t in evaluate_pattern(b, _SUMMARY_DOC)
+        }
+        assert ra == rb
+
+
+# -- rewriting answers agree with direct evaluation -----------------------------
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_rewriting_preserves_answers(seed):
+    from repro.core import rewrite_pattern
+    from repro.engine import Store
+    from repro.storage import Catalog, materialize_view
+
+    query = _random_pattern(seed, 3)
+    store, catalog = Store(), Catalog()
+    materialize_view("self", query, _SUMMARY_DOC, store, catalog)
+    rewritings = rewrite_pattern(query, catalog, _SUMMARY)
+    assert rewritings  # the identical view always qualifies
+    got = sorted(t.freeze() for t in rewritings[0].plan.evaluate(store.context()))
+    want = sorted(
+        t.project(rewritings[0].plan.schema()).freeze()
+        for t in evaluate_pattern(query, _SUMMARY_DOC)
+    )
+    assert got == want
+
+
+# -- minimization preserves S-equivalence ---------------------------------------
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=5))
+def test_contraction_minimization_preserves_equivalence(seed, size):
+    from repro.core import is_equivalent
+    from repro.core.minimize import minimize_by_contraction
+
+    pattern = _random_pattern(seed, size)
+    for minimal in minimize_by_contraction(pattern, _SUMMARY):
+        assert minimal.size() <= pattern.size()
+        assert is_equivalent(pattern, minimal, _SUMMARY)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=2, max_value=4))
+def test_minimization_idempotent(seed, size):
+    from repro.core.minimize import minimize_by_contraction
+
+    pattern = _random_pattern(seed, size)
+    minimal = min(
+        minimize_by_contraction(pattern, _SUMMARY), key=lambda p: p.size()
+    )
+    again = min(
+        minimize_by_contraction(minimal, _SUMMARY), key=lambda p: p.size()
+    )
+    assert again.size() == minimal.size()
+
+
+# -- canonical trees stay within the summary ------------------------------------
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000), st.integers(min_value=1, max_value=4))
+def test_canonical_trees_use_only_summary_paths(seed, size):
+    from repro.core.canonical import canonical_model
+
+    pattern = _random_pattern(seed, size)
+    for tree in canonical_model(pattern, _SUMMARY, use_strong_edges=False)[:8]:
+        stack = list(tree.root.children)
+        while stack:
+            node = stack.pop()
+            snode = _SUMMARY.node_by_number(node.summary_number)
+            assert snode is not None and snode.label == node.label
+            stack.extend(node.children)

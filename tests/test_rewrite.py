@@ -1,0 +1,280 @@
+"""Tests for the Chapter 5 rewriting engine: every §5.2 enabler, the
+§5.5 plan→pattern machinery, and answer agreement with direct evaluation."""
+
+import pytest
+
+from repro.core import evaluate_pattern, parse_pattern, rewrite_pattern
+from repro.core.plan_pattern import GlueCondition, merged_patterns
+from repro.engine import Store
+from repro.storage import Catalog, materialize_view
+from repro.summary import PathSummary, build_enhanced_summary
+from repro.xmldata import load
+
+
+AUCTION = (
+    "<site><regions>"
+    "<item><name>Fish</name><description><parlist>"
+    "<listitem><keyword>rare</keyword><keyword>big</keyword></listitem>"
+    "<listitem><text>plain</text></listitem>"
+    "</parlist></description><mail>m</mail></item>"
+    "<item><name>Rock</name><mail>m</mail></item>"
+    "</regions></site>"
+)
+
+
+@pytest.fixture()
+def env():
+    doc = load(AUCTION)
+    return doc, build_enhanced_summary(doc)
+
+
+def setup_views(doc, views):
+    store, catalog = Store(), Catalog()
+    for name, text in views.items():
+        materialize_view(name, text, doc, store, catalog)
+    return store, catalog
+
+
+def check_rewriting(rewriting, store, query, doc):
+    got = sorted(t.freeze() for t in rewriting.plan.evaluate(store.context()))
+    want = sorted(
+        t.project(rewriting.plan.schema()).freeze()
+        for t in evaluate_pattern(query, doc)
+    )
+    assert got == want, f"{rewriting} answers differ"
+
+
+class TestSingleView:
+    def test_identical_view(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//item[id:s]"})
+        query = parse_pattern("//item[id:s]")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings and rewritings[0].kind == "single"
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_summary_closes_path_gap(self, env):
+        """//parlist/listitem answers //description//listitem because the
+        summary forces the path (§5.2's third opportunity)."""
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//parlist/listitem[id:s]"})
+        query = parse_pattern("//description//listitem[id:s]")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_gap_not_closable_without_summary(self, env):
+        doc, _ = env
+        loose = PathSummary.from_paths(
+            ["/site/regions/item/description/parlist/listitem",
+             "/site/regions/item/listitem"]
+        )
+        store, catalog = setup_views(doc, {"v": "//parlist/listitem[id:s]"})
+        query = parse_pattern("//item//listitem[id:s]")
+        assert rewrite_pattern(query, catalog, loose) == []
+
+    def test_compensating_selection(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//keyword[id:s, val]"})
+        query = parse_pattern('//keyword[id:s, val="rare"]')
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        assert "σ" in rewritings[0].plan.pretty() or "~" in rewritings[0].plan.pretty()
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_view_predicate_must_be_weaker(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": '//keyword[id:s, val="big"]'})
+        query = parse_pattern("//keyword[id:s]")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+    def test_view_without_needed_attr_fails(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//keyword[id:s]"})
+        query = parse_pattern("//keyword[id:s, val]")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+
+class TestNavigation:
+    def test_content_navigation(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//listitem[id:s, cont]"})
+        query = parse_pattern("//listitem[id:s]{/keyword[val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        assert any("nav" in r.plan.pretty() for r in rewritings)
+        for rewriting in rewritings:
+            check_rewriting(rewriting, store, query, doc)
+
+    def test_navigation_cannot_supply_ids(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"v": "//listitem[id:s, cont]"})
+        query = parse_pattern("//listitem[id:s]{/keyword[id:s]}")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+
+class TestJoins:
+    def test_equality_join_on_shared_node(self, env):
+        doc, summary = env
+        store, catalog = setup_views(
+            doc,
+            {
+                "names": "//item[id:s]{/name[id:s, val]}",
+                "keywords": "//item[id:s]{//keyword[id:s, val]}",
+            },
+        )
+        query = parse_pattern(
+            "//item[id:s]{/name[id:s, val], //keyword[id:s, val]}"
+        )
+        rewritings = rewrite_pattern(query, catalog, summary)
+        joins = [r for r in rewritings if r.kind == "join"]
+        assert joins
+        for rewriting in joins:
+            check_rewriting(rewriting, store, query, doc)
+
+    def test_structural_join_without_common_node(self, env):
+        """§5.2: V1 and V2 have no common node but structural IDs let them
+        combine."""
+        doc, summary = env
+        store, catalog = setup_views(
+            doc,
+            {"items": "//item[id:s]", "names": "//name[id:s, val]"},
+        )
+        query = parse_pattern("//item[id:s]{/name[val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_order_ids_cannot_join_structurally(self, env):
+        doc, summary = env
+        store, catalog = setup_views(
+            doc,
+            {"items": "//item[id:o]", "names": "//name[id:o, val]"},
+        )
+        query = parse_pattern("//item[id:o]{/name[val]}")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+
+class TestParentDerivation:
+    def test_dewey_ids_derive_missing_parents(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"lis": "//listitem[id:p]"})
+        query = parse_pattern("//parlist[id:p]")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        assert "derive" in rewritings[0].plan.pretty()
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_structural_ids_cannot_derive(self, env):
+        doc, summary = env
+        store, catalog = setup_views(doc, {"lis": "//listitem[id:s]"})
+        query = parse_pattern("//parlist[id:s]")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+
+class TestUnion:
+    def test_union_of_path_partitions(self):
+        doc = load("<a><b><c>1</c></b><d><c>2</c></d></a>")
+        summary = build_enhanced_summary(doc)
+        store, catalog = setup_views(
+            doc, {"bc": "//b/c[id:s]", "dc": "//d/c[id:s]"}
+        )
+        query = parse_pattern("//a//c[id:s]")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        unions = [r for r in rewritings if r.kind == "union"]
+        assert unions
+        check_rewriting(unions[0], store, query, doc)
+
+    def test_incomplete_union_rejected(self):
+        doc = load("<a><b><c>1</c></b><d><c>2</c></d><e><c>3</c></e></a>")
+        summary = build_enhanced_summary(doc)
+        store, catalog = setup_views(
+            doc, {"bc": "//b/c[id:s]", "dc": "//d/c[id:s]"}
+        )
+        query = parse_pattern("//a//c[id:s]")
+        assert [r for r in rewrite_pattern(query, catalog, summary) if r.kind == "union"] == []
+
+
+class TestOptionalAndNested:
+    def test_nested_view_serves_nested_query(self, env):
+        doc, summary = env
+        store, catalog = setup_views(
+            doc, {"v": "//item[id:s]{/no:name[id:s, val]}"}
+        )
+        query = parse_pattern("//item[id:s]{/no:name[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_flat_view_regroups_into_nested_query(self, env):
+        doc, summary = env
+        store, catalog = setup_views(
+            doc, {"v": "//item[id:s]{/o:name[id:s, val]}"}
+        )
+        query = parse_pattern("//item[id:s]{/no:name[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert rewritings
+        assert "γⁿ" in rewritings[0].plan.pretty()
+        check_rewriting(rewritings[0], store, query, doc)
+
+    def test_strict_view_cannot_serve_optional_query(self, env):
+        doc, summary = env
+        # description is NOT on every item: a strict-join view loses items
+        store, catalog = setup_views(
+            doc, {"v": "//item[id:s]{//listitem[id:s]}"}
+        )
+        query = parse_pattern("//item[id:s]{//o:listitem[id:s]}")
+        assert rewrite_pattern(query, catalog, summary) == []
+
+
+class TestPlanPattern:
+    def test_join_plan_expands_to_single_pattern_under_tight_summary(self, env):
+        _doc, summary = env
+        items = parse_pattern("//item[id:s]")
+        names = parse_pattern("//name[id:s, val]")
+        for node in items.nodes():
+            node.name = "u0:" + node.name
+        for node in names.nodes():
+            node.name = "u1:" + node.name
+        glue = GlueCondition("parent", 0, "u0:e1", 1, "u1:e1")
+        union = merged_patterns([items, names], [glue], summary)
+        assert len(union) == 1
+        pattern, aliases = union[0]
+        tags = [n.tag for n in pattern.nodes()]
+        assert "item" in tags and "name" in tags
+
+    def test_ambiguous_relation_yields_union(self):
+        """§5.5's point: a plan may be equivalent only to a *union* of
+        patterns (the same-label node occurs on two incomparable paths)."""
+        summary = PathSummary.from_paths(["/a/b/c", "/a/c/b"])
+        left = parse_pattern("//b[id:s]")
+        right = parse_pattern("//c[id:s]")
+        for node in left.nodes():
+            node.name = "u0:" + node.name
+        for node in right.nodes():
+            node.name = "u1:" + node.name
+        glue = GlueCondition("ancestor", 0, "u0:e1", 1, "u1:e1")
+        union = merged_patterns([left, right], [glue], summary)
+        assert len(union) == 1  # only /a/b/c has b above c
+        glue_rev = GlueCondition("ancestor", 0, "u1:e1", 1, "u0:e1")
+        union_rev = merged_patterns([right, left], [glue_rev], summary)
+        assert len(union_rev) == 1
+
+
+class TestRanking:
+    def test_plans_sorted_by_size(self, env):
+        doc, summary = env
+        store, catalog = setup_views(
+            doc,
+            {
+                "exact": "//item[id:s]{/name[val]}",
+                "items": "//item[id:s]",
+                "names": "//name[id:s, val]",
+            },
+        )
+        query = parse_pattern("//item[id:s]{/name[val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert len(rewritings) >= 2
+        counts = [r.plan.operator_count() for r in rewritings]
+        assert counts == sorted(counts)
+        assert rewritings[0].views == ("exact",)

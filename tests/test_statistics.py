@@ -1,0 +1,113 @@
+"""Tests for summary-based cardinality estimation and rewriting ranking."""
+
+import pytest
+
+from repro.core import evaluate_pattern, parse_pattern, pattern_from_path, rewrite_pattern
+from repro.core.statistics import (
+    estimate_pattern_cardinality,
+    estimate_view_size,
+    rank_rewritings,
+)
+from repro.engine import Store
+from repro.storage import Catalog, materialize_view
+from repro.summary import build_enhanced_summary
+from repro.xmldata import load
+
+
+@pytest.fixture()
+def env():
+    doc = load(
+        "<lib>"
+        + "".join(
+            f"<book><title>T{i}</title><author>A</author><author>B</author></book>"
+            for i in range(10)
+        )
+        + "<journal><title>J</title></journal></lib>"
+    )
+    return doc, build_enhanced_summary(doc)
+
+
+class TestEstimates:
+    def test_exact_on_single_path(self, env):
+        doc, summary = env
+        pattern = pattern_from_path("//book")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        assert estimate.expected == pytest.approx(10)
+
+    def test_join_multiplies_children_per_parent(self, env):
+        doc, summary = env
+        pattern = parse_pattern("//book[id:s]{/author[id:s]}")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        actual = len(evaluate_pattern(pattern, doc))
+        assert estimate.expected == pytest.approx(actual)  # 20 pairs
+
+    def test_semijoin_filters_instead_of_multiplying(self, env):
+        doc, summary = env
+        pattern = parse_pattern("//book[id:s]{/s:author}")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        assert estimate.expected == pytest.approx(10)
+
+    def test_outer_join_never_drops_parents(self, env):
+        doc, summary = env
+        # journals have no authors; //*{/o:author} keeps them
+        pattern = parse_pattern("//title[id:s]{/o:missing}")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        assert estimate.expected >= 10
+
+    def test_nested_edge_keeps_parent_multiplicity(self, env):
+        doc, summary = env
+        pattern = parse_pattern("//book[id:s]{/nj:author[val]}")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        assert estimate.expected == pytest.approx(10)
+
+    def test_predicates_apply_selectivity(self, env):
+        doc, summary = env
+        plain = estimate_pattern_cardinality(
+            pattern_from_path("//title", store=("V",)), summary
+        )
+        filtered = estimate_pattern_cardinality(
+            pattern_from_path("//title", store=("V",), value_equals="T1"), summary
+        )
+        assert filtered.expected < plain.expected
+
+    def test_multiple_embeddings_sum(self, env):
+        doc, summary = env
+        pattern = pattern_from_path("//title")
+        estimate = estimate_pattern_cardinality(pattern, summary)
+        assert len(estimate.per_embedding) == 2  # book/title + journal/title
+        assert estimate.expected == pytest.approx(11)
+
+    def test_view_size_matches_materialization(self, env):
+        doc, summary = env
+        store, catalog = Store(), Catalog()
+        entry = materialize_view("v", "//book[id:s]", doc, store, catalog)
+        assert estimate_view_size(entry.pattern, summary) == pytest.approx(
+            len(store["v"])
+        )
+
+
+class TestRanking:
+    def test_prefers_smaller_views(self, env):
+        doc, summary = env
+        store, catalog = Store(), Catalog()
+        # two single-view rewritings for //book: one exact view, one via
+        # a bigger view set joined structurally
+        materialize_view("small", "//book[id:s]{/title[id:s, val]}", doc, store, catalog)
+        materialize_view("books", "//book[id:s]", doc, store, catalog)
+        materialize_view("titles", "//title[id:s, val]", doc, store, catalog)
+        query = parse_pattern("//book[id:s]{/title[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert len(rewritings) >= 2
+        ranked = rank_rewritings(rewritings, catalog, summary, store)
+        assert ranked[0].views == ("small",)
+
+    def test_estimated_and_actual_ranking_agree_here(self, env):
+        doc, summary = env
+        store, catalog = Store(), Catalog()
+        materialize_view("small", "//journal[id:s]", doc, store, catalog)
+        materialize_view("big", "//book[id:s]", doc, store, catalog)
+        query = parse_pattern("//journal[id:s]")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        with_store = rank_rewritings(rewritings, catalog, summary, store)
+        without = rank_rewritings(rewritings, catalog, summary)
+        assert [r.views for r in with_store] == [r.views for r in without]

@@ -1,0 +1,70 @@
+"""Tests for the DOM access methods modeled as XAMs (§2.3.2)."""
+
+import pytest
+
+from repro.storage.dom import DOMStore
+from repro.xmldata import id_of, load
+
+
+@pytest.fixture()
+def dom():
+    doc = load("<a><b><c/><c/></b><b><c/></b><d/></a>")
+    return doc, DOMStore(doc)
+
+
+def sid(doc, label, index=0):
+    nodes = [n for n in doc.elements() if n.label == label]
+    return id_of(nodes[index], "s")
+
+
+def test_get_elements_by_tag_name(dom):
+    doc, store = dom
+    assert len(store.get_elements_by_tag_name("c")) == 3
+    assert store.get_elements_by_tag_name("ghost") == []
+
+
+def test_results_in_document_order(dom):
+    doc, store = dom
+    ids = store.get_elements_by_tag_name("b")
+    assert ids == sorted(ids)
+
+
+def test_parent_and_children(dom):
+    doc, store = dom
+    b = sid(doc, "b")
+    a = sid(doc, "a")
+    assert store.get_parent_node(b) == a
+    assert store.get_parent_node(a) is None
+    assert len(store.get_child_nodes(b)) == 2
+    assert len(store.get_child_nodes(a)) == 3
+
+
+def test_unknown_node_raises(dom):
+    _doc, store = dom
+    from repro.xmldata.ids import StructuralID
+
+    with pytest.raises(KeyError):
+        store.get_parent_node(StructuralID(999, 999, 9))
+
+
+def test_descendants_by_tag(dom):
+    doc, store = dom
+    a = sid(doc, "a")
+    b2 = sid(doc, "b", 1)
+    assert len(store.get_descendants_by_tag(a, "c")) == 3
+    assert len(store.get_descendants_by_tag(b2, "c")) == 1
+
+
+def test_xams_registered(dom):
+    _doc, store = dom
+    assert "dom_by_tag" in store.catalog
+    assert store.catalog["dom_by_tag"].is_index
+    assert store.catalog["dom_children"].is_index
+
+
+def test_no_sibling_navigation_api(dom):
+    """§2.3.4: sibling order is outside the XAM formalism — the DOM facade
+    deliberately omits nextSibling/previousSibling."""
+    _doc, store = dom
+    assert not hasattr(store, "get_next_sibling")
+    assert not hasattr(store, "get_previous_sibling")

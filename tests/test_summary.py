@@ -1,0 +1,156 @@
+"""Tests for path summaries (thesis §4.2) and enhanced annotations."""
+
+import pytest
+
+from repro.summary import (
+    PathSummary,
+    annotate_edges,
+    build_enhanced_summary,
+    build_summary,
+    is_one_to_one_chain,
+    is_strong_chain,
+    summary_statistics,
+)
+from repro.xmldata import load
+
+
+class TestConstruction:
+    def test_one_node_per_rooted_path(self, bib_doc, bib_summary):
+        paths = {n.rooted_path() for n in bib_doc.nodes()}
+        assert len(bib_summary) == len(paths)
+
+    def test_path_numbers_are_preorder_from_one(self, bib_summary):
+        numbers = [n.number for n in bib_summary.nodes()]
+        assert numbers == list(range(1, len(bib_summary) + 1))
+        assert bib_summary.node_by_number(1).label == "library"
+
+    def test_phi_maps_same_path_nodes_together(self, bib_doc, bib_summary):
+        books = [n for n in bib_doc.elements() if n.label == "book"]
+        images = {bib_summary.node_for(b) for b in books}
+        assert len(images) == 1
+
+    def test_text_and_attribute_children(self, bib_summary):
+        book = bib_summary.node_for_path("/library/book")
+        assert "@year" in book.children
+        title = book.children["title"]
+        assert "#text" in title.children
+
+    def test_from_paths(self):
+        summary = PathSummary.from_paths(["/a/b/c", "/a/d"])
+        assert len(summary) == 4
+        assert summary.node_for_path("/a/b/c").path_string() == "/a/b/c"
+
+    def test_cardinalities(self, bib_doc, bib_summary):
+        book = bib_summary.node_for_path("/library/book")
+        assert book.cardinality == 2
+        author = bib_summary.node_for_path("/library/book/author")
+        assert author.cardinality == 3
+
+
+class TestNavigation:
+    def test_nodes_labeled(self, bib_summary):
+        titles = bib_summary.nodes_labeled("title")
+        assert {n.path_string() for n in titles} == {
+            "/library/book/title",
+            "/library/phdthesis/title",
+        }
+
+    def test_ancestor_tests_via_intervals(self, bib_summary):
+        library = bib_summary.node_for_path("/library")
+        title = bib_summary.node_for_path("/library/book/title")
+        assert library.is_ancestor_of(title)
+        assert not title.is_ancestor_of(library)
+
+    def test_chain(self, bib_summary):
+        library = bib_summary.node_for_path("/library")
+        text = bib_summary.node_for_path("/library/book/title/#text")
+        labels = [n.label for n in bib_summary.chain(library, text)]
+        assert labels == ["library", "book", "title", "#text"]
+
+    def test_chain_unrelated_raises(self, bib_summary):
+        book = bib_summary.node_for_path("/library/book")
+        thesis = bib_summary.node_for_path("/library/phdthesis")
+        with pytest.raises(ValueError):
+            bib_summary.chain(book, thesis)
+
+    def test_node_for_path_missing(self, bib_summary):
+        assert bib_summary.node_for_path("/library/ghost") is None
+
+
+class TestConformance:
+    def test_document_conforms_to_own_summary(self, bib_doc, bib_summary):
+        assert bib_summary.conforms(bib_doc)
+        assert bib_summary.describes(bib_doc)
+
+    def test_different_structure_does_not_conform(self, bib_summary):
+        other = load("<library><journal/></library>")
+        assert not bib_summary.conforms(other)
+        assert not bib_summary.describes(other)
+
+    def test_similar_documents_share_a_summary(self):
+        a = load("<r><x><y>1</y></x></r>")
+        b = load("<r><x><y>other</y></x><x><y>2</y></x></r>")
+        assert build_summary(a).conforms(b)
+
+    def test_subset_document_describes_but_not_conforms(self, bib_summary):
+        smaller = load("<library><book year='1'><title>t</title><author>a</author></book></library>")
+        assert bib_summary.describes(smaller)
+        assert not bib_summary.conforms(smaller)
+
+
+class TestEnhancedAnnotations:
+    def test_one_to_one_edges(self, bib_summary):
+        title = bib_summary.node_for_path("/library/book/title")
+        assert title.edge_annotation == "1"
+
+    def test_strong_but_not_one_to_one(self, bib_summary):
+        author = bib_summary.node_for_path("/library/book/author")
+        assert author.edge_annotation == "+"  # 1..2 authors per book
+
+    def test_star_edges(self, bib_summary):
+        year = bib_summary.node_for_path("/library/book/@year")
+        assert year.edge_annotation == "*"  # second book has no year
+
+    def test_strong_chain(self, bib_summary):
+        library = bib_summary.node_for_path("/library")
+        text = bib_summary.node_for_path("/library/book/title/#text")
+        assert is_strong_chain(library, text)
+
+    def test_one_to_one_chain(self, bib_summary):
+        book = bib_summary.node_for_path("/library/book")
+        text = bib_summary.node_for_path("/library/book/title/#text")
+        assert is_one_to_one_chain(book, text)
+        author = bib_summary.node_for_path("/library/book/author")
+        assert not is_one_to_one_chain(book, author)
+
+    def test_annotation_counts(self, bib_summary):
+        assert bib_summary.count_strong_edges() >= bib_summary.count_one_to_one_edges()
+
+    def test_statistics_row(self, bib_doc, bib_summary):
+        stats = summary_statistics(bib_summary, bib_doc)
+        assert stats["summary_size"] == len(bib_summary)
+        assert stats["nodes"] == bib_doc.count()
+        assert stats["strong_edges"] >= stats["one_to_one_edges"]
+
+    def test_annotate_rejects_nonconforming_document(self, bib_summary):
+        other = load("<library><alien/></library>")
+        with pytest.raises(ValueError):
+            annotate_edges(bib_summary, other)
+
+
+class TestScaling:
+    def test_summary_stays_small_as_documents_grow(self):
+        from repro.workloads import generate_xmark
+
+        small = build_enhanced_summary(generate_xmark(scale=1))
+        large = build_enhanced_summary(generate_xmark(scale=5))
+        # the Figure 4.13 observation: |S| grows only marginally
+        assert len(large) <= len(small) * 1.15
+
+    def test_multi_document_summary(self):
+        summary = PathSummary()
+        summary.add_document(load("<r><a>1</a></r>"))
+        summary.add_document(load("<r><b/></r>"))
+        summary.finalize()
+        assert summary.node_for_path("/r/a") is not None
+        assert summary.node_for_path("/r/b") is not None

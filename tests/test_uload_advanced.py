@@ -1,0 +1,104 @@
+"""Deeper Database tests: sequences, templates with literals, value joins
+across patterns, compensations, and catalog interactions."""
+
+import pytest
+
+from repro import Database
+
+
+DOC = """
+<shop>
+  <item><name>Fish</name><price>10</price><tag>wet</tag></item>
+  <item><name>Rock</name><price>5</price></item>
+  <item><name>Tree</name><price>10</price><tag>green</tag></item>
+  <offers>
+    <offer><amount>10</amount></offer>
+    <offer><amount>7</amount></offer>
+  </offers>
+</shop>
+"""
+
+
+@pytest.fixture()
+def db():
+    return Database.from_xml(DOC, "shop.xml")
+
+
+class TestQueryShapes:
+    def test_sequence_of_queries(self, db):
+        result = db.query("//item/name/text(), //offer/amount/text()")
+        assert result.values == ["Fish", "Rock", "Tree", "10", "7"]
+
+    def test_literal_text_in_constructor(self, db):
+        result = db.query(
+            "for $i in //item return <line>name: { $i/name/text() }</line>"
+        )
+        assert result.xml[0] == "<line>name: Fish</line>"
+
+    def test_value_join_across_patterns(self, db):
+        result = db.query(
+            "for $i in //item, $o in //offer where $i/price = $o/amount "
+            "return <match>{ $i/name/text() }</match>"
+        )
+        assert result.xml == ["<match>Fish</match>", "<match>Tree</match>"]
+
+    def test_nested_constructor_inside_sequence(self, db):
+        result = db.query(
+            "for $i in //item return <r>{ $i/name/text(), <p>{ $i/price/text() }</p> }</r>"
+        )
+        assert result.xml[0] == "<r>Fish<p>10</p></r>"
+
+    def test_predicate_on_binding_path(self, db):
+        result = db.query(
+            "for $i in //item[tag] return <t>{ $i/name/text() }</t>"
+        )
+        assert result.xml == ["<t>Fish</t>", "<t>Tree</t>"]
+
+    def test_numeric_comparison(self, db):
+        result = db.query(
+            "for $i in //item where $i/price > 7 return $i/name/text()"
+        )
+        assert sorted(result.values) == ["Fish", "Tree"]
+
+
+class TestViewInteraction:
+    def test_views_serve_value_joined_query(self, db):
+        query = (
+            "for $i in //item, $o in //offer where $i/price = $o/amount "
+            "return <match>{ $i/name/text() }</match>"
+        )
+        baseline = db.query(query, prefer_views=False)
+        db.add_view("items", "//item[id:s]{/o:name[id:s, val], /o:price[id:s, val]}")
+        db.add_view("offers", "//offer[id:s]{/o:amount[id:s, val]}")
+        rewritten = db.query(query)
+        assert rewritten.xml == baseline.xml
+        assert set(rewritten.used_views) <= {"items", "offers"}
+
+    def test_ranking_picks_cheaper_view(self, db):
+        db.add_view("everything", "//item[id:s, cont]")
+        db.add_view("fitted", "//item[id:s]{/o:name[id:s, val]}")
+        result = db.query("//item/name/text()")
+        assert result.used_views == ["fitted"]
+
+    def test_view_addition_does_not_change_answers(self, db):
+        queries = [
+            "//item/name/text()",
+            "for $i in //item return <x>{ $i/tag/text() }</x>",
+        ]
+        before = [db.query(q).xml + db.query(q).values for q in queries]
+        db.add_view("v1", "//item[id:s]{/o:name[id:s, val], /o:tag[id:s, val]}")
+        db.add_view("v2", "//offer[id:s, cont]")
+        after = [db.query(q).xml + db.query(q).values for q in queries]
+        assert before == after
+
+
+class TestExplainAndPlans:
+    def test_query_result_exposes_plans(self, db):
+        result = db.query("for $i in //item return <r>{ $i/name/text() }</r>")
+        assert result.plans and "xml[" in result.plans[0].pretty()
+
+    def test_explain_lists_one_resolution_per_pattern(self, db):
+        resolutions = db.explain(
+            "for $i in //item, $o in //offer where $i/price = $o/amount return $i/name"
+        )
+        assert len(resolutions) == 2

@@ -1,0 +1,121 @@
+"""Tests for the workload generators: determinism, summary regimes, and
+the §4.6 random-pattern knobs."""
+
+import random
+
+import pytest
+
+from repro.core import is_satisfiable
+from repro.summary import build_enhanced_summary
+from repro.workloads import (
+    XMARK_QUERIES,
+    GeneratorConfig,
+    generate_bib,
+    generate_dblp,
+    generate_nasa,
+    generate_pattern,
+    generate_patterns,
+    generate_shakespeare,
+    generate_swissprot,
+    generate_xmark,
+    xmark_query_patterns,
+)
+
+
+class TestGenerators:
+    @pytest.mark.parametrize(
+        "generator",
+        [generate_xmark, generate_dblp, generate_shakespeare, generate_nasa, generate_swissprot],
+    )
+    def test_deterministic(self, generator):
+        a = generator(1)
+        b = generator(1)
+        assert a.top.content == b.top.content
+
+    def test_seeds_vary_content(self):
+        assert (
+            generate_dblp(1, seed=1).top.content
+            != generate_dblp(1, seed=2).top.content
+        )
+
+    def test_summary_size_regimes(self):
+        """Figure 4.13 regime: XMark summaries are an order of magnitude
+        larger than DBLP's (formatting markup vs flat records)."""
+        xmark = build_enhanced_summary(generate_xmark(1))
+        dblp = build_enhanced_summary(generate_dblp(1))
+        assert len(xmark) > 5 * len(dblp)
+
+    def test_xmark_recursion_present(self, xmark_summary):
+        recursive = xmark_summary.node_for_path(
+            "/site/regions/africa/item/description/parlist/listitem/parlist"
+        )
+        assert recursive is not None
+
+    def test_bib_matches_thesis_figure(self):
+        doc = generate_bib()
+        assert doc.top.label == "library"
+        titles = [n.value for n in doc.elements() if n.label == "title"]
+        assert "Data on the Web" in titles
+
+
+class TestRandomPatterns:
+    def test_generated_patterns_are_satisfiable(self, xmark_summary):
+        patterns = generate_patterns(xmark_summary, 7, 2, 25, seed=5)
+        assert all(is_satisfiable(p, xmark_summary) for p in patterns)
+
+    def test_size_respected(self, xmark_summary):
+        rng = random.Random(0)
+        for size in (3, 8, 13):
+            pattern = generate_pattern(xmark_summary, size, 1, rng)
+            assert pattern.size() == size
+
+    def test_return_labels_fixed(self, xmark_summary):
+        rng = random.Random(1)
+        pattern = generate_pattern(xmark_summary, 6, 3, rng)
+        labels = [n.tag for n in pattern.return_nodes()]
+        assert labels == ["item", "name", "initial"]
+
+    def test_optional_probability_zero_gives_conjunctive_edges(self, xmark_summary):
+        config = GeneratorConfig(
+            optional_probability=0.0, predicate_probability=0.0, wildcard_probability=0.0
+        )
+        patterns = generate_patterns(xmark_summary, 9, 1, 10, seed=2, config=config)
+        assert all(not p.has_optional_edges for p in patterns)
+
+    def test_optional_probability_one_marks_fillers_optional(self, xmark_summary):
+        config = GeneratorConfig(optional_probability=1.0)
+        patterns = generate_patterns(xmark_summary, 9, 1, 10, seed=3, config=config)
+        assert all(p.has_optional_edges for p in patterns if p.size() > 2)
+
+    def test_deterministic_batches(self, xmark_summary):
+        a = generate_patterns(xmark_summary, 7, 2, 5, seed=9)
+        b = generate_patterns(xmark_summary, 7, 2, 5, seed=9)
+        assert [p.to_text() for p in a] == [p.to_text() for p in b]
+
+    def test_missing_return_label_raises(self):
+        from repro.summary import PathSummary
+
+        summary = PathSummary.from_paths(["/a/b"])
+        with pytest.raises(ValueError):
+            generate_pattern(summary, 3, 1, random.Random(0))
+
+
+class TestXMarkQueries:
+    def test_twenty_queries(self):
+        assert len(XMARK_QUERIES) == 20
+
+    def test_patterns_extracted_for_all(self):
+        patterns = xmark_query_patterns()
+        assert set(patterns) == set(XMARK_QUERIES)
+        assert all(patterns.values())
+
+    def test_q07_has_unrelated_variables(self):
+        patterns = xmark_query_patterns()["q07"]
+        assert len(patterns) == 3  # three structurally unrelated patterns
+
+    def test_most_queries_satisfiable_on_xmark(self, xmark_summary):
+        satisfiable = 0
+        for patterns in xmark_query_patterns().values():
+            if all(is_satisfiable(p, xmark_summary) for p in patterns):
+                satisfiable += 1
+        assert satisfiable >= 15

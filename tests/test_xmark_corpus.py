@@ -1,0 +1,88 @@
+"""Structural quality checks for the synthetic XMark corpus: the shapes
+the benchmark experiments depend on must actually be present."""
+
+import pytest
+
+from repro.workloads import generate_xmark
+from repro.workloads.xmark import REGIONS
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return generate_xmark(scale=2, seed=3)
+
+
+def elements(doc, label):
+    return [n for n in doc.elements() if n.label == label]
+
+
+def test_all_regions_present(doc):
+    regions = {n.label for n in elements(doc, "regions")[0].element_children()}
+    assert regions == set(REGIONS)
+
+
+def test_items_have_required_children(doc):
+    for item in elements(doc, "item"):
+        labels = [c.label for c in item.element_children()]
+        for required in ("location", "quantity", "name", "payment", "description"):
+            assert required in labels
+
+
+def test_description_markup_recursion(doc):
+    # descriptions carry text with bold/keyword/emph and a parlist that can
+    # recurse (the §5.2 discussion point)
+    parlists = elements(doc, "parlist")
+    assert parlists
+    nested = [
+        p for p in parlists
+        if any(a.label == "listitem" for a in p.ancestors())
+    ]
+    assert nested, "no recursive parlist generated"
+
+
+def test_itemref_ids_resolve(doc):
+    item_ids = {
+        a.text
+        for item in elements(doc, "item")
+        for a in item.attribute_children()
+        if a.label == "@id"
+    }
+    for ref in elements(doc, "itemref"):
+        target = next(a.text for a in ref.attribute_children() if a.label == "@item")
+        assert target in item_ids
+
+
+def test_personref_ids_resolve(doc):
+    person_ids = {
+        a.text
+        for person in elements(doc, "person")
+        for a in person.attribute_children()
+        if a.label == "@id"
+    }
+    for holder in ("personref", "seller", "buyer", "author"):
+        for ref in elements(doc, holder):
+            target = next(
+                (a.text for a in ref.attribute_children() if a.label == "@person"),
+                None,
+            )
+            if target is not None:
+                assert target in person_ids
+
+
+def test_auctions_reference_structure(doc):
+    for auction in elements(doc, "open_auction"):
+        labels = [c.label for c in auction.element_children()]
+        assert "itemref" in labels and "seller" in labels
+        assert "initial" in labels and "current" in labels
+
+
+def test_numeric_fields_parse(doc):
+    for label in ("initial", "current", "price", "increase"):
+        for node in elements(doc, label):
+            float(node.value)
+
+
+def test_scale_grows_entities_linearly(doc):
+    small = generate_xmark(scale=1, seed=3)
+    assert len(elements(doc, "item")) == 2 * len(elements(small, "item"))
+    assert len(elements(doc, "person")) == 2 * len(elements(small, "person"))

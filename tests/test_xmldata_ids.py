@@ -1,0 +1,142 @@
+"""Tests for identifier schemes (thesis §1.2.1): the pre/post plane
+decision procedures and the Dewey navigational properties."""
+
+import pytest
+
+from repro.xmldata import (
+    DeweyID,
+    StructuralID,
+    id_of,
+    is_ancestor_id,
+    is_parent_id,
+    kind_supports,
+    load,
+    prepost_plane,
+    strongest_common_kind,
+)
+
+
+@pytest.fixture()
+def doc():
+    return load("<a><b><c/><d/></b><e><f><g/></f></e></a>")
+
+
+def node(doc, label):
+    return next(n for n in doc.elements() if n.label == label)
+
+
+class TestStructuralIDs:
+    def test_descendant_iff_interval_containment(self, doc):
+        a, c, e = (id_of(node(doc, l), "s") for l in "ace")
+        assert a.is_ancestor_of(c)
+        assert a.is_ancestor_of(e)
+        assert not c.is_ancestor_of(a)
+        assert not e.is_ancestor_of(c)
+
+    def test_parent_requires_depth_plus_one(self, doc):
+        a, b, c = (id_of(node(doc, l), "s") for l in "abc")
+        assert a.is_parent_of(b)
+        assert b.is_parent_of(c)
+        assert not a.is_parent_of(c)  # ancestor but not parent
+
+    def test_precedes_follows_quarters(self, doc):
+        b, e = id_of(node(doc, "b"), "s"), id_of(node(doc, "e"), "s")
+        assert b.precedes(e)
+        assert e.follows(b)
+        assert not e.precedes(b)
+
+    def test_document_order_is_pre_order(self, doc):
+        ids = [id_of(n, "s") for n in doc.elements()]
+        assert ids == sorted(ids)
+
+    def test_full_pairwise_consistency_with_tree(self, doc):
+        elements = list(doc.elements())
+        for m in elements:
+            for n in elements:
+                expected = m.is_ancestor_of(n)
+                assert id_of(m, "s").is_ancestor_of(id_of(n, "s")) == expected
+
+
+class TestDeweyIDs:
+    def test_parent_derivation(self, doc):
+        g = id_of(node(doc, "g"), "p")
+        f = id_of(node(doc, "f"), "p")
+        assert g.parent() == f
+
+    def test_ancestor_at_depth(self, doc):
+        g = id_of(node(doc, "g"), "p")
+        a = id_of(node(doc, "a"), "p")
+        assert g.ancestor_at_depth(1) == a
+
+    def test_root_has_no_parent(self, doc):
+        a = id_of(node(doc, "a"), "p")
+        with pytest.raises(ValueError):
+            a.parent().parent()
+
+    def test_prefix_is_ancestor(self, doc):
+        assert DeweyID((1,)).is_ancestor_of(DeweyID((1, 2, 1)))
+        assert not DeweyID((1, 2)).is_ancestor_of(DeweyID((1, 3, 1)))
+        assert DeweyID((1, 2)).is_parent_of(DeweyID((1, 2, 5)))
+
+    def test_document_order(self, doc):
+        ids = [id_of(n, "p") for n in doc.elements()]
+        assert all(ids[i] < ids[i + 1] for i in range(len(ids) - 1))
+
+    def test_agreement_with_structural(self, doc):
+        elements = list(doc.elements())
+        for m in elements:
+            for n in elements:
+                assert id_of(m, "p").is_ancestor_of(id_of(n, "p")) == id_of(
+                    m, "s"
+                ).is_ancestor_of(id_of(n, "s"))
+
+
+class TestKindLattice:
+    def test_capabilities(self):
+        assert kind_supports("i", "identity")
+        assert not kind_supports("i", "order")
+        assert kind_supports("o", "order")
+        assert not kind_supports("o", "structural")
+        assert kind_supports("s", "structural")
+        assert not kind_supports("s", "parent-derivation")
+        assert kind_supports("p", "parent-derivation")
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            kind_supports("z", "identity")
+
+    def test_strongest_common(self):
+        assert strongest_common_kind("s", "p") == "s"
+        assert strongest_common_kind("p", "p") == "p"
+        assert strongest_common_kind("i", "s") == "i"
+
+
+class TestHelpers:
+    def test_id_of_simple_and_ordered_are_ints(self, doc):
+        assert isinstance(id_of(doc.top, "i"), int)
+        assert isinstance(id_of(doc.top, "o"), int)
+
+    def test_id_of_unlabeled_node_raises(self):
+        from repro.xmldata import parse_document
+
+        raw = parse_document("<a/>")
+        with pytest.raises(ValueError):
+            id_of(raw.top, "s")
+
+    def test_mixed_id_kinds_cannot_be_compared(self, doc):
+        s = id_of(node(doc, "b"), "s")
+        p = id_of(node(doc, "c"), "p")
+        with pytest.raises(TypeError):
+            is_ancestor_id(s, p)
+        with pytest.raises(TypeError):
+            is_parent_id(s, p)
+
+    def test_simple_ids_cannot_answer_structural_tests(self, doc):
+        with pytest.raises(TypeError):
+            is_ancestor_id(id_of(doc.top, "i"), id_of(node(doc, "b"), "i"))
+
+    def test_prepost_plane_matches_elements(self, doc):
+        plane = prepost_plane(doc)
+        assert len(plane) == sum(1 for _ in doc.elements())
+        labels = {entry[2] for entry in plane}
+        assert labels == set("abcdefg")

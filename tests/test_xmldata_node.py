@@ -1,0 +1,105 @@
+"""Tests for the XML tree data model (thesis §1.1)."""
+
+import pytest
+
+from repro.xmldata import Document, XMLNode, load
+from repro.xmldata.node import ATTRIBUTE, DOCUMENT, ELEMENT, TEXT
+
+
+def test_node_kinds_are_validated():
+    with pytest.raises(ValueError):
+        XMLNode("widget", "a")
+
+
+def test_element_children_and_attributes():
+    root = XMLNode(ELEMENT, "book")
+    root.add_attribute("year", "1999")
+    root.add_element("title").add_text("Data on the Web")
+    assert [c.label for c in root.attribute_children()] == ["@year"]
+    assert [c.label for c in root.element_children()] == ["title"]
+
+
+def test_attribute_label_gets_at_prefix():
+    root = XMLNode(ELEMENT, "book")
+    attr = root.add_attribute("year", "1999")
+    assert attr.label == "@year"
+    already = root.add_attribute("@id", "b1")
+    assert already.label == "@id"
+
+
+def test_value_of_attribute_and_text_nodes():
+    root = XMLNode(ELEMENT, "a")
+    attr = root.add_attribute("x", "v")
+    text = root.add_text("hello")
+    assert attr.value == "v"
+    assert text.value == "hello"
+
+
+def test_element_value_concatenates_text_descendants():
+    doc = load("<a><b>one</b><c><d>two</d></c></a>")
+    assert doc.top.value == "onetwo"
+
+
+def test_element_without_text_has_null_value():
+    doc = load("<a><b/></a>")
+    assert doc.top.element_children()[0].value is None
+
+
+def test_content_serializes_subtree():
+    doc = load('<a><b x="1">t</b></a>')
+    b = doc.top.element_children()[0]
+    assert b.content == '<b x="1">t</b>'
+
+
+def test_iter_subtree_is_preorder():
+    doc = load("<a><b><c/></b><d/></a>")
+    labels = [n.label for n in doc.top.iter_subtree()]
+    assert labels == ["a", "b", "c", "d"]
+
+
+def test_ancestors_and_is_ancestor_of():
+    doc = load("<a><b><c/></b></a>")
+    a = doc.top
+    c = a.element_children()[0].element_children()[0]
+    assert [n.label for n in c.ancestors()] == ["b", "a", "#document"]
+    assert a.is_ancestor_of(c)
+    assert not c.is_ancestor_of(a)
+
+
+def test_rooted_path():
+    doc = load("<a><b><c/></b></a>")
+    c = doc.top.element_children()[0].element_children()[0]
+    assert c.rooted_path() == ("a", "b", "c")
+
+
+def test_document_requires_single_top_element():
+    node = XMLNode(DOCUMENT, "#document")
+    with pytest.raises(ValueError):
+        Document(node)
+    node.add_element("a")
+    node.add_element("b")
+    with pytest.raises(ValueError):
+        Document(node)
+
+
+def test_document_counts(bib_doc):
+    assert bib_doc.count(ELEMENT) == 11
+    assert bib_doc.count(ATTRIBUTE) == 2
+    assert bib_doc.count(TEXT) == 7
+    assert bib_doc.count() == 20
+
+
+def test_document_from_top_element():
+    top = XMLNode(ELEMENT, "a")
+    doc = Document.from_top_element(top, "x.xml")
+    assert doc.top is top
+    assert doc.name == "x.xml"
+
+
+def test_nodes_excludes_document_node(bib_doc):
+    assert all(n.kind != DOCUMENT for n in bib_doc.nodes())
+
+
+def test_find_by_pre(bib_doc):
+    assert bib_doc.find_by_pre(1).label == "library"
+    assert bib_doc.find_by_pre(10**9) is None

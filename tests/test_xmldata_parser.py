@@ -1,0 +1,112 @@
+"""Tests for the self-contained XML parser."""
+
+import pytest
+
+from repro.xmldata import XMLSyntaxError, load, parse_document, parse_fragment, serialize
+
+
+def test_simple_element():
+    doc = parse_document("<a/>")
+    assert doc.top.label == "a"
+    assert doc.top.children == []
+
+
+def test_nested_elements_and_text():
+    doc = parse_document("<a><b>hello</b></a>")
+    b = doc.top.element_children()[0]
+    assert b.value == "hello"
+
+
+def test_attributes_single_and_double_quotes():
+    doc = parse_document("""<a x="1" y='2'/>""")
+    attrs = {n.label: n.text for n in doc.top.attribute_children()}
+    assert attrs == {"@x": "1", "@y": "2"}
+
+
+def test_entities_in_text_and_attributes():
+    doc = parse_document('<a x="&lt;&amp;&quot;">&gt;&apos;&#65;&#x42;</a>')
+    assert doc.top.attribute_children()[0].text == '<&"'
+    assert doc.top.value == ">'AB"
+
+
+def test_unknown_entity_raises():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a>&nope;</a>")
+
+
+def test_comments_are_skipped():
+    doc = parse_document("<a><!-- hi --><b/><!-- bye --></a>")
+    assert [c.label for c in doc.top.element_children()] == ["b"]
+
+
+def test_cdata_becomes_text():
+    doc = parse_document("<a><![CDATA[<raw> & data]]></a>")
+    assert doc.top.value == "<raw> & data"
+
+
+def test_prolog_and_doctype_skipped():
+    source = """<?xml version="1.0"?>
+    <!DOCTYPE a [<!ELEMENT a (b)>]>
+    <!-- top comment -->
+    <a><b/></a>"""
+    doc = parse_document(source)
+    assert doc.top.label == "a"
+
+
+def test_processing_instructions_skipped():
+    doc = parse_document("<a><?php echo ?><b/></a>")
+    assert [c.label for c in doc.top.element_children()] == ["b"]
+
+
+def test_whitespace_only_text_is_dropped():
+    doc = parse_document("<a>\n  <b/>\n</a>")
+    assert all(c.kind != "text" for c in doc.top.children)
+
+
+def test_mismatched_tags_raise():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a><b></a></b>")
+
+
+def test_trailing_content_raises():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a/><b/>")
+
+
+def test_unterminated_element_raises():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a><b>")
+
+
+def test_unquoted_attribute_raises():
+    with pytest.raises(XMLSyntaxError):
+        parse_document("<a x=1/>")
+
+
+def test_parse_fragment_returns_detached_element():
+    fragment = parse_fragment("<b><c/></b>")
+    assert fragment.label == "b"
+    assert fragment.parent is None
+
+
+def test_round_trip_serialize_parse():
+    source = '<a x="1"><b>text &amp; more</b><c/><d y="2">t</d></a>'
+    doc = parse_document(source)
+    assert serialize(doc.top) == source
+    again = parse_document(serialize(doc.top))
+    assert serialize(again.top) == source
+
+
+def test_error_reports_position():
+    try:
+        parse_document("<a><b x=></b></a>")
+    except XMLSyntaxError as error:
+        assert error.position > 0
+    else:  # pragma: no cover
+        pytest.fail("expected a parse error")
+
+
+def test_load_labels_nodes():
+    doc = load("<a><b/></a>")
+    assert doc.top.pre == 1
+    assert doc.top.element_children()[0].pre == 2

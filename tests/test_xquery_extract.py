@@ -1,0 +1,177 @@
+"""Tests for pattern extraction (Chapter 3): maximality across nested
+blocks, edge-semantics rules, compensations, and templates."""
+
+import pytest
+
+from repro.core import NEST, NEST_OUTER, OUTER, SEMI, evaluate_pattern
+from repro.xquery import (
+    assemble_plan,
+    bind_patterns,
+    extract,
+    parse_query,
+)
+from repro.xmldata import load
+
+
+def unit_of(text):
+    return extract(parse_query(text)).units[0]
+
+
+class TestPathQueries:
+    def test_bare_path_pattern(self):
+        unit = unit_of("//book/title")
+        (pattern,) = unit.patterns
+        assert [n.tag for n in pattern.nodes()] == ["book", "title"]
+        assert pattern.nodes()[-1].store_content
+        assert unit.template is None
+        assert unit.outputs
+
+    def test_text_suffix_stores_value(self):
+        unit = unit_of("//book/title/text()")
+        assert unit.patterns[0].nodes()[-1].store_value
+
+    def test_step_predicates_become_semijoins(self):
+        unit = unit_of('//book[author][year = "1999"]/title')
+        book = unit.patterns[0].nodes()[0]
+        semis = [e for e in book.edges if e.semantics == SEMI]
+        assert len(semis) == 2
+        year = next(e.child for e in semis if e.child.tag == "year")
+        assert year.value_formula.equality_constant() == "1999"
+
+
+class TestFLWRExtraction:
+    def test_iteration_edges_are_joins(self):
+        unit = unit_of("for $x in //site/item return $x/name")
+        pattern = unit.patterns[0]
+        item = pattern.node_by_name(unit.var_nodes["x"][1])
+        assert item.parent_edge.semantics == "j"
+        assert item.store_id == "s"
+
+    def test_where_constant_becomes_semijoin_with_formula(self):
+        unit = unit_of("for $x in //item where $x/quantity = 2 return $x/name")
+        item = unit.patterns[0].node_by_name(unit.var_nodes["x"][1])
+        quantity = next(e.child for e in item.edges if e.child.tag == "quantity")
+        assert quantity.parent_edge.semantics == SEMI
+        assert quantity.value_formula.evaluate(2)
+
+    def test_where_path_to_path_becomes_cross_pattern_join(self):
+        unit = unit_of(
+            "for $x in //a, $y in //b where $x/v = $y/w return $x/name"
+        )
+        assert len(unit.patterns) == 2
+        assert len(unit.join_predicates) == 1
+        _lp, lpath, op, _rp, rpath = unit.join_predicates[0]
+        assert op == "=" and lpath.endswith(".V") and rpath.endswith(".V")
+
+    def test_constructor_paths_are_nest_outer(self):
+        unit = unit_of("for $x in //item return <r>{ $x/name }</r>")
+        name = next(
+            n for n in unit.patterns[0].nodes() if n.tag == "name"
+        )
+        assert name.parent_edge.semantics == NEST_OUTER
+
+    def test_bare_return_is_nest_join(self):
+        unit = unit_of("for $x in //item return $x/name")
+        name = next(n for n in unit.patterns[0].nodes() if n.tag == "name")
+        assert name.parent_edge.semantics == NEST
+
+
+class TestMaximality:
+    """The headline Chapter 3 property: one pattern spans nested blocks."""
+
+    def test_nested_block_grafts_into_outer_pattern(self):
+        unit = unit_of(
+            "for $x in //item return <r>{ for $y in $x/bid return $y/amount }</r>"
+        )
+        assert len(unit.patterns) == 1  # NOT two patterns
+        tags = [n.tag for n in unit.patterns[0].nodes()]
+        assert set(tags) >= {"item", "bid", "amount"}
+
+    def test_doubly_nested_blocks_still_one_pattern(self):
+        unit = unit_of(
+            "for $x in //a return <r>{ for $y in $x/b return <s>{ for $z in $y/c return $z/d }</s> }</r>"
+        )
+        assert len(unit.patterns) == 1
+
+    def test_document_rooted_inner_block_starts_new_pattern(self):
+        unit = unit_of(
+            "for $x in //a return <r>{ for $y in //b return $y/c }</r>"
+        )
+        assert len(unit.patterns) == 2
+
+    def test_unrelated_top_variables_make_separate_patterns(self):
+        unit = unit_of("for $x in /a/x, $y in //b return <r>{ $x/c, $y/e }</r>")
+        assert len(unit.patterns) == 2
+
+
+class TestCompensations:
+    def test_thesis_dependency_detected(self):
+        """§3.1: content of an outer variable extracted inside an inner
+        block depends on the inner bindings — σ (z.ID ≠ ⊥) ∨ (e.C = ⊥)."""
+        unit = unit_of(
+            "for $y in //b return <r>{ for $z in $y/d return <s>{ $y/e }</s> }</r>"
+        )
+        assert len(unit.compensations) == 1
+        _wp, guard, _dp, dependent = unit.compensations[0]
+        assert guard.endswith(".ID")
+        assert dependent.endswith(".C")
+
+    def test_no_compensation_for_block_local_content(self):
+        unit = unit_of(
+            "for $y in //b return <r>{ for $z in $y/d return <s>{ $z/e }</s> }</r>"
+        )
+        assert unit.compensations == []
+
+
+class TestTemplates:
+    def test_repeat_scope_on_nested_constructor(self):
+        unit = unit_of(
+            "for $x in //item return <r>{ for $y in $x/bid return <b>{ $y/amount }</b> }</r>"
+        )
+        template = unit.template
+        inner = next(
+            c for c in template.children if getattr(c, "tag", None) == "b"
+        )
+        assert inner.repeat_over is not None
+
+    def test_literals_preserved(self):
+        unit = unit_of("for $x in //item return <r>total: { $x/price }</r>")
+        assert "total:" in repr(unit.template)
+
+
+class TestEndToEnd:
+    DOC = "<site><item><name>Fish</name><bid><amount>10</amount></bid><bid><amount>20</amount></bid></item><item><name>Rock</name></item></site>"
+
+    def run(self, text):
+        unit = unit_of(text)
+        doc = load(self.DOC)
+        results = [evaluate_pattern(p, doc) for p in unit.patterns]
+        plan = assemble_plan(unit)
+        out = plan.evaluate(bind_patterns(unit, results))
+        if unit.template is not None:
+            return [t["xml"] for t in out]
+        values = []
+        for t in out:
+            for _p, path in unit.outputs:
+                values.extend(v for v in t.iter_path(path) if v is not None and not isinstance(v, list))
+        return values
+
+    def test_flat_constructor(self):
+        out = self.run("for $x in //item return <r>{ $x/name/text() }</r>")
+        assert out == ["<r>Fish</r>", "<r>Rock</r>"]
+
+    def test_nested_blocks_group_and_stay_optional(self):
+        out = self.run(
+            "for $x in //item return <r>{ $x/name/text(), for $y in $x/bid return <b>{ $y/amount/text() }</b> }</r>"
+        )
+        assert out == ["<r>Fish<b>10</b><b>20</b></r>", "<r>Rock</r>"]
+
+    def test_where_filters(self):
+        out = self.run(
+            "for $x in //item where $x/bid/amount = 10 return <r>{ $x/name/text() }</r>"
+        )
+        assert out == ["<r>Fish</r>"]
+
+    def test_bare_path_output(self):
+        out = self.run("//item/name/text()")
+        assert out == ["Fish", "Rock"]

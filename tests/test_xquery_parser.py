@@ -1,0 +1,142 @@
+"""Tests for the Q-subset parser (§3.2)."""
+
+import pytest
+
+from repro.workloads import XMARK_QUERIES
+from repro.xquery import (
+    DOC_ROOT,
+    ElementConstructor,
+    FLWR,
+    Literal,
+    PathExpr,
+    SequenceExpr,
+    XQueryParseError,
+    free_variables,
+    parse_query,
+)
+
+
+class TestPaths:
+    def test_absolute_path(self):
+        expr = parse_query("//book/title")
+        assert isinstance(expr, PathExpr) and expr.is_absolute
+        assert [(s.axis, s.test) for s in expr.steps] == [("//", "book"), ("/", "title")]
+
+    def test_doc_function(self):
+        expr = parse_query('doc("bib.xml")//book')
+        assert expr.document == "bib.xml"
+
+    def test_wildcard_and_attribute_steps(self):
+        expr = parse_query("/a/*/@id")
+        assert [s.test for s in expr.steps] == ["a", "*", "@id"]
+
+    def test_text_call(self):
+        expr = parse_query("//title/text()")
+        assert expr.ends_with_text
+        assert [s.test for s in expr.navigation_steps()] == ["title"]
+
+    def test_text_element_vs_text_function(self):
+        expr = parse_query("//listitem/text/keyword")
+        assert [s.test for s in expr.steps] == ["listitem", "text", "keyword"]
+        assert not expr.ends_with_text
+
+    def test_step_predicates(self):
+        expr = parse_query('//book[author][year = "1999"]/title')
+        book = expr.steps[0]
+        assert len(book.predicates) == 2
+        assert book.predicates[0].op is None
+        assert book.predicates[1].op == "=" and book.predicates[1].value == "1999"
+
+    def test_predicate_with_descendant_path(self):
+        expr = parse_query("//book[//keyword = 5]")
+        predicate = expr.steps[0].predicates[0]
+        assert predicate.path.steps[0].axis == "//"
+        assert predicate.value == 5
+
+    def test_numeric_constants(self):
+        expr = parse_query("//a[b = 1.5]")
+        assert expr.steps[0].predicates[0].value == 1.5
+
+
+class TestFLWR:
+    def test_bindings_and_where(self):
+        expr = parse_query(
+            "for $x in //item, $y in $x/name where $x/quantity = 2 and $y/text() = 'a' return $y"
+        )
+        assert isinstance(expr, FLWR)
+        assert [b.var for b in expr.bindings] == ["x", "y"]
+        assert expr.bindings[1].path.root == "x"
+        assert len(expr.where) == 2
+
+    def test_where_path_comparison(self):
+        expr = parse_query("for $x in //a, $y in //b where $x/v = $y/w return $x")
+        comparison = expr.where[0]
+        assert isinstance(comparison.right, PathExpr)
+        assert not comparison.against_constant
+
+    def test_word_comparators(self):
+        expr = parse_query("for $x in //a where $x/v ge 3 return $x")
+        assert expr.where[0].op == ">="
+
+    def test_nested_flwr(self):
+        expr = parse_query(
+            "for $x in //a return <r>{ for $y in $x/b return $y }</r>"
+        )
+        inner = expr.ret.children[0]
+        assert isinstance(inner, FLWR)
+
+    def test_bare_variable_return(self):
+        expr = parse_query("for $x in //a return $x")
+        assert isinstance(expr.ret, PathExpr) and expr.ret.root == "x"
+
+
+class TestConstructors:
+    def test_sequence_inside_braces(self):
+        expr = parse_query("for $x in //a return <r>{ $x/b, $x/c }</r>")
+        inner = expr.ret.children[0]
+        assert isinstance(inner, SequenceExpr) and len(inner.items) == 2
+
+    def test_literal_text(self):
+        expr = parse_query("for $x in //a return <r>label: { $x/b }</r>")
+        assert isinstance(expr.ret.children[0], Literal)
+
+    def test_nested_constructors(self):
+        expr = parse_query("for $x in //a return <r><s>{ $x/b }</s></r>")
+        inner = expr.ret.children[0]
+        assert isinstance(inner, ElementConstructor) and inner.tag == "s"
+
+    def test_top_level_sequence(self):
+        expr = parse_query("//a, //b")
+        assert isinstance(expr, SequenceExpr)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "for x in //a return $x",
+            "for $x //a return $x",
+            "for $x in //a where $x/v ~ 3 return $x",
+            "for $x in //a return <r>{$x}</s>",
+            "//a[",
+            "//a extra",
+        ],
+    )
+    def test_rejected(self, bad):
+        with pytest.raises(XQueryParseError):
+            parse_query(bad)
+
+    def test_unbound_variable_detected_via_free_variables(self):
+        expr = parse_query("for $x in //a return $y")
+        assert free_variables(expr) == {"y"}
+
+
+class TestXMarkQueries:
+    def test_all_twenty_parse(self):
+        for query_id, text in XMARK_QUERIES.items():
+            parse_query(text)
+
+    def test_free_variable_closure(self):
+        for text in XMARK_QUERIES.values():
+            assert free_variables(parse_query(text)) == set()
