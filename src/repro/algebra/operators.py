@@ -18,7 +18,7 @@ the logical evaluation here is the specification they are tested against.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Mapping, Optional, Sequence
+from typing import Any, Callable, Iterator, Mapping, Optional, Sequence
 
 from ..xmldata.ids import is_ancestor_id, is_parent_id
 from .model import NULL, NestedTuple, concat
@@ -77,7 +77,28 @@ class Operator:
     def evaluate(self, context: Optional[Context] = None) -> list[NestedTuple]:
         raise NotImplementedError
 
+    # -- cardinality estimation (consumed by the cost-based compiler) ---------
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        """Expected output tuple count given an
+        :class:`~repro.engine.context.ExecutionContext` (its statistics
+        provider and tunables).  ``None`` means "unknown" — the cost model
+        substitutes a pessimistic default.  Estimates of shared subtrees
+        are cached by the context (:meth:`ExecutionContext.estimate`), so
+        operators should recurse through ``ctx.estimate(child)``.
+        """
+        if len(self.children) == 1:
+            return ctx.estimate(self.children[0])
+        return None
+
     # -- plan inspection (used by the QEP-shape benchmarks) -------------------
+
+    def walk(self) -> "Iterator[Operator]":
+        """Pre-order traversal of the plan tree (uniform across the
+        logical and physical layers)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def operator_count(self) -> int:
         return 1 + sum(child.operator_count() for child in self.children)
@@ -130,6 +151,9 @@ class Scan(Operator):
             raise KeyError(f"base relation {self.name!r} missing from context")
         return list(context[self.name])
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        return ctx.statistics.relation_size(self.name)
+
     def label(self) -> str:
         return f"Scan({self.name})"
 
@@ -148,6 +172,9 @@ class BaseTuples(Operator):
 
     def evaluate(self, context: Optional[Context] = None) -> list[NestedTuple]:
         return list(self.tuples)
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        return float(len(self.tuples))
 
     def label(self) -> str:
         return f"BaseTuples[{len(self.tuples)}]"
@@ -191,6 +218,12 @@ class Select(Operator):
                     reduced.append(new_t)
             tuples = reduced
         return tuples
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        child = ctx.estimate(self.children[0])
+        if child is None:
+            return None
+        return child * ctx.tunables.predicate_selectivity
 
     def label(self) -> str:
         if self.predicate is not None:
@@ -253,6 +286,12 @@ class Project(Operator):
             out.append(projected)
         return out
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        child = ctx.estimate(self.children[0])
+        if child is None:
+            return None
+        return child * ctx.tunables.dedup_factor if self.dedup else child
+
     def label(self) -> str:
         mark = "π⁰" if self.dedup else "π"
         return f"{mark}[{', '.join(self.columns)}]"
@@ -271,6 +310,13 @@ class Product(Operator):
         left = self.children[0].evaluate(context)
         right = self.children[1].evaluate(context)
         return [concat(a, b) for a in left for b in right]
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        left = ctx.estimate(self.children[0])
+        right = ctx.estimate(self.children[1])
+        if left is None or right is None:
+            return None
+        return left * right
 
     def label(self) -> str:
         return "×"
@@ -293,6 +339,15 @@ class Union(Operator):
         for child in self.children:
             out.extend(child.evaluate(context))
         return out
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        total = 0.0
+        for child in self.children:
+            estimate = ctx.estimate(child)
+            if estimate is None:
+                return None
+            total += estimate
+        return total
 
     def label(self) -> str:
         return "∪"
@@ -322,12 +377,37 @@ class Difference(Operator):
                 out.append(t)
         return out
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        # upper bound: nothing subtracted
+        return ctx.estimate(self.children[0])
+
     def label(self) -> str:
         return "\\"
 
 
 def _null_tuple(columns: Sequence[str]) -> NestedTuple:
     return NestedTuple({c: NULL for c in columns})
+
+
+def _join_kind_estimate(
+    kind: str,
+    left: Optional[float],
+    right: Optional[float],
+    pair_selectivity: float,
+) -> Optional[float]:
+    """Output estimate shared by value and structural joins: ``j`` fans
+    out, ``o`` never drops a left tuple, ``s``/``nj`` keep a subset of the
+    left side, ``no`` keeps exactly the left side."""
+    if left is None or right is None:
+        return None
+    matches_per_left = right * pair_selectivity
+    if kind == JOIN:
+        return left * matches_per_left
+    if kind == OUTER:
+        return max(left, left * matches_per_left)
+    if kind in (SEMI, NEST):
+        return left * min(1.0, matches_per_left)
+    return left  # NEST_OUTER
 
 
 class ValueJoin(Operator):
@@ -372,6 +452,14 @@ class ValueJoin(Operator):
             self.kind,
             self.nest_as,
             right_columns,
+        )
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        return _join_kind_estimate(
+            self.kind,
+            ctx.estimate(self.children[0]),
+            ctx.estimate(self.children[1]),
+            ctx.tunables.equality_join_selectivity,
         )
 
     def label(self) -> str:
@@ -489,6 +577,20 @@ class StructuralJoin(Operator):
             return None
         return t.with_attrs(**{head: new_members})
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        left = ctx.estimate(self.children[0])
+        right = ctx.estimate(self.children[1])
+        if left is None or right is None:
+            return None
+        # A structural join pairs each right node with its (few) matching
+        # ancestors, so the plain join scales with the larger input rather
+        # than the product.
+        if self.kind == JOIN:
+            return max(left, right) * ctx.tunables.structural_selectivity
+        return _join_kind_estimate(
+            self.kind, left, right, ctx.tunables.structural_selectivity / max(right, 1.0)
+        )
+
     def label(self) -> str:
         axis = "≺" if self.axis == CHILD else "≺≺"
         symbol = {JOIN: "⨝", OUTER: "⟕", SEMI: "⋉", NEST: "⨝ⁿ", NEST_OUTER: "⟕ⁿ"}[
@@ -555,6 +657,12 @@ class GroupBy(Operator):
             key_tuples[key].with_attrs(**{self.nest_as: groups[key]}) for key in order
         ]
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        child = ctx.estimate(self.children[0])
+        if child is None:
+            return None
+        return child * ctx.tunables.dedup_factor
+
     def label(self) -> str:
         return f"γ[{', '.join(self.keys)}]"
 
@@ -583,6 +691,12 @@ class Unnest(Operator):
                     out.append(concat(rest, member))
         return out
 
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        child = ctx.estimate(self.children[0])
+        if child is None:
+            return None
+        return child * ctx.tunables.collection_fanout
+
     def label(self) -> str:
         return f"u[{self.attr}]"
 
@@ -600,6 +714,9 @@ class NestAll(Operator):
 
     def evaluate(self, context: Optional[Context] = None) -> list[NestedTuple]:
         return [NestedTuple({self.nest_as: self.children[0].evaluate(context)})]
+
+    def estimated_cardinality(self, ctx) -> Optional[float]:
+        return 1.0
 
     def label(self) -> str:
         return f"n[{self.nest_as}]"

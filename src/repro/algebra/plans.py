@@ -10,23 +10,46 @@ the path-partitioned store (QEP₉ vs QEP₈).
 from __future__ import annotations
 
 from collections import Counter
+from typing import Iterator, Optional
 
 from .operators import Operator, Scan, StructuralJoin, ValueJoin
 
-__all__ = ["count_by_type", "plan_shape", "scans_used"]
+__all__ = [
+    "count_by_type",
+    "plan_shape",
+    "scans_used",
+    "walk",
+    "annotate_cardinalities",
+    "cardinality_profile",
+]
 
 
 def count_by_type(plan: Operator) -> Counter:
     """Multiset of operator class names appearing in the plan."""
     counts: Counter = Counter()
-
-    def visit(op: Operator) -> None:
+    for op in plan.walk():
         counts[type(op).__name__] += 1
-        for child in op.children:
-            visit(child)
-
-    visit(plan)
     return counts
+
+
+def walk(plan: Operator) -> Iterator[Operator]:
+    """Pre-order traversal (delegates to the uniform ``Operator.walk``)."""
+    return plan.walk()
+
+
+def annotate_cardinalities(plan: Operator, ctx) -> dict[int, Optional[float]]:
+    """Estimated output cardinality of every operator in the plan, keyed
+    by node identity (``id(op)``) — the walk the cost-based compiler and
+    EXPLAIN share.  ``ctx`` is an
+    :class:`~repro.engine.context.ExecutionContext`.
+    """
+    return {id(op): ctx.estimate(op) for op in plan.walk()}
+
+
+def cardinality_profile(plan: Operator, ctx) -> list[tuple[str, Optional[float]]]:
+    """``(label, estimate)`` pairs in pre-order — a printable summary of
+    what the estimator believes about each plan step."""
+    return [(op.label(), ctx.estimate(op)) for op in plan.walk()]
 
 
 def scans_used(plan: Operator) -> list[str]:

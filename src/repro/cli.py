@@ -2,7 +2,14 @@
 
 Usage::
 
-    python -m repro.cli DOCUMENT.xml [--view name=XAM ...] [--query QUERY]
+    python -m repro.cli DOCUMENT.xml [--view name=XAM ...] [--query QUERY] [--stats]
+    python -m repro.cli explain DOCUMENT.xml QUERY [--view name=XAM ...]
+
+The ``explain`` form prints the full plan lifecycle of one query — the
+logical plan, the chosen access paths with their rewritten plans, and the
+compiled physical plan with estimated and actual per-operator
+cardinalities and timings.  ``--stats`` appends the same per-operator
+metrics after a ``--query`` run.
 
 Without ``--query``, starts a REPL with commands:
 
@@ -10,7 +17,8 @@ Without ``--query``, starts a REPL with commands:
     .view <name> <xam>       materialize and register a view
     .drop <name>             drop a view
     .views                   list catalog entries
-    .explain <xquery>        show access-path selection
+    .explain <xquery>        full EXPLAIN: plans + est/actual cardinalities
+    .stats <xquery>          run a query and print per-operator metrics
     .summary                 summary statistics
     .quit
 """
@@ -37,6 +45,16 @@ def _print_result(result) -> None:
         print(f"-- answered via views: {', '.join(result.used_views)}")
     else:
         print("-- answered from the base store")
+
+
+def _print_metrics(result) -> None:
+    for index, metrics in enumerate(result.metrics):
+        if len(result.metrics) > 1:
+            print(f"-- unit {index + 1} operators:")
+        else:
+            print("-- operators:")
+        for line in metrics.pretty().splitlines():
+            print(f"  {line}")
 
 
 def run_command(db: Database, line: str) -> bool:
@@ -82,9 +100,18 @@ def run_command(db: Database, line: str) -> bool:
     if line.startswith(".explain "):
         query = line[len(".explain "):]
         try:
-            for resolution in db.explain(query):
-                print(f"  {resolution.pattern.to_text()}")
-                print(f"    → {resolution}")
+            report = db.explain(query)
+            for report_line in report.render().splitlines():
+                print(f"  {report_line}")
+        except Exception as error:
+            print(f"  error: {error}")
+        return True
+    if line.startswith(".stats "):
+        query = line[len(".stats "):]
+        try:
+            result = db.query(query, stats=True)
+            _print_result(result)
+            _print_metrics(result)
         except Exception as error:
             print(f"  error: {error}")
         return True
@@ -95,8 +122,47 @@ def run_command(db: Database, line: str) -> bool:
     return True
 
 
+def _load_database(document: str, view_specs: list[str], announce: bool = True) -> Database:
+    with open(document, encoding="utf-8") as handle:
+        db = Database.from_xml(handle.read(), document)
+    if announce:
+        print(f"loaded {document}: {db.documents[0].count()} nodes, "
+              f"{len(db.summary)} summary paths")
+    for spec in view_specs:
+        name, _, xam = spec.partition("=")
+        db.add_view(name.strip(), xam.strip())
+        if announce:
+            print(f"view {name.strip()!r} installed")
+    return db
+
+
+def _explain_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro explain",
+        description="show the full plan lifecycle of one query",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument("query", help="query to explain")
+    parser.add_argument(
+        "--view",
+        action="append",
+        default=[],
+        metavar="NAME=XAM",
+        help="materialize a view before explaining (repeatable)",
+    )
+    args = parser.parse_args(argv)
+    db = _load_database(args.document, args.view, announce=False)
+    print(db.explain(args.query).render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of the interactive shell (``python -m repro.cli doc.xml``)."""
+    """Entry point of the shell (``python -m repro.cli doc.xml``) and of
+    the ``explain`` one-shot (``python -m repro.cli explain doc.xml Q``)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return _explain_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="XAM-based XML database shell"
     )
@@ -109,22 +175,24 @@ def main(argv: list[str] | None = None) -> int:
         help="materialize a view before querying (repeatable)",
     )
     parser.add_argument("--query", help="run one query and exit")
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="with --query: print per-operator metrics after the result",
+    )
     args = parser.parse_args(argv)
 
-    with open(args.document, encoding="utf-8") as handle:
-        db = Database.from_xml(handle.read(), args.document)
-    print(f"loaded {args.document}: {db.documents[0].count()} nodes, "
-          f"{len(db.summary)} summary paths")
-    for spec in args.view:
-        name, _, xam = spec.partition("=")
-        db.add_view(name.strip(), xam.strip())
-        print(f"view {name.strip()!r} installed")
+    db = _load_database(args.document, args.view)
 
     if args.query:
-        _print_result(db.query(args.query))
+        result = db.query(args.query, stats=args.stats)
+        _print_result(result)
+        if args.stats:
+            _print_metrics(result)
         return 0
 
-    print("repro shell — .quit to exit, .views/.view/.drop/.explain/.summary")
+    print("repro shell — .quit to exit, "
+          ".views/.view/.drop/.explain/.stats/.summary")
     while True:
         try:
             line = input("xam> ")

@@ -23,8 +23,9 @@ spirit of the access-path selection the introduction celebrates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from typing import Optional, Sequence
 
+from ..engine.context import StatisticsProvider
 from ..storage.catalog import Catalog
 from ..summary.path_summary import PathSummary, SummaryNode
 from .canonical import admits_label
@@ -34,6 +35,7 @@ from .xam import Pattern, PatternNode
 
 __all__ = [
     "CardinalityEstimate",
+    "CatalogStatistics",
     "estimate_pattern_cardinality",
     "estimate_view_size",
     "rank_rewritings",
@@ -146,24 +148,66 @@ def estimate_view_size(
     ).expected
 
 
+class CatalogStatistics(StatisticsProvider):
+    """The database-backed statistics provider the
+    :class:`~repro.engine.context.ExecutionContext` consults.
+
+    Base relations answer with their *actual* stored size when a store is
+    at hand, falling back to the summary estimate of the catalog entry
+    describing them; tree patterns answer with the summary estimator.
+    """
+
+    def __init__(
+        self,
+        catalog: Optional[Catalog] = None,
+        summary: Optional[PathSummary] = None,
+        store=None,
+        predicate_selectivity: float = DEFAULT_PREDICATE_SELECTIVITY,
+    ):
+        self.catalog = catalog
+        self.summary = summary
+        self.store = store
+        self.predicate_selectivity = predicate_selectivity
+
+    def relation_size(self, name: str) -> Optional[float]:
+        if self.store is not None and name in self.store:
+            return float(len(self.store[name]))
+        if self.catalog is not None and self.summary is not None and name in self.catalog:
+            return estimate_view_size(
+                self.catalog[name].pattern, self.summary, self.predicate_selectivity
+            )
+        return None
+
+    def pattern_cardinality(self, pattern: Pattern) -> Optional[float]:
+        if self.summary is None:
+            return None
+        return estimate_pattern_cardinality(
+            pattern, self.summary, self.predicate_selectivity
+        ).expected
+
+
 def rank_rewritings(
     rewritings: Sequence[Rewriting],
     catalog: Catalog,
     summary: PathSummary,
     store=None,
+    statistics: Optional[StatisticsProvider] = None,
 ) -> list[Rewriting]:
     """Order S-equivalent rewritings by estimated input volume.
 
-    With a store at hand the *actual* view sizes are used; otherwise they
-    are estimated from the summary.  Ties break on plan size.
+    The volume of each rewriting is the summed size of the views it reads,
+    answered by a statistics provider (actual sizes when a store is at
+    hand, summary estimates otherwise).  Ties break on plan size.
+    ``statistics`` lets callers share one
+    :class:`~repro.engine.context.ExecutionContext` provider across
+    ranking, compilation and EXPLAIN.
     """
+    if statistics is None:
+        statistics = CatalogStatistics(catalog, summary, store)
 
     def view_size(name: str) -> float:
-        if store is not None and name in store:
-            return float(len(store[name]))
-        if name in catalog:
-            return estimate_view_size(catalog[name].pattern, summary)
-        return float("inf")
+        size = statistics.relation_size(name)
+        return float("inf") if size is None else size
 
     def cost(rewriting: Rewriting) -> tuple[float, int]:
         volume = sum(view_size(name) for name in rewriting.views)

@@ -16,16 +16,24 @@
 
 Dropping or adding a view changes future access-path choices without any
 other code change — the physical data independence the thesis targets.
+
+Every query builds one :class:`~repro.engine.context.ExecutionContext`
+carrying summary/store statistics, the cost model and the metrics sink;
+rewriting selection, plan compilation and execution all read from it.
+:meth:`Database.explain` exposes the whole lifecycle: the logical plan,
+the rewritten (view-based) plans, and the compiled physical plan with
+estimated *and* actual per-operator cardinalities and timings.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Iterator, Optional
 
 from ..algebra.model import NestedTuple
 from ..algebra.operators import Operator
-from ..engine.physical import compile_plan
+from ..engine.context import ExecutionContext, PlanMetrics
+from ..engine.physical import PScan
 from ..engine.storage import Store
 from ..storage.catalog import Catalog, CatalogEntry
 from ..storage.materialize import materialize_view
@@ -42,10 +50,17 @@ from ..xquery.extract import (
 from ..xquery.parser import parse_query
 from .embedding import evaluate_pattern
 from .rewrite import Rewriting, rewrite_pattern
+from .statistics import CatalogStatistics, rank_rewritings
 from .xam import Pattern
 from .xam_parser import parse_pattern
 
-__all__ = ["Database", "QueryResult", "PatternResolution"]
+__all__ = [
+    "Database",
+    "QueryResult",
+    "PatternResolution",
+    "ExplainUnit",
+    "ExplainReport",
+]
 
 
 @dataclass
@@ -55,6 +70,10 @@ class PatternResolution:
     pattern: Pattern
     access_path: str  # "rewriting" or "base"
     rewriting: Optional[Rewriting] = None
+    #: summary-estimated tuple count of the pattern (None when unknown)
+    estimated_cardinality: Optional[float] = None
+    #: tuples the chosen access path actually produced (None = not executed)
+    actual_cardinality: Optional[int] = None
 
     def __repr__(self) -> str:
         if self.rewriting is not None:
@@ -71,6 +90,9 @@ class QueryResult:
     tuples: list[NestedTuple] = field(default_factory=list)
     resolutions: list[PatternResolution] = field(default_factory=list)
     plans: list[Operator] = field(default_factory=list)
+    #: per-unit runtime metrics (populated when the query ran with
+    #: ``stats=True`` — one PlanMetrics tree per assembled unit plan)
+    metrics: list[PlanMetrics] = field(default_factory=list)
 
     @property
     def used_views(self) -> list[str]:
@@ -79,6 +101,82 @@ class QueryResult:
             if resolution.rewriting is not None:
                 names.extend(resolution.rewriting.views)
         return names
+
+
+@dataclass
+class ExplainUnit:
+    """The three-stage lifecycle of one query unit: the assembled
+    **logical** plan, the per-pattern **rewritten** plans chosen by the
+    optimizer (None = base-store access), and the compiled **physical**
+    plan whose metrics hold estimated and actual cardinalities side by
+    side."""
+
+    logical: Operator
+    resolutions: list[PatternResolution]
+    rewritten: list[Optional[Operator]]
+    physical: "object"
+    metrics: PlanMetrics
+
+    def render(self) -> str:
+        lines: list[str] = []
+        for index, resolution in enumerate(self.resolutions):
+            est = resolution.estimated_cardinality
+            act = resolution.actual_cardinality
+            est_text = "?" if est is None else f"{est:.1f}"
+            act_text = "?" if act is None else str(act)
+            lines.append(f"pattern {index}: {resolution.pattern.to_text()}")
+            lines.append(f"  → {resolution}  (est={est_text} act={act_text})")
+            plan = self.rewritten[index]
+            if plan is not None:
+                lines.append("  rewritten plan:")
+                lines.extend("    " + l for l in plan.pretty().splitlines())
+        lines.append("logical plan:")
+        lines.extend("  " + l for l in self.logical.pretty().splitlines())
+        lines.append("physical plan (est | act | time):")
+        lines.extend("  " + l for l in self.metrics.pretty().splitlines())
+        return "\n".join(lines)
+
+
+class ExplainReport:
+    """What :meth:`Database.explain` returns.
+
+    Iterating (or indexing) the report yields the per-pattern
+    :class:`PatternResolution`\\ s — the original access-path view of
+    explain — while :attr:`units` carries the full three-stage plan trees
+    and :meth:`render` formats everything for humans."""
+
+    def __init__(self, units: list[ExplainUnit]):
+        self.units = units
+
+    @property
+    def resolutions(self) -> list[PatternResolution]:
+        return [r for unit in self.units for r in unit.resolutions]
+
+    def __iter__(self) -> Iterator[PatternResolution]:
+        return iter(self.resolutions)
+
+    def __len__(self) -> int:
+        return len(self.resolutions)
+
+    def __getitem__(self, index: int) -> PatternResolution:
+        return self.resolutions[index]
+
+    def render(self) -> str:
+        parts = []
+        for number, unit in enumerate(self.units, 1):
+            if len(self.units) > 1:
+                parts.append(f"── unit {number} " + "─" * 24)
+            parts.append(unit.render())
+        return "\n".join(parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return self.render()
+
+
+def _lower_pattern_access(op: PatternAccess, lower, ctx) -> PScan:
+    """Registry rule: a pattern access compiles to a scan of the binding
+    relation the resolution layer publishes (``__pattern_<i>``)."""
+    return PScan(op.context_key)
 
 
 class Database:
@@ -140,6 +238,16 @@ class Database:
     def views(self) -> list[str]:
         return [entry.name for entry in self.catalog.views()]
 
+    # -- the per-query execution context ----------------------------------------
+
+    def execution_context(self) -> ExecutionContext:
+        """One context per query: summary/store statistics, the cost
+        model, the PatternAccess lowering rule, and the metrics sink."""
+        return ExecutionContext(
+            statistics=CatalogStatistics(self.catalog, self.summary, self.store),
+            registry={PatternAccess: _lower_pattern_access},
+        )
+
     # -- querying ---------------------------------------------------------------
 
     def query(
@@ -147,28 +255,63 @@ class Database:
         query: str | Expr,
         prefer_views: bool = True,
         physical: bool = False,
+        stats: bool = False,
     ) -> QueryResult:
         """Parse, extract, rewrite, stitch and execute.
 
         ``prefer_views=False`` forces base-store evaluation (useful to
         compare access paths).  ``physical=True`` runs pattern-access
-        plans through the physical engine compiler.
+        plans through the physical engine compiler.  ``stats=True``
+        additionally compiles the assembled unit plans through the
+        physical engine and records per-operator metrics into
+        ``result.metrics`` (one tree per unit).
         """
         expr = parse_query(query) if isinstance(query, str) else query
         extraction = extract(expr)
         result = QueryResult()
+        ctx = self.execution_context()
         for unit in extraction.units:
-            self._run_unit(unit, result, prefer_views, physical)
+            self._run_unit(unit, result, prefer_views, physical, stats, ctx)
         return result
 
-    def explain(self, query: str | Expr) -> list[PatternResolution]:
-        """Access-path selection report without executing."""
+    def explain(self, query: str | Expr, prefer_views: bool = True) -> ExplainReport:
+        """The full plan lifecycle of a query, executed with metrics.
+
+        Per unit: the assembled logical plan, each pattern's chosen access
+        path (with its rewritten plan when views are used), and the
+        compiled physical plan annotated with estimated *and* actual
+        per-operator cardinalities and timings.
+        """
         expr = parse_query(query) if isinstance(query, str) else query
-        resolutions = []
-        for unit in extract(expr).units:
-            for pattern in unit.patterns:
-                resolutions.append(self._resolve_pattern(pattern, True))
-        return resolutions
+        extraction = extract(expr)
+        ctx = self.execution_context()
+        units: list[ExplainUnit] = []
+        for unit in extraction.units:
+            resolutions = [
+                self._resolve_pattern(pattern, prefer_views, ctx)
+                for pattern in unit.patterns
+            ]
+            bindings = {}
+            for index, resolution in enumerate(resolutions):
+                tuples = self._pattern_tuples(resolution, physical=True, ctx=ctx)
+                resolution.actual_cardinality = len(tuples)
+                bindings[f"__pattern_{index}"] = tuples
+            logical = assemble_plan(unit)
+            physical_plan = ctx.compile(logical, self.store.scan_orders())
+            _, metrics = ctx.run(physical_plan, bindings)
+            units.append(
+                ExplainUnit(
+                    logical=logical,
+                    resolutions=resolutions,
+                    rewritten=[
+                        r.rewriting.plan if r.rewriting is not None else None
+                        for r in resolutions
+                    ],
+                    physical=physical_plan,
+                    metrics=metrics,
+                )
+            )
+        return ExplainReport(units)
 
     def rewrite(self, pattern: Pattern | str, **kwargs) -> list[Rewriting]:
         """Expose pattern rewriting directly (Chapter 5 entry point)."""
@@ -179,27 +322,41 @@ class Database:
     # -- internals -------------------------------------------------------------
 
     def _resolve_pattern(
-        self, pattern: Pattern, prefer_views: bool
+        self,
+        pattern: Pattern,
+        prefer_views: bool,
+        ctx: Optional[ExecutionContext] = None,
     ) -> PatternResolution:
+        ctx = ctx or self.execution_context()
+        estimate = ctx.statistics.pattern_cardinality(pattern)
         if prefer_views and len(self.catalog.views()) > 0:
             rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
             if rewritings:
-                from .statistics import rank_rewritings
-
                 best = rank_rewritings(
-                    rewritings, self.catalog, self.summary, self.store
+                    rewritings,
+                    self.catalog,
+                    self.summary,
+                    self.store,
+                    statistics=ctx.statistics,
                 )[0]
-                return PatternResolution(pattern, "rewriting", best)
-        return PatternResolution(pattern, "base")
+                return PatternResolution(
+                    pattern, "rewriting", best, estimated_cardinality=estimate
+                )
+        return PatternResolution(pattern, "base", estimated_cardinality=estimate)
 
     def _pattern_tuples(
-        self, resolution: PatternResolution, physical: bool
+        self,
+        resolution: PatternResolution,
+        physical: bool,
+        ctx: Optional[ExecutionContext] = None,
     ) -> list[NestedTuple]:
         if resolution.rewriting is not None:
             plan = resolution.rewriting.plan
             context = self.store.context()
             if physical:
-                return list(compile_plan(plan, self.store.scan_orders()).execute(context))
+                ctx = ctx or self.execution_context()
+                compiled = ctx.compile(plan, self.store.scan_orders())
+                return list(compiled.execute(context))
             return plan.evaluate(context)
         tuples: list[NestedTuple] = []
         for doc in self.documents:
@@ -212,18 +369,27 @@ class Database:
         result: QueryResult,
         prefer_views: bool,
         physical: bool,
+        stats: bool,
+        ctx: ExecutionContext,
     ) -> None:
         resolutions = [
-            self._resolve_pattern(pattern, prefer_views) for pattern in unit.patterns
+            self._resolve_pattern(pattern, prefer_views, ctx)
+            for pattern in unit.patterns
         ]
         result.resolutions.extend(resolutions)
-        bindings = {
-            f"__pattern_{index}": self._pattern_tuples(resolution, physical)
-            for index, resolution in enumerate(resolutions)
-        }
+        bindings = {}
+        for index, resolution in enumerate(resolutions):
+            tuples = self._pattern_tuples(resolution, physical, ctx)
+            resolution.actual_cardinality = len(tuples)
+            bindings[f"__pattern_{index}"] = tuples
         plan = assemble_plan(unit)
         result.plans.append(plan)
-        tuples = plan.evaluate(bindings)
+        if stats:
+            physical_plan = ctx.compile(plan, self.store.scan_orders())
+            tuples, metrics = ctx.run(physical_plan, bindings)
+            result.metrics.append(metrics)
+        else:
+            tuples = plan.evaluate(bindings)
         result.tuples.extend(tuples)
         if unit.template is not None:
             result.xml.extend(t["xml"] for t in tuples)

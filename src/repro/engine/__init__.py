@@ -1,6 +1,15 @@
 """Execution engine: physical operators, B+ tree, stores."""
 
 from .btree import BPlusTree
+from .context import (
+    CostModel,
+    EmptyStatistics,
+    ExecutionContext,
+    OperatorMetrics,
+    PlanMetrics,
+    StatisticsProvider,
+    Tunables,
+)
 from .orderdesc import satisfies, sort_key_for
 from .physical import (
     PBase,
@@ -24,6 +33,13 @@ from .storage import Store, StoredRelation
 
 __all__ = [
     "BPlusTree",
+    "CostModel",
+    "EmptyStatistics",
+    "ExecutionContext",
+    "OperatorMetrics",
+    "PlanMetrics",
+    "StatisticsProvider",
+    "Tunables",
     "satisfies",
     "sort_key_for",
     "PBase",

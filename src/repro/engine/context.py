@@ -1,0 +1,297 @@
+"""The execution context: one object threading the plan lifecycle together.
+
+The thesis' central promise (§1.2.3–§1.2.4) is that the optimizer picks
+among XAM-described access paths; the *quality* of that choice — and the
+ability to observe it — is what physical data independence buys.  Before
+this module, plan compilation (:func:`repro.engine.physical.compile_plan`),
+rewriting selection (:func:`repro.core.statistics.rank_rewritings`) and
+execution were wired ad hoc: no shared statistics, no runtime metrics, no
+way to ask "why this plan?".
+
+:class:`ExecutionContext` is the shared spine:
+
+* a **statistics provider** answering "how many tuples does this base
+  relation / tree pattern hold?" (summary- or store-backed);
+* a **cost model** turning those cardinalities into operator costs, so the
+  compiler chooses join algorithms and sort placement from estimates
+  rather than fixed rules;
+* a set of **tunables** (selectivities, per-tuple cost constants) in one
+  place instead of scattered literals;
+* an **operator registry** mapping logical operator types to lowering
+  functions, so new physical operators plug in without editing the
+  compiler;
+* a **metrics sink**: :meth:`ExecutionContext.instrument` attaches an
+  :class:`OperatorMetrics` node to every physical operator, and execution
+  records tuples-in/out and wall time into the resulting
+  :class:`PlanMetrics` tree — the "actual" column of EXPLAIN.
+
+The module is deliberately independent of the physical operators (the
+compiler imports *it*, not the other way around), so the core and CLI
+layers can build contexts without pulling the whole engine in.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Mapping, Optional
+
+__all__ = [
+    "Tunables",
+    "CostModel",
+    "StatisticsProvider",
+    "EmptyStatistics",
+    "OperatorMetrics",
+    "PlanMetrics",
+    "ExecutionContext",
+]
+
+
+# ---------------------------------------------------------------------------
+# Tunables & cost model
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Tunables:
+    """Knobs of the estimator and cost model, gathered in one place.
+
+    Cost constants are abstract "work units per tuple"; only their ratios
+    matter (they decide algorithm choices, not absolute predictions).
+    """
+
+    #: selectivity of a value predicate on a pattern node / σ operator
+    predicate_selectivity: float = 0.1
+    #: selectivity of an equality value-join predicate (per tuple pair)
+    equality_join_selectivity: float = 0.1
+    #: expected matches per qualifying pair of a structural join
+    structural_selectivity: float = 0.5
+    #: fraction of distinct tuples surviving a duplicate-eliminating π⁰ / γ
+    dedup_factor: float = 0.5
+    #: average member count of an unnested collection
+    collection_fanout: float = 2.0
+    #: assumed size of a base relation with no statistics at all
+    unknown_relation_size: float = 1000.0
+    #: per-tuple cost of inserting into a hash table (build side)
+    hash_build_cost: float = 2.0
+    #: per-tuple cost of probing a hash table
+    hash_probe_cost: float = 1.0
+    #: per-pair cost of a nested-loops predicate evaluation
+    nested_loops_pair_cost: float = 1.0
+    #: per-tuple cost factor of a B+-tree sort (times log₂ n)
+    sort_tuple_cost: float = 1.0
+
+
+class CostModel:
+    """Cardinalities → operator costs → algorithm choices.
+
+    The compiler asks :meth:`choose_join`; benchmarks and tests can ask
+    the raw cost functions to assert *why*.
+    """
+
+    def __init__(self, tunables: Optional[Tunables] = None):
+        self.tunables = tunables or Tunables()
+
+    def _known(self, rows: Optional[float]) -> float:
+        if rows is None:
+            return self.tunables.unknown_relation_size
+        return max(float(rows), 0.0)
+
+    def nested_loops_cost(self, left: Optional[float], right: Optional[float]) -> float:
+        """Materialize right, evaluate the predicate on every pair."""
+        l, r = self._known(left), self._known(right)
+        return self.tunables.nested_loops_pair_cost * l * r
+
+    def hash_join_cost(self, left: Optional[float], right: Optional[float]) -> float:
+        """Build a table on right, probe once per left tuple."""
+        l, r = self._known(left), self._known(right)
+        return self.tunables.hash_build_cost * r + self.tunables.hash_probe_cost * l
+
+    def sort_cost(self, rows: Optional[float]) -> float:
+        import math
+
+        n = self._known(rows)
+        return self.tunables.sort_tuple_cost * n * math.log2(n + 2)
+
+    def choose_join(self, left: Optional[float], right: Optional[float]) -> str:
+        """``"hash"`` or ``"nested"`` for an equality value join.
+
+        Tiny inputs do not amortize the hash-table build; everything else
+        does.  Ties go to the hash join (it scales, the loops do not).
+        """
+        if self.nested_loops_cost(left, right) < self.hash_join_cost(left, right):
+            return "nested"
+        return "hash"
+
+
+# ---------------------------------------------------------------------------
+# Statistics providers
+# ---------------------------------------------------------------------------
+
+class StatisticsProvider:
+    """What the estimator may ask about the database.
+
+    ``None`` answers mean "unknown"; the cost model substitutes
+    :attr:`Tunables.unknown_relation_size`.
+    """
+
+    def relation_size(self, name: str) -> Optional[float]:
+        raise NotImplementedError
+
+    def pattern_cardinality(self, pattern) -> Optional[float]:
+        raise NotImplementedError
+
+
+class EmptyStatistics(StatisticsProvider):
+    """No statistics at all (stand-alone ``compile_plan`` calls)."""
+
+    def relation_size(self, name: str) -> Optional[float]:
+        return None
+
+    def pattern_cardinality(self, pattern) -> Optional[float]:
+        return None
+
+
+# ---------------------------------------------------------------------------
+# Metrics
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OperatorMetrics:
+    """Runtime record of one physical operator.
+
+    ``elapsed`` is inclusive wall time: seconds spent pulling this
+    operator's iterator, children included (a child's time is also part of
+    every ancestor's).  ``rows_in`` derives from the children's outputs.
+    """
+
+    label: str
+    estimated_rows: Optional[float] = None
+    rows_out: int = 0
+    elapsed: float = 0.0
+    executions: int = 0
+    children: list["OperatorMetrics"] = field(default_factory=list)
+
+    @property
+    def rows_in(self) -> int:
+        return sum(child.rows_out for child in self.children)
+
+    def walk(self) -> Iterator["OperatorMetrics"]:
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def pretty(self, indent: int = 0) -> str:
+        est = "?" if self.estimated_rows is None else f"{self.estimated_rows:.1f}"
+        line = (
+            f"{'  ' * indent}{self.label}  "
+            f"[est={est} act={self.rows_out} time={self.elapsed * 1000:.2f}ms]"
+        )
+        lines = [line]
+        for child in self.children:
+            lines.append(child.pretty(indent + 1))
+        return "\n".join(lines)
+
+
+@dataclass
+class PlanMetrics:
+    """The metrics tree of one executed physical plan."""
+
+    root: OperatorMetrics
+
+    def walk(self) -> Iterator[OperatorMetrics]:
+        return self.root.walk()
+
+    def pretty(self) -> str:
+        return self.root.pretty()
+
+    def total_rows(self) -> int:
+        return self.root.rows_out
+
+    def find(self, label_prefix: str) -> list[OperatorMetrics]:
+        return [m for m in self.walk() if m.label.startswith(label_prefix)]
+
+
+# ---------------------------------------------------------------------------
+# The context itself
+# ---------------------------------------------------------------------------
+
+#: a lowering function: (logical op, recursive lower, context) → physical op
+LoweringFn = Callable[[Any, Callable, "ExecutionContext"], Any]
+
+
+class ExecutionContext:
+    """Shared state of one query's compile-and-execute lifecycle.
+
+    ``uload.Database`` builds one per query; stand-alone engine users get
+    a default one with empty statistics.  The context owns:
+
+    * :attr:`statistics` / :attr:`cost_model` / :attr:`tunables` — the
+      estimator stack;
+    * :attr:`registry` — ``{logical type: lowering function}`` overrides
+      consulted by :func:`repro.engine.physical.compile_plan` before its
+      built-in rules;
+    * :attr:`metrics` — one :class:`PlanMetrics` per instrumented plan,
+      in instrumentation order (the sink EXPLAIN reads from).
+    """
+
+    def __init__(
+        self,
+        statistics: Optional[StatisticsProvider] = None,
+        cost_model: Optional[CostModel] = None,
+        tunables: Optional[Tunables] = None,
+        registry: Optional[Mapping[type, LoweringFn]] = None,
+    ):
+        self.tunables = tunables or Tunables()
+        self.statistics = statistics or EmptyStatistics()
+        self.cost_model = cost_model or CostModel(self.tunables)
+        self.registry: dict[type, LoweringFn] = dict(registry or {})
+        self.metrics: list[PlanMetrics] = []
+        self._estimates: dict[int, Optional[float]] = {}
+
+    # -- estimation ---------------------------------------------------------
+
+    def estimate(self, op) -> Optional[float]:
+        """Estimated output cardinality of a logical operator (cached by
+        node identity, so shared subtrees are walked once)."""
+        key = id(op)
+        if key not in self._estimates:
+            self._estimates[key] = op.estimated_cardinality(self)
+        return self._estimates[key]
+
+    # -- compilation --------------------------------------------------------
+
+    def compile(self, logical, scan_orders: Optional[Mapping[str, str]] = None):
+        """Lower a logical plan through the cost-based compiler."""
+        from .physical import compile_plan
+
+        return compile_plan(logical, scan_orders, context=self)
+
+    # -- instrumentation & execution ---------------------------------------
+
+    def instrument(self, physical) -> PlanMetrics:
+        """Attach a fresh metrics node to every operator of a physical
+        plan; execution then records into them."""
+
+        def build(op) -> OperatorMetrics:
+            node = OperatorMetrics(
+                label=op.label(), estimated_rows=op.estimated_rows
+            )
+            node.children = [build(child) for child in op.children]
+            op.metrics = node
+            return node
+
+        plan_metrics = PlanMetrics(build(physical))
+        self.metrics.append(plan_metrics)
+        return plan_metrics
+
+    def run(self, physical, data_context=None) -> tuple[list, PlanMetrics]:
+        """Instrument, execute to completion, and return (tuples, metrics)."""
+        plan_metrics = self.instrument(physical)
+        tuples = list(physical.execute(data_context))
+        return tuples, plan_metrics
+
+    # -- timing primitive used by the physical layer ------------------------
+
+    @staticmethod
+    def clock() -> float:
+        return time.perf_counter()

@@ -13,11 +13,11 @@ inside the ``e2`` collection).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Mapping, Optional, Sequence
 
 from ..algebra.model import NestedTuple
 
-__all__ = ["sort_key_for", "satisfies"]
+__all__ = ["sort_key_for", "satisfies", "project_order"]
 
 
 def sort_key_for(path: str):
@@ -41,3 +41,28 @@ def satisfies(current: Optional[str], required: Optional[str]) -> bool:
     if required is None:
         return True
     return current == required
+
+
+def project_order(
+    order: Optional[str],
+    columns: Sequence[str],
+    renames: Optional[Mapping[str, str]] = None,
+) -> Optional[str]:
+    """The order descriptor surviving a projection.
+
+    A projection keeps input order; the descriptor survives iff the
+    ordering attribute's top-level column is among the projected columns
+    (translated through ``renames``).  Order-preserving operators used to
+    drop descriptors wholesale, forcing the compiler to insert redundant
+    ``Sort``s below structural joins.
+    """
+    if order is None:
+        return None
+    head, sep, rest = order.partition("/")
+    if head not in columns:
+        return None
+    if renames and head in renames:
+        # renaming the column renames the first path step; the nested
+        # remainder (if any) is untouched by Project's top-level renames
+        head = renames[head]
+    return head + sep + rest

@@ -24,6 +24,7 @@ total.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Iterator, Mapping, Optional, Sequence
 
 from ..algebra.model import NULL, NestedTuple, concat
@@ -43,7 +44,8 @@ from ..algebra.operators import (
 from ..algebra.predicates import Attr, Compare
 from ..xmldata.ids import DeweyID, StructuralID
 from .btree import BPlusTree
-from .orderdesc import satisfies, sort_key_for
+from .context import ExecutionContext, OperatorMetrics
+from .orderdesc import project_order, satisfies, sort_key_for
 
 __all__ = [
     "PhysicalOperator",
@@ -68,16 +70,54 @@ Context = Mapping[str, Sequence[NestedTuple]]
 
 
 class PhysicalOperator:
-    """Base class: generators in, generator out, plus an order descriptor."""
+    """Base class: generators in, generator out, plus an order descriptor.
+
+    Subclasses implement :meth:`_run`; the public :meth:`execute` wraps it
+    and — when :meth:`ExecutionContext.instrument` attached a metrics node
+    — records tuples-out and inclusive wall time into it.  ``estimated_rows``
+    is stamped by the compiler from the logical plan's cardinality walk, so
+    EXPLAIN can print estimates and actuals side by side.
+    """
 
     children: tuple["PhysicalOperator", ...] = ()
     output_order: Optional[str] = None
+    #: compiler-estimated output cardinality (None = unknown)
+    estimated_rows: Optional[float] = None
+    #: runtime metrics node attached by ExecutionContext.instrument
+    metrics: Optional[OperatorMetrics] = None
+
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        raise NotImplementedError
 
     def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
-        raise NotImplementedError
+        if self.metrics is None:
+            return self._run(context)
+        return self._record(context)
+
+    def _record(self, context: Optional[Context]) -> Iterator[NestedTuple]:
+        m = self.metrics
+        m.executions += 1
+        clock = time.perf_counter
+        source = self._run(context)
+        while True:
+            started = clock()
+            try:
+                t = next(source)
+            except StopIteration:
+                m.elapsed += clock() - started
+                return
+            m.elapsed += clock() - started
+            m.rows_out += 1
+            yield t
 
     def label(self) -> str:
         return type(self).__name__
+
+    def walk(self) -> Iterator["PhysicalOperator"]:
+        """Pre-order traversal (uniform with ``Operator.walk``)."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
 
     def pretty(self, indent: int = 0) -> str:
         lines = ["  " * indent + self.label()]
@@ -101,7 +141,7 @@ class PScan(PhysicalOperator):
         self.output_order = order
         self.missing_ok = missing_ok
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         if context is None or self.name not in context:
             if self.missing_ok:
                 return
@@ -119,7 +159,7 @@ class PBase(PhysicalOperator):
         self.tuples = list(tuples)
         self.output_order = order
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         yield from self.tuples
 
 
@@ -131,7 +171,7 @@ class PFilter(PhysicalOperator):
         self.predicate = predicate
         self.output_order = child.output_order
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         for t in self.children[0].execute(context):
             if self.predicate(t):
                 yield t
@@ -149,8 +189,11 @@ class PProject(PhysicalOperator):
         self.columns = list(columns)
         self.dedup = dedup
         self.renames = dict(renames) if renames else {}
+        # projection streams in input order: the descriptor survives when
+        # its attribute does (dedup keeps first occurrences, also in order)
+        self.output_order = project_order(child.output_order, self.columns, self.renames)
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         seen: set[tuple] = set()
         for t in self.children[0].execute(context):
             projected = t.project(self.columns)
@@ -165,12 +208,15 @@ class PProject(PhysicalOperator):
 
 
 class PConcat(PhysicalOperator):
-    """Bag union of its inputs, in argument order (no order guarantee)."""
+    """Bag union of its inputs, in argument order (ordered only in the
+    degenerate single-input case)."""
 
     def __init__(self, *parts: PhysicalOperator):
         self.children = tuple(parts)
+        if len(parts) == 1:
+            self.output_order = parts[0].output_order
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         for child in self.children:
             yield from child.execute(context)
 
@@ -182,7 +228,7 @@ class PDifference(PhysicalOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
         self.children = (left, right)
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         counts: dict[tuple, int] = {}
         for t in self.children[1].execute(context):
             key = t.freeze()
@@ -204,7 +250,7 @@ class PSort(PhysicalOperator):
         self.path = path
         self.output_order = path
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         tree = BPlusTree()
         key = sort_key_for(self.path)
         for t in self.children[0].execute(context):
@@ -223,8 +269,12 @@ class PHashGroupBy(PhysicalOperator):
         self.children = (child,)
         self.keys = list(keys)
         self.nest_as = nest_as
+        # groups emit in first-seen order, so a child ordered by a grouping
+        # key yields groups in that key's order
+        if child.output_order in self.keys:
+            self.output_order = child.output_order
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         groups: dict[tuple, list[NestedTuple]] = {}
         heads: dict[tuple, NestedTuple] = {}
         order: list[tuple] = []
@@ -324,7 +374,7 @@ class PStackTreeDesc(PhysicalOperator):
         self.axis = axis
         self.output_order = desc_attr
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         anc_stream = iter(self.children[0].execute(context))
         desc_stream = iter(self.children[1].execute(context))
         stack: list[tuple] = []  # (anc_id, anc_tuple)
@@ -382,7 +432,7 @@ class PStackTreeAnc(PhysicalOperator):
         self.right_columns = list(right_columns)
         self.output_order = anc_attr
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         anc_stream = iter(self.children[0].execute(context))
         desc_stream = iter(self.children[1].execute(context))
         # stack entries: [anc_id, anc_tuple, matches]
@@ -464,7 +514,7 @@ class PNestedLoopsJoin(PhysicalOperator):
         self.description = description
         self.output_order = left.output_order if kind in ("s", "nj", "no") else None
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         right = list(self.children[1].execute(context))
         for left_tuple in self.children[0].execute(context):
             matches = [r for r in right if self.match(left_tuple, r)]
@@ -498,7 +548,7 @@ class PHashJoin(PhysicalOperator):
         self.right_columns = list(right_columns)
         self.output_order = left.output_order if kind in ("s", "nj", "no") else None
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
         table: dict = {}
         for r in self.children[1].execute(context):
             key = r.first(self.right_attr)
@@ -519,31 +569,41 @@ class PLogicalFallback(PhysicalOperator):
     """Materializing wrapper for logical operators without a streaming
     counterpart (map-extended joins, templates, navigation…): physical
     children are materialized, substituted as base inputs, and the logical
-    operator evaluates over them."""
+    operator evaluates over them.
+
+    Each physical input is materialized **exactly once per execution
+    context**: re-executing the same compiled plan against the same
+    context reuses the substituted inputs instead of re-running the whole
+    child subtree (the wrapper is a pipeline breaker either way, so the
+    cached lists are exactly what a second run would rebuild)."""
 
     def __init__(self, logical: Operator, children: Sequence[PhysicalOperator]):
         self.logical = logical
         self.children = tuple(children)
+        # (context object, substituted clone) — the context is kept alive
+        # so identity comparison stays sound
+        self._substituted: Optional[tuple[Optional[Context], Operator]] = None
 
-    def execute(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
-        substituted = _substitute(self.logical, list(self.children), context)
-        yield from substituted.evaluate(context)
+    def _substitute(self, context: Optional[Context]) -> Operator:
+        import copy
+
+        if self._substituted is None or self._substituted[0] is not context:
+            clone = copy.copy(self.logical)
+            clone.children = tuple(
+                BaseTuples(
+                    list(child.execute(context)),
+                    self.logical.children[index].schema(),
+                )
+                for index, child in enumerate(self.children)
+            )
+            self._substituted = (context, clone)
+        return self._substituted[1]
+
+    def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:
+        yield from self._substitute(context).evaluate(context)
 
     def label(self) -> str:
         return f"PLogicalFallback[{self.logical.label()}]"
-
-
-def _substitute(
-    logical: Operator, children: list[PhysicalOperator], context: Optional[Context]
-) -> Operator:
-    import copy
-
-    clone = copy.copy(logical)
-    clone.children = tuple(
-        BaseTuples(list(child.execute(context)), logical.children[index].schema())
-        for index, child in enumerate(children)
-    )
-    return clone
 
 
 # ---------------------------------------------------------------------------
@@ -551,20 +611,37 @@ def _substitute(
 # ---------------------------------------------------------------------------
 
 def compile_plan(
-    logical: Operator, scan_orders: Optional[Mapping[str, str]] = None
+    logical: Operator,
+    scan_orders: Optional[Mapping[str, str]] = None,
+    context: Optional[ExecutionContext] = None,
 ) -> PhysicalOperator:
     """Lower a logical plan, picking StackTree algorithms for flat
-    structural joins (inserting B+-tree Sorts when order descriptors do not
-    line up), hash joins for equality predicates, and nested loops or the
-    materializing fallback elsewhere.
+    structural joins (inserting B+-tree Sorts only when order descriptors
+    do not line up), cost-chosen hash/nested-loops joins for equality
+    predicates, and the materializing fallback elsewhere.
 
     ``scan_orders`` declares the physical order of base relations (e.g.
     path-partitioned stores keep IDs in document order), letting the
-    compiler skip redundant sorts.
+    compiler skip redundant sorts.  ``context`` supplies statistics, the
+    cost model, and lowering-rule overrides (its registry is consulted
+    before the built-in rules); without one, a default context with empty
+    statistics is used and unknown inputs are assumed large, preserving
+    the scalable algorithm choices.  Every lowered operator is stamped
+    with the logical estimate (``estimated_rows``) for EXPLAIN.
     """
     scan_orders = dict(scan_orders or {})
+    ctx = context or ExecutionContext()
 
     def lower(op: Operator) -> PhysicalOperator:
+        phys = lower_raw(op)
+        if phys.estimated_rows is None:
+            phys.estimated_rows = ctx.estimate(op)
+        return phys
+
+    def lower_raw(op: Operator) -> PhysicalOperator:
+        registered = ctx.registry.get(type(op))
+        if registered is not None:
+            return registered(op, lower, ctx)
         if isinstance(op, Scan):
             return PScan(op.name, order=scan_orders.get(op.name), missing_ok=op.missing_ok)
         if isinstance(op, BaseTuples):
@@ -592,7 +669,7 @@ def compile_plan(
         if isinstance(op, GroupBy):
             return PHashGroupBy(lower(op.children[0]), op.keys, op.nest_as)
         if isinstance(op, ValueJoin):
-            return _lower_value_join(op, lower)
+            return _lower_value_join(op, lower, ctx)
         if isinstance(op, StructuralJoin) and "/" not in op.left_attr:
             return _lower_structural_join(op, lower)
         # everything else: materializing fallback over lowered children
@@ -601,7 +678,7 @@ def compile_plan(
     return lower(logical)
 
 
-def _lower_value_join(op: ValueJoin, lower) -> PhysicalOperator:
+def _lower_value_join(op: ValueJoin, lower, ctx: ExecutionContext) -> PhysicalOperator:
     right_columns = op.children[1].schema()
     predicate = op.predicate
     if (
@@ -611,17 +688,21 @@ def _lower_value_join(op: ValueJoin, lower) -> PhysicalOperator:
         and isinstance(predicate.right, Attr)
         and predicate.left.side != predicate.right.side
     ):
-        left_attr = predicate.left if predicate.left.side == 0 else predicate.right
-        right_attr = predicate.right if predicate.right.side == 1 else predicate.left
-        return PHashJoin(
-            lower(op.children[0]),
-            lower(op.children[1]),
-            left_attr.path,
-            right_attr.path,
-            kind=op.kind,
-            nest_as=op.nest_as,
-            right_columns=right_columns,
+        choice = ctx.cost_model.choose_join(
+            ctx.estimate(op.children[0]), ctx.estimate(op.children[1])
         )
+        if choice == "hash":
+            left_attr = predicate.left if predicate.left.side == 0 else predicate.right
+            right_attr = predicate.right if predicate.right.side == 1 else predicate.left
+            return PHashJoin(
+                lower(op.children[0]),
+                lower(op.children[1]),
+                left_attr.path,
+                right_attr.path,
+                kind=op.kind,
+                nest_as=op.nest_as,
+                right_columns=right_columns,
+            )
     return PNestedLoopsJoin(
         lower(op.children[0]),
         lower(op.children[1]),
@@ -636,7 +717,9 @@ def _lower_value_join(op: ValueJoin, lower) -> PhysicalOperator:
 def _sorted_on(child: PhysicalOperator, attr: str) -> PhysicalOperator:
     if satisfies(child.output_order, attr):
         return child
-    return PSort(child, attr)
+    sort = PSort(child, attr)
+    sort.estimated_rows = child.estimated_rows  # sorting is cardinality-neutral
+    return sort
 
 
 def _lower_structural_join(op: StructuralJoin, lower) -> PhysicalOperator:
@@ -660,6 +743,8 @@ def execute(
     logical: Operator,
     context: Optional[Context] = None,
     scan_orders: Optional[Mapping[str, str]] = None,
+    execution_context: Optional[ExecutionContext] = None,
 ) -> list[NestedTuple]:
     """Compile and run a logical plan through the physical engine."""
-    return list(compile_plan(logical, scan_orders).execute(context))
+    physical = compile_plan(logical, scan_orders, context=execution_context)
+    return list(physical.execute(context))

@@ -96,6 +96,15 @@ class PatternAccess(Operator):
         self.pattern = pattern
         self.index = index
 
+    @property
+    def context_key(self) -> str:
+        """The binding name the ULoad layer publishes this pattern's
+        tuples under (also the PScan target when compiled physically)."""
+        return f"__pattern_{self.index}"
+
+    def estimated_cardinality(self, ctx):
+        return ctx.statistics.pattern_cardinality(self.pattern)
+
     def schema(self) -> list[str]:
         from ..core.embedding import subtree_attribute_names
 
@@ -105,7 +114,7 @@ class PatternAccess(Operator):
         return names
 
     def evaluate(self, context=None):
-        key = f"__pattern_{self.index}"
+        key = self.context_key
         if context is None or key not in context:
             raise KeyError(
                 f"pattern access #{self.index} not bound; supply context[{key!r}]"
