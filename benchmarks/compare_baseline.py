@@ -1,0 +1,127 @@
+#!/usr/bin/env python
+"""Gate benchmark regressions against a committed baseline.
+
+CI runs the benchmark suite with ``--benchmark-json=BENCH_<sha>.json`` and
+then::
+
+    python benchmarks/compare_baseline.py BENCH_<sha>.json benchmarks/baseline.json
+
+The script compares each benchmark's **median** (less noisy than the mean
+under CI-runner jitter) against the baseline and exits non-zero when any
+benchmark is slower by more than ``--threshold`` (default 0.30 = 30%).
+Benchmarks new in the current run pass with a note; benchmarks that
+disappeared are reported as warnings (renames should re-seed).
+
+Re-seed after intentional performance changes::
+
+    python benchmarks/compare_baseline.py --seed BENCH_<sha>.json benchmarks/baseline.json
+
+Only the per-benchmark medians (plus means, for context) are committed,
+not the raw run, so the baseline file stays small and diffs stay
+readable.  Stdlib-only on purpose: the gate must not add dependencies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_medians(path: str) -> dict[str, dict[str, float]]:
+    """fullname → {median, mean} from either a raw pytest-benchmark JSON
+    or an already distilled baseline file."""
+    with open(path, encoding="utf-8") as handle:
+        data = json.load(handle)
+    if "benchmarks" in data and isinstance(data["benchmarks"], list):
+        return {
+            bench["fullname"]: {
+                "median": bench["stats"]["median"],
+                "mean": bench["stats"]["mean"],
+            }
+            for bench in data["benchmarks"]
+        }
+    return data["baseline"]
+
+
+def seed(current_path: str, baseline_path: str) -> int:
+    medians = load_medians(current_path)
+    with open(baseline_path, "w", encoding="utf-8") as handle:
+        json.dump(
+            {
+                "comment": (
+                    "Committed perf baseline (seconds, per-benchmark median/"
+                    "mean). Re-seed with: python benchmarks/compare_baseline.py "
+                    "--seed BENCH_<sha>.json benchmarks/baseline.json"
+                ),
+                "baseline": medians,
+            },
+            handle,
+            indent=1,
+            sort_keys=True,
+        )
+        handle.write("\n")
+    print(f"seeded {baseline_path} with {len(medians)} benchmarks")
+    return 0
+
+
+def compare(current_path: str, baseline_path: str, threshold: float) -> int:
+    current = load_medians(current_path)
+    baseline = load_medians(baseline_path)
+
+    regressions: list[str] = []
+    improvements = 0
+    for name, stats in sorted(current.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"NEW       {name} (median {stats['median'] * 1000:.3f}ms)")
+            continue
+        ratio = stats["median"] / base["median"] if base["median"] > 0 else 1.0
+        if ratio > 1.0 + threshold:
+            regressions.append(
+                f"REGRESSED {name}: median {base['median'] * 1000:.3f}ms → "
+                f"{stats['median'] * 1000:.3f}ms ({ratio:.2f}x, "
+                f"threshold {1.0 + threshold:.2f}x)"
+            )
+        elif ratio < 1.0 - threshold:
+            improvements += 1
+
+    for name in sorted(set(baseline) - set(current)):
+        print(f"MISSING   {name} (in baseline, not in this run — re-seed?)")
+
+    shared = len(set(current) & set(baseline))
+    print(
+        f"compared {shared} benchmarks: {len(regressions)} regressed "
+        f">{threshold:.0%}, {improvements} improved >{threshold:.0%}"
+    )
+    if regressions:
+        print()
+        for line in regressions:
+            print(line)
+        return 1
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", help="pytest-benchmark JSON of this run")
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="allowed slowdown fraction before failing (default 0.30)",
+    )
+    parser.add_argument(
+        "--seed",
+        action="store_true",
+        help="write the baseline from the current run instead of comparing",
+    )
+    args = parser.parse_args(argv)
+    if args.seed:
+        return seed(args.current, args.baseline)
+    return compare(args.current, args.baseline, args.threshold)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,19 +91,19 @@ def view_setup(xmark_doc):
 
 def test_qep9_blob(benchmark, xmark_doc):
     plan, store = blob_setup(xmark_doc)
-    out = benchmark(lambda: execute(plan, store.context(), store.scan_orders()))
+    out = benchmark(lambda: list(execute(plan, store.context(), store.scan_orders())))
     assert out
 
 
 def test_qep8_fragmented(benchmark, xmark_doc, summary):
     plan, store = fragmented_setup(xmark_doc, summary)
-    out = benchmark(lambda: execute(plan, store.context(), store.scan_orders()))
+    out = benchmark(lambda: list(execute(plan, store.context(), store.scan_orders())))
     assert out
 
 
 def test_qep3_materialized_view(benchmark, xmark_doc):
     plan, store = view_setup(xmark_doc)
-    out = benchmark(lambda: execute(plan, store.context(), store.scan_orders()))
+    out = benchmark(lambda: list(execute(plan, store.context(), store.scan_orders())))
     assert out
 
 
@@ -116,8 +116,8 @@ def test_plan_shapes_and_agreement(benchmark, xmark_doc, summary):
             plan_shape(blob_plan),
             plan_shape(frag_plan),
             plan_shape(view_plan),
-            len(execute(blob_plan, blob_store.context(), blob_store.scan_orders())),
-            len(execute(frag_plan, frag_store.context(), frag_store.scan_orders())),
+            len(list(execute(blob_plan, blob_store.context(), blob_store.scan_orders()))),
+            len(list(execute(frag_plan, frag_store.context(), frag_store.scan_orders()))),
         )
 
     blob, frag, view, blob_rows, frag_rows = benchmark.pedantic(

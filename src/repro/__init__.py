@@ -21,5 +21,6 @@ module map.
 __version__ = "1.0.0"
 
 from .core.uload import Database  # noqa: E402  (public facade)
+from .core.service import QueryService  # noqa: E402  (concurrent facade)
 
-__all__ = ["Database", "__version__"]
+__all__ = ["Database", "QueryService", "__version__"]

@@ -4,6 +4,8 @@ Usage::
 
     python -m repro.cli DOCUMENT.xml [--view name=XAM ...] [--query QUERY] [--stats]
     python -m repro.cli explain DOCUMENT.xml QUERY [--view name=XAM ...]
+    python -m repro.cli serve DOCUMENT.xml [--view ...] [--queries FILE]
+                        [--workers N] [--repeat K] [--timeout S]
 
 The ``explain`` form prints the full plan lifecycle of one query — the
 logical plan, the chosen access paths with their rewritten plans, and the
@@ -11,14 +13,22 @@ compiled physical plan with estimated and actual per-operator
 cardinalities and timings.  ``--stats`` appends the same per-operator
 metrics after a ``--query`` run.
 
+The ``serve`` form is the concurrent batch mode: it reads one query per
+line (from ``--queries FILE`` or stdin), runs them through a
+:class:`~repro.core.service.QueryService` worker pool with a shared plan
+cache, prints the results in submission order, and ends with the cache
+counters and latency percentiles.  ``--repeat K`` replays the whole batch
+K times — the idiomatic way to watch the plan cache pay off.
+
 Without ``--query``, starts a REPL with commands:
 
-    <xquery>                 run a query (Q subset)
+    <xquery>                 run a query (Q subset, through the plan cache)
     .view <name> <xam>       materialize and register a view
     .drop <name>             drop a view
     .views                   list catalog entries
     .explain <xquery>        full EXPLAIN: plans + est/actual cardinalities
     .stats <xquery>          run a query and print per-operator metrics
+    .cache                   plan-cache counters (.cache clear to reset)
     .summary                 summary statistics
     .quit
 """
@@ -27,10 +37,27 @@ from __future__ import annotations
 
 import argparse
 import sys
+import weakref
 
+from .core.service import QueryService, QueryTimeout
 from .core.uload import Database
 
 __all__ = ["main", "run_command"]
+
+#: one lazily created service per shell database (keeps run_command's
+#: historical ``(db, line)`` signature while routing queries through the
+#: plan cache)
+_SERVICES: "weakref.WeakKeyDictionary[Database, QueryService]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def _service_for(db: Database) -> QueryService:
+    service = _SERVICES.get(db)
+    if service is None:
+        service = QueryService(db, cache_capacity=64, max_workers=2)
+        _SERVICES[db] = service
+    return service
 
 
 def _print_result(result) -> None:
@@ -59,11 +86,19 @@ def _print_metrics(result) -> None:
 
 def run_command(db: Database, line: str) -> bool:
     """Execute one REPL line; returns False when the session should end."""
+    service = _service_for(db)
     line = line.strip()
     if not line:
         return True
     if line in (".quit", ".exit"):
         return False
+    if line == ".cache":
+        print(f"  {service.cache_stats().render()}")
+        return True
+    if line == ".cache clear":
+        dropped = service.invalidate()
+        print(f"  dropped {dropped} cached plan(s)")
+        return True
     if line == ".views":
         for entry in db.catalog:
             marker = "index" if entry.is_index else entry.kind
@@ -84,7 +119,7 @@ def run_command(db: Database, line: str) -> bool:
             print("usage: .view <name> <xam>")
             return True
         try:
-            db.add_view(name, xam.strip())
+            service.add_view(name, xam.strip())
             print(f"  view {name!r} materialized ({len(db.store[name])} tuples)")
         except Exception as error:  # surface parse/eval problems to the user
             print(f"  error: {error}")
@@ -92,7 +127,7 @@ def run_command(db: Database, line: str) -> bool:
     if line.startswith(".drop "):
         name = line[len(".drop "):].strip()
         try:
-            db.drop_view(name)
+            service.drop_view(name)
             print(f"  dropped {name!r}")
         except KeyError:
             print(f"  no view named {name!r}")
@@ -100,7 +135,7 @@ def run_command(db: Database, line: str) -> bool:
     if line.startswith(".explain "):
         query = line[len(".explain "):]
         try:
-            report = db.explain(query)
+            report = service.explain(query)
             for report_line in report.render().splitlines():
                 print(f"  {report_line}")
         except Exception as error:
@@ -109,14 +144,14 @@ def run_command(db: Database, line: str) -> bool:
     if line.startswith(".stats "):
         query = line[len(".stats "):]
         try:
-            result = db.query(query, stats=True)
+            result = service.query(query, stats=True)
             _print_result(result)
             _print_metrics(result)
         except Exception as error:
             print(f"  error: {error}")
         return True
     try:
-        _print_result(db.query(line))
+        _print_result(service.query(line))
     except Exception as error:
         print(f"  error: {error}")
     return True
@@ -156,13 +191,105 @@ def _explain_main(argv: list[str]) -> int:
     return 0
 
 
+def _serve_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="concurrent batch mode: run many queries through a "
+        "worker pool sharing one plan cache",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument(
+        "--view",
+        action="append",
+        default=[],
+        metavar="NAME=XAM",
+        help="materialize a view before serving (repeatable)",
+    )
+    parser.add_argument(
+        "--queries",
+        metavar="FILE",
+        help="file with one query per line ('#' comments allowed); "
+        "default: read from stdin",
+    )
+    parser.add_argument("--workers", type=int, default=4, help="worker threads")
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="replay the whole batch K times (exercises the plan cache)",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, help="per-query timeout (seconds)"
+    )
+    parser.add_argument(
+        "--cache-capacity", type=int, default=128, help="plan cache entries"
+    )
+    args = parser.parse_args(argv)
+
+    if args.queries:
+        with open(args.queries, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    queries = [
+        line.strip() for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+    if not queries:
+        print("no queries to run", file=sys.stderr)
+        return 1
+
+    db = _load_database(args.document, args.view, announce=False)
+    with QueryService(
+        db,
+        cache_capacity=args.cache_capacity,
+        max_workers=args.workers,
+        default_timeout=args.timeout,
+    ) as service:
+        session = service.session("serve")
+        failed = 0
+        for round_number in range(args.repeat):
+            for query, outcome in zip(
+                queries, _run_batch_settled(service, session, queries)
+            ):
+                print(f"== {query}")
+                if isinstance(outcome, Exception):
+                    failed += 1
+                    print(f"  error: {outcome}")
+                else:
+                    _print_result(outcome)
+        print(f"-- plan cache: {service.cache_stats().render()}")
+        print(f"-- latency: {session.latency.render()}")
+    return 1 if failed else 0
+
+
+def _run_batch_settled(service: QueryService, session, queries: list[str]) -> list:
+    """Submit a whole batch, then settle every future: results in
+    submission order, exceptions captured per query instead of aborting
+    the batch."""
+    futures = [service.submit(q, session=session) for q in queries]
+    outcomes: list = []
+    for query, future in zip(queries, futures):
+        try:
+            outcomes.append(future.result(service.default_timeout))
+        except Exception as error:  # noqa: BLE001 - reported per query
+            future.cancel()
+            if hasattr(future, "cancel_query"):
+                future.cancel_query()
+            if isinstance(error, TimeoutError):
+                error = QueryTimeout(f"timed out: {query!r}")
+            outcomes.append(error)
+    return outcomes
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Entry point of the shell (``python -m repro.cli doc.xml``) and of
-    the ``explain`` one-shot (``python -m repro.cli explain doc.xml Q``)."""
+    """Entry point of the shell (``python -m repro.cli doc.xml``), the
+    ``explain`` one-shot (``python -m repro.cli explain doc.xml Q``), and
+    the ``serve`` batch mode (``python -m repro.cli serve doc.xml …``)."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return _explain_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return _serve_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="XAM-based XML database shell"
     )
@@ -192,7 +319,7 @@ def main(argv: list[str] | None = None) -> int:
         return 0
 
     print("repro shell — .quit to exit, "
-          ".views/.view/.drop/.explain/.stats/.summary")
+          ".views/.view/.drop/.explain/.stats/.cache/.summary")
     while True:
         try:
             line = input("xam> ")

@@ -38,7 +38,14 @@ from .minimize import (
 )
 from .plan_pattern import GlueCondition, expand_view, merged_patterns
 from .rewrite import DeepRename, Regroup, Rewriting, SatisfiesFormula, rewrite_pattern
-from .uload import Database, PatternResolution, QueryResult
+from .uload import (
+    Database,
+    PatternResolution,
+    PreparedQuery,
+    QueryCancelled,
+    QueryResult,
+)
+from .service import QueryService, QuerySession, QueryTimeout
 
 __all__ = [
     "CHILD",
@@ -84,5 +91,10 @@ __all__ = [
     "rewrite_pattern",
     "Database",
     "PatternResolution",
+    "PreparedQuery",
+    "QueryCancelled",
     "QueryResult",
+    "QueryService",
+    "QuerySession",
+    "QueryTimeout",
 ]

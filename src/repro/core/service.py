@@ -1,0 +1,364 @@
+"""The concurrent query service: sessions, a plan cache, a worker pool.
+
+``Database`` is a single-threaded library object; this module wraps it in
+the serving layer the ROADMAP's north star asks for.  A
+:class:`QueryService` owns
+
+* a versioned :class:`~repro.engine.plan_cache.PlanCache` keyed on
+  ``(normalized query text, prefer_views, physical, catalog version)``,
+  so repeated queries skip the parse → translate → rewrite-search →
+  assemble (and, on physical paths, compile) pipeline entirely;
+* a bounded :class:`~concurrent.futures.ThreadPoolExecutor` giving
+  inter-query parallelism with per-query timeouts and cooperative
+  cancellation (a timed-out query is cancelled if still queued, and asked
+  to stop at its next unit boundary if already running);
+* :class:`QuerySession` handles that record per-session latency
+  percentiles.
+
+Consistency model — the cache-invalidation protocol:
+
+1. every mutation (register/drop a XAM, load a document, refresh
+   statistics) bumps ``Database.catalog_version``;
+2. plans are stamped with the version current when they were prepared;
+3. a lookup whose stamp mismatches drops the entry (counted as an
+   invalidation) and re-prepares — no mutation ever has to know *which*
+   queries it affects.
+
+Mutations should go through the service's ``add_view`` / ``drop_view`` /
+``add_document_xml`` / ``refresh_statistics`` wrappers: they serialize
+writers against each other and eagerly purge stale plans.  Readers are
+never blocked — already-running queries keep executing their (still
+S-equivalent) old plans against copy-on-write store snapshots.
+
+Cache-hit/miss/invalidation events are recorded into each query's
+:class:`~repro.engine.context.ExecutionContext` counters, so they surface
+through ``query(stats=True)`` (``result.counters``) and ``explain``
+(rendered under ``counters:``) exactly like the per-operator metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..engine.context import ExecutionContext
+from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
+from .uload import (
+    Database,
+    ExplainReport,
+    PreparedQuery,
+    QueryCancelled,
+    QueryResult,
+)
+from .xam import Pattern
+
+__all__ = [
+    "QueryService",
+    "QuerySession",
+    "QueryTimeout",
+    "QueryCancelled",
+    "LatencyRecorder",
+]
+
+
+class QueryTimeout(TimeoutError):
+    """A query exceeded its deadline; it was cancelled if still queued,
+    or asked to stop at its next unit boundary if already running."""
+
+
+class LatencyRecorder:
+    """Thread-safe latency sample sink with percentile readout."""
+
+    def __init__(self) -> None:
+        self._samples: list[float] = []
+        self._lock = threading.Lock()
+
+    def record(self, seconds: float) -> None:
+        with self._lock:
+            self._samples.append(seconds)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._samples)
+
+    def percentile(self, pct: float) -> Optional[float]:
+        """Nearest-rank percentile of the recorded latencies (seconds);
+        None when nothing has been recorded."""
+        with self._lock:
+            if not self._samples:
+                return None
+            ordered = sorted(self._samples)
+        rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1))))
+        return ordered[rank]
+
+    def percentiles(self, pcts: Sequence[float] = (50, 90, 99)) -> dict[float, float]:
+        return {
+            pct: value
+            for pct in pcts
+            if (value := self.percentile(pct)) is not None
+        }
+
+    def render(self) -> str:
+        if not len(self):
+            return "no queries recorded"
+        parts = [f"n={len(self)}"]
+        for pct, value in self.percentiles().items():
+            parts.append(f"p{pct:g}={value * 1000:.2f}ms")
+        return " ".join(parts)
+
+
+@dataclass
+class _PendingQuery:
+    """Book-keeping for one in-flight query: the cooperative stop flag the
+    execution polls at unit boundaries."""
+
+    stop: threading.Event
+
+    def should_stop(self) -> bool:
+        return self.stop.is_set()
+
+
+class QuerySession:
+    """A named handle onto the service with its own latency history.
+
+    Sessions are cheap; a connection-per-client server would make one per
+    client.  All sessions share the service's plan cache and worker pool.
+    """
+
+    def __init__(self, service: "QueryService", name: str):
+        self.service = service
+        self.name = name
+        self.latency = LatencyRecorder()
+
+    def query(self, query: str, **kwargs) -> QueryResult:
+        return self.service.query(query, session=self, **kwargs)
+
+    def submit(self, query: str, **kwargs) -> Future:
+        return self.service.submit(query, session=self, **kwargs)
+
+    def explain(self, query: str, **kwargs) -> ExplainReport:
+        return self.service.explain(query, **kwargs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QuerySession {self.name} {self.latency.render()}>"
+
+
+class QueryService:
+    """Thread-safe query front-end over one :class:`Database`."""
+
+    def __init__(
+        self,
+        db: Database,
+        cache_capacity: int = 128,
+        max_workers: int = 4,
+        default_timeout: Optional[float] = None,
+    ):
+        self.db = db
+        self.cache = PlanCache(cache_capacity)
+        self.default_timeout = default_timeout
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-query"
+        )
+        self._mutate_lock = threading.RLock()
+        self._sessions: dict[str, QuerySession] = {}
+        self._session_lock = threading.Lock()
+        self._session_counter = 0
+        self._closed = False
+
+    # -- sessions -----------------------------------------------------------
+
+    def session(self, name: Optional[str] = None) -> QuerySession:
+        """A (new or existing) named session handle."""
+        with self._session_lock:
+            if name is None:
+                self._session_counter += 1
+                name = f"session-{self._session_counter}"
+            if name not in self._sessions:
+                self._sessions[name] = QuerySession(self, name)
+            return self._sessions[name]
+
+    def sessions(self) -> list[QuerySession]:
+        with self._session_lock:
+            return list(self._sessions.values())
+
+    # -- plan cache ---------------------------------------------------------
+
+    def _lookup(
+        self,
+        query: str,
+        prefer_views: bool,
+        physical: bool,
+        ctx: ExecutionContext,
+    ) -> PreparedQuery:
+        """Cached prepared plan for the query, preparing on miss.  The
+        hit/miss/invalidation outcome is recorded into ``ctx.counters``
+        (the per-query sink) — totals live in :meth:`cache_stats`."""
+        key = (normalize_query(query), prefer_views, physical)
+        version = self.db.catalog_version
+        prepared, outcome = self.cache.lookup(key, version)
+        ctx.bump("plan_cache.hit", 1.0 if outcome == "hit" else 0.0)
+        ctx.bump("plan_cache.miss", 1.0 if outcome != "hit" else 0.0)
+        ctx.bump("plan_cache.invalidated", 1.0 if outcome == "stale" else 0.0)
+        if prepared is None:
+            prepared = self.db.prepare(query, prefer_views, context=ctx)
+            self.cache.put(key, prepared, version)
+        return prepared
+
+    def cache_stats(self) -> CacheStats:
+        return self.cache.stats()
+
+    def invalidate(self) -> int:
+        """Drop every cached plan (e.g. after out-of-band mutations made
+        directly on the wrapped database)."""
+        return self.cache.clear()
+
+    # -- querying -----------------------------------------------------------
+
+    def _execute(
+        self,
+        query: str,
+        prefer_views: bool,
+        physical: bool,
+        stats: bool,
+        session: Optional[QuerySession],
+        pending: _PendingQuery,
+    ) -> QueryResult:
+        started = ExecutionContext.clock()
+        ctx = self.db.execution_context()
+        prepared = self._lookup(query, prefer_views, physical, ctx)
+        result = self.db.execute_prepared(
+            prepared,
+            physical=physical,
+            stats=stats,
+            context=ctx,
+            should_stop=pending.should_stop,
+        )
+        if session is not None:
+            session.latency.record(ExecutionContext.clock() - started)
+        return result
+
+    def submit(
+        self,
+        query: str,
+        prefer_views: bool = True,
+        physical: bool = False,
+        stats: bool = False,
+        session: Optional[QuerySession] = None,
+    ) -> Future:
+        """Enqueue a query on the worker pool; returns its Future.  The
+        future's ``cancel_query()`` attribute sets the cooperative stop
+        flag of a run already in progress."""
+        if self._closed:
+            raise RuntimeError("query service is shut down")
+        pending = _PendingQuery(stop=threading.Event())
+        future = self._executor.submit(
+            self._execute, query, prefer_views, physical, stats, session, pending
+        )
+        future.cancel_query = pending.stop.set  # type: ignore[attr-defined]
+        return future
+
+    def query(
+        self,
+        query: str,
+        prefer_views: bool = True,
+        physical: bool = False,
+        stats: bool = False,
+        session: Optional[QuerySession] = None,
+        timeout: Optional[float] = None,
+    ) -> QueryResult:
+        """Run one query through the pool and wait for its result.
+
+        ``timeout`` (seconds; default :attr:`default_timeout`) bounds the
+        wait: on expiry the query is cancelled — immediately if still
+        queued, at its next unit boundary if running — and
+        :class:`QueryTimeout` is raised.
+        """
+        future = self.submit(
+            query, prefer_views=prefer_views, physical=physical,
+            stats=stats, session=session,
+        )
+        timeout = self.default_timeout if timeout is None else timeout
+        try:
+            return future.result(timeout)
+        except FutureTimeoutError:
+            future.cancel()
+            future.cancel_query()
+            raise QueryTimeout(
+                f"query did not finish within {timeout:g}s: {query!r}"
+            ) from None
+
+    def run_batch(
+        self,
+        queries: Sequence[str],
+        prefer_views: bool = True,
+        session: Optional[QuerySession] = None,
+        timeout: Optional[float] = None,
+    ) -> list[QueryResult]:
+        """Run many queries concurrently, returning results in submission
+        order (the batch CLI verb's engine)."""
+        futures = [
+            self.submit(q, prefer_views=prefer_views, session=session)
+            for q in queries
+        ]
+        results: list[QueryResult] = []
+        for query, future in zip(queries, futures):
+            try:
+                results.append(future.result(timeout))
+            except FutureTimeoutError:
+                future.cancel()
+                future.cancel_query()
+                raise QueryTimeout(
+                    f"query did not finish within {timeout:g}s: {query!r}"
+                ) from None
+        return results
+
+    def explain(self, query: str, prefer_views: bool = True) -> ExplainReport:
+        """EXPLAIN through the cache: a repeated explain reuses the cached
+        plan, and the report's counters show the hit/miss outcome."""
+        ctx = self.db.execution_context()
+        prepared = self._lookup(query, prefer_views, physical=True, ctx=ctx)
+        return self.db.explain_prepared(prepared, ctx)
+
+    # -- mutations (serialized writers; eager invalidation) -----------------
+
+    def add_view(self, name: str, pattern: "Pattern | str", kind: str = "view"):
+        with self._mutate_lock:
+            entry = self.db.add_view(name, pattern, kind)
+            self.cache.purge_stale(self.db.catalog_version)
+            return entry
+
+    def drop_view(self, name: str) -> None:
+        with self._mutate_lock:
+            self.db.drop_view(name)
+            self.cache.purge_stale(self.db.catalog_version)
+
+    def add_document_xml(self, source: str, name: str = "doc.xml"):
+        with self._mutate_lock:
+            doc = self.db.add_document_xml(source, name)
+            self.cache.purge_stale(self.db.catalog_version)
+            return doc
+
+    def refresh_statistics(self) -> None:
+        with self._mutate_lock:
+            self.db.refresh_statistics()
+            self.cache.purge_stale(self.db.catalog_version)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def shutdown(self, wait: bool = True, cancel_pending: bool = True) -> None:
+        """Stop accepting queries; optionally cancel queued ones and wait
+        for running ones to drain."""
+        self._closed = True
+        self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+
+    def __enter__(self) -> "QueryService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<QueryService {self.cache.stats().render()}>"

@@ -27,8 +27,9 @@ estimated *and* actual per-operator cardinalities and timings.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Iterator, Optional
+from typing import Callable, Iterator, Optional
 
 from ..algebra.model import NestedTuple
 from ..algebra.operators import Operator
@@ -58,9 +59,18 @@ __all__ = [
     "Database",
     "QueryResult",
     "PatternResolution",
+    "PreparedUnit",
+    "PreparedQuery",
+    "QueryCancelled",
     "ExplainUnit",
     "ExplainReport",
 ]
+
+
+class QueryCancelled(RuntimeError):
+    """Raised inside :meth:`Database.execute_prepared` when the caller's
+    ``should_stop`` callback asks a running query to abandon its remaining
+    units (the service's cooperative cancellation hook)."""
 
 
 @dataclass
@@ -93,6 +103,9 @@ class QueryResult:
     #: per-unit runtime metrics (populated when the query ran with
     #: ``stats=True`` — one PlanMetrics tree per assembled unit plan)
     metrics: list[PlanMetrics] = field(default_factory=list)
+    #: named event counters copied from the execution context's metrics
+    #: sink (plan-cache hits/misses when a QueryService ran the query)
+    counters: dict = field(default_factory=dict)
 
     @property
     def used_views(self) -> list[str]:
@@ -101,6 +114,46 @@ class QueryResult:
             if resolution.rewriting is not None:
                 names.extend(resolution.rewriting.views)
         return names
+
+
+@dataclass
+class PreparedUnit:
+    """One extraction unit of a prepared query: its resolved access paths,
+    the assembled logical plan, and lazily cached compiled artifacts."""
+
+    unit: ExtractionUnit
+    resolutions: list[PatternResolution]
+    logical: Operator
+    #: pattern index → compiled physical plan of the chosen rewriting
+    #: (filled on first ``physical=True`` execution)
+    compiled_patterns: dict[int, object] = field(default_factory=dict)
+    #: compiled physical plan of the assembled unit (filled on first
+    #: ``stats=True`` execution / explain)
+    compiled_plan: Optional[object] = None
+
+
+@dataclass
+class PreparedQuery:
+    """The reusable output of the parse → translate → extract → rewrite →
+    assemble pipeline — everything about a query that does not depend on
+    the data, only on the catalog state it was prepared against.
+
+    Executing a prepared query re-reads the store, so results stay fresh
+    for data already covered by :attr:`catalog_version`; any XAM /
+    document / statistics mutation bumps the database's version and makes
+    this plan stale (the plan cache drops it on the next lookup).
+
+    Prepared queries are **not re-entrant**: resolutions and compiled
+    plans carry per-execution mutable state, so :attr:`lock` serializes
+    executions of the same plan (distinct plans run fully in parallel).
+    """
+
+    text: str
+    prefer_views: bool
+    catalog_version: int
+    units: list[PreparedUnit]
+    executions: int = 0
+    lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
 @dataclass
@@ -145,8 +198,11 @@ class ExplainReport:
     explain — while :attr:`units` carries the full three-stage plan trees
     and :meth:`render` formats everything for humans."""
 
-    def __init__(self, units: list[ExplainUnit]):
+    def __init__(self, units: list[ExplainUnit], counters: Optional[dict] = None):
         self.units = units
+        #: named event counters from the execution context's metrics sink
+        #: (plan-cache hit/miss/invalidation when explained via a service)
+        self.counters = dict(counters or {})
 
     @property
     def resolutions(self) -> list[PatternResolution]:
@@ -167,6 +223,12 @@ class ExplainReport:
             if len(self.units) > 1:
                 parts.append(f"── unit {number} " + "─" * 24)
             parts.append(unit.render())
+        if self.counters:
+            parts.append("counters:")
+            for name in sorted(self.counters):
+                value = self.counters[name]
+                text = f"{value:g}" if isinstance(value, float) else str(value)
+                parts.append(f"  {name} = {text}")
         return "\n".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -187,6 +249,17 @@ class Database:
         self.catalog = Catalog()
         self.documents: list[Document] = []
         self.summary = PathSummary()
+        #: document/statistics mutation counter (catalog mutations are
+        #: counted by the catalog itself; see :attr:`catalog_version`)
+        self._mutations = 0
+
+    @property
+    def catalog_version(self) -> int:
+        """Monotonically increasing version of everything a prepared plan
+        depends on: the XAM catalog, the document set, and the statistics.
+        The plan cache stamps entries with this number; any mismatch means
+        the plan was derived against outdated state."""
+        return self._mutations + self.catalog.version
 
     # -- loading ------------------------------------------------------------
 
@@ -205,7 +278,17 @@ class Database:
         self.summary.finalize()
         for existing in self.documents:
             annotate_edges(self.summary, existing)
+        self._mutations += 1
         return doc
+
+    def refresh_statistics(self) -> None:
+        """Recompute summary annotations over all documents and bump the
+        catalog version: cardinality estimates feed rewriting choice, so
+        cached plans ranked under the old statistics must be re-prepared."""
+        self.summary.finalize()
+        for doc in self.documents:
+            annotate_edges(self.summary, doc)
+        self._mutations += 1
 
     # -- storage management ----------------------------------------------------
 
@@ -250,12 +333,73 @@ class Database:
 
     # -- querying ---------------------------------------------------------------
 
+    def prepare(
+        self,
+        query: str | Expr,
+        prefer_views: bool = True,
+        context: Optional[ExecutionContext] = None,
+    ) -> PreparedQuery:
+        """Run the data-independent half of the pipeline once: parse,
+        translate, extract maximal patterns, search and rank rewritings,
+        and assemble the per-unit logical plans.  The result can be
+        executed any number of times (and is what the plan cache stores).
+        """
+        expr = parse_query(query) if isinstance(query, str) else query
+        extraction = extract(expr)
+        ctx = context or self.execution_context()
+        units: list[PreparedUnit] = []
+        for unit in extraction.units:
+            resolutions = [
+                self._resolve_pattern(pattern, prefer_views, ctx)
+                for pattern in unit.patterns
+            ]
+            units.append(
+                PreparedUnit(
+                    unit=unit,
+                    resolutions=resolutions,
+                    logical=assemble_plan(unit),
+                )
+            )
+        return PreparedQuery(
+            text=query if isinstance(query, str) else "",
+            prefer_views=prefer_views,
+            catalog_version=self.catalog_version,
+            units=units,
+        )
+
+    def execute_prepared(
+        self,
+        prepared: PreparedQuery,
+        physical: bool = False,
+        stats: bool = False,
+        context: Optional[ExecutionContext] = None,
+        should_stop: Optional[Callable[[], bool]] = None,
+    ) -> QueryResult:
+        """Execute a prepared query against the current store contents.
+
+        Holds the prepared plan's lock for the duration (plans carry
+        per-execution state, so executions of the *same* plan serialize;
+        distinct plans run in parallel).  ``should_stop`` is polled at
+        unit boundaries; returning True raises :class:`QueryCancelled`.
+        """
+        ctx = context or self.execution_context()
+        result = QueryResult()
+        with prepared.lock:
+            prepared.executions += 1
+            for prepared_unit in prepared.units:
+                if should_stop is not None and should_stop():
+                    raise QueryCancelled(f"query cancelled: {prepared.text!r}")
+                self._run_prepared_unit(prepared_unit, result, physical, stats, ctx)
+        result.counters = dict(ctx.counters)
+        return result
+
     def query(
         self,
         query: str | Expr,
         prefer_views: bool = True,
         physical: bool = False,
         stats: bool = False,
+        context: Optional[ExecutionContext] = None,
     ) -> QueryResult:
         """Parse, extract, rewrite, stitch and execute.
 
@@ -264,17 +408,20 @@ class Database:
         plans through the physical engine compiler.  ``stats=True``
         additionally compiles the assembled unit plans through the
         physical engine and records per-operator metrics into
-        ``result.metrics`` (one tree per unit).
+        ``result.metrics`` (one tree per unit).  ``context`` lets callers
+        (the query service) thread one metrics sink through preparation
+        and execution.
         """
-        expr = parse_query(query) if isinstance(query, str) else query
-        extraction = extract(expr)
-        result = QueryResult()
-        ctx = self.execution_context()
-        for unit in extraction.units:
-            self._run_unit(unit, result, prefer_views, physical, stats, ctx)
-        return result
+        ctx = context or self.execution_context()
+        prepared = self.prepare(query, prefer_views, context=ctx)
+        return self.execute_prepared(prepared, physical=physical, stats=stats, context=ctx)
 
-    def explain(self, query: str | Expr, prefer_views: bool = True) -> ExplainReport:
+    def explain(
+        self,
+        query: str | Expr,
+        prefer_views: bool = True,
+        context: Optional[ExecutionContext] = None,
+    ) -> ExplainReport:
         """The full plan lifecycle of a query, executed with metrics.
 
         Per unit: the assembled logical plan, each pattern's chosen access
@@ -282,36 +429,48 @@ class Database:
         compiled physical plan annotated with estimated *and* actual
         per-operator cardinalities and timings.
         """
-        expr = parse_query(query) if isinstance(query, str) else query
-        extraction = extract(expr)
-        ctx = self.execution_context()
+        ctx = context or self.execution_context()
+        return self.explain_prepared(self.prepare(query, prefer_views, context=ctx), ctx)
+
+    def explain_prepared(
+        self,
+        prepared: PreparedQuery,
+        context: Optional[ExecutionContext] = None,
+    ) -> ExplainReport:
+        """EXPLAIN an already prepared (possibly cached) query: compile
+        the unit plans if needed, execute with metrics, and report —
+        including any counters the context's metrics sink accumulated
+        (e.g. the service's plan-cache hit/miss for this very lookup)."""
+        ctx = context or self.execution_context()
         units: list[ExplainUnit] = []
-        for unit in extraction.units:
-            resolutions = [
-                self._resolve_pattern(pattern, prefer_views, ctx)
-                for pattern in unit.patterns
-            ]
-            bindings = {}
-            for index, resolution in enumerate(resolutions):
-                tuples = self._pattern_tuples(resolution, physical=True, ctx=ctx)
-                resolution.actual_cardinality = len(tuples)
-                bindings[f"__pattern_{index}"] = tuples
-            logical = assemble_plan(unit)
-            physical_plan = ctx.compile(logical, self.store.scan_orders())
-            _, metrics = ctx.run(physical_plan, bindings)
-            units.append(
-                ExplainUnit(
-                    logical=logical,
-                    resolutions=resolutions,
-                    rewritten=[
-                        r.rewriting.plan if r.rewriting is not None else None
-                        for r in resolutions
-                    ],
-                    physical=physical_plan,
-                    metrics=metrics,
+        with prepared.lock:
+            prepared.executions += 1
+            for prepared_unit in prepared.units:
+                bindings = {}
+                for index, resolution in enumerate(prepared_unit.resolutions):
+                    tuples = self._prepared_pattern_tuples(
+                        prepared_unit, index, resolution, physical=True, ctx=ctx
+                    )
+                    resolution.actual_cardinality = len(tuples)
+                    bindings[f"__pattern_{index}"] = tuples
+                if prepared_unit.compiled_plan is None:
+                    prepared_unit.compiled_plan = ctx.compile(
+                        prepared_unit.logical, self.store.scan_orders()
+                    )
+                _, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
+                units.append(
+                    ExplainUnit(
+                        logical=prepared_unit.logical,
+                        resolutions=prepared_unit.resolutions,
+                        rewritten=[
+                            r.rewriting.plan if r.rewriting is not None else None
+                            for r in prepared_unit.resolutions
+                        ],
+                        physical=prepared_unit.compiled_plan,
+                        metrics=metrics,
+                    )
                 )
-            )
-        return ExplainReport(units)
+        return ExplainReport(units, counters=ctx.counters)
 
     def rewrite(self, pattern: Pattern | str, **kwargs) -> list[Rewriting]:
         """Expose pattern rewriting directly (Chapter 5 entry point)."""
@@ -344,18 +503,25 @@ class Database:
                 )
         return PatternResolution(pattern, "base", estimated_cardinality=estimate)
 
-    def _pattern_tuples(
+    def _prepared_pattern_tuples(
         self,
+        prepared_unit: PreparedUnit,
+        index: int,
         resolution: PatternResolution,
         physical: bool,
-        ctx: Optional[ExecutionContext] = None,
+        ctx: ExecutionContext,
     ) -> list[NestedTuple]:
+        """Evaluate one resolved pattern against the current store,
+        reusing (and lazily filling) the unit's compiled rewriting plan
+        when the physical engine is requested."""
         if resolution.rewriting is not None:
             plan = resolution.rewriting.plan
             context = self.store.context()
             if physical:
-                ctx = ctx or self.execution_context()
-                compiled = ctx.compile(plan, self.store.scan_orders())
+                compiled = prepared_unit.compiled_patterns.get(index)
+                if compiled is None:
+                    compiled = ctx.compile(plan, self.store.scan_orders())
+                    prepared_unit.compiled_patterns[index] = compiled
                 return list(compiled.execute(context))
             return plan.evaluate(context)
         tuples: list[NestedTuple] = []
@@ -363,30 +529,32 @@ class Database:
             tuples.extend(evaluate_pattern(resolution.pattern, doc))
         return tuples
 
-    def _run_unit(
+    def _run_prepared_unit(
         self,
-        unit: ExtractionUnit,
+        prepared_unit: PreparedUnit,
         result: QueryResult,
-        prefer_views: bool,
         physical: bool,
         stats: bool,
         ctx: ExecutionContext,
     ) -> None:
-        resolutions = [
-            self._resolve_pattern(pattern, prefer_views, ctx)
-            for pattern in unit.patterns
-        ]
+        unit = prepared_unit.unit
+        resolutions = prepared_unit.resolutions
         result.resolutions.extend(resolutions)
         bindings = {}
         for index, resolution in enumerate(resolutions):
-            tuples = self._pattern_tuples(resolution, physical, ctx)
+            tuples = self._prepared_pattern_tuples(
+                prepared_unit, index, resolution, physical, ctx
+            )
             resolution.actual_cardinality = len(tuples)
             bindings[f"__pattern_{index}"] = tuples
-        plan = assemble_plan(unit)
+        plan = prepared_unit.logical
         result.plans.append(plan)
         if stats:
-            physical_plan = ctx.compile(plan, self.store.scan_orders())
-            tuples, metrics = ctx.run(physical_plan, bindings)
+            if prepared_unit.compiled_plan is None:
+                prepared_unit.compiled_plan = ctx.compile(
+                    plan, self.store.scan_orders()
+                )
+            tuples, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
             result.metrics.append(metrics)
         else:
             tuples = plan.evaluate(bindings)

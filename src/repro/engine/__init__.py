@@ -11,6 +11,7 @@ from .context import (
     Tunables,
 )
 from .orderdesc import satisfies, sort_key_for
+from .plan_cache import CacheStats, PlanCache, normalize_query
 from .physical import (
     PBase,
     PConcat,
@@ -42,6 +43,9 @@ __all__ = [
     "Tunables",
     "satisfies",
     "sort_key_for",
+    "CacheStats",
+    "PlanCache",
+    "normalize_query",
     "PBase",
     "PConcat",
     "PDifference",

@@ -246,7 +246,17 @@ class ExecutionContext:
         self.cost_model = cost_model or CostModel(self.tunables)
         self.registry: dict[type, LoweringFn] = dict(registry or {})
         self.metrics: list[PlanMetrics] = []
+        #: named event counters threaded through the lifecycle (the query
+        #: service records plan-cache hits/misses here; EXPLAIN and
+        #: ``query(stats=True)`` surface them next to the plan metrics)
+        self.counters: dict[str, float] = {}
         self._estimates: dict[int, Optional[float]] = {}
+
+    # -- counters -----------------------------------------------------------
+
+    def bump(self, name: str, value: float = 1.0) -> None:
+        """Increment a named counter in the metrics sink."""
+        self.counters[name] = self.counters.get(name, 0.0) + value
 
     # -- estimation ---------------------------------------------------------
 

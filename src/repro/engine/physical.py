@@ -744,7 +744,15 @@ def execute(
     context: Optional[Context] = None,
     scan_orders: Optional[Mapping[str, str]] = None,
     execution_context: Optional[ExecutionContext] = None,
-) -> list[NestedTuple]:
-    """Compile and run a logical plan through the physical engine."""
+) -> Iterator[NestedTuple]:
+    """Compile and run a logical plan through the physical engine.
+
+    Returns a **lazy iterator**: tuples are produced as the root operator
+    pulls them, so callers that stop early (LIMIT-style consumption,
+    existence checks) never pay for the full result.  Wrap in ``list()``
+    to materialize; blocking operators (sorts, hash builds, fallbacks)
+    still materialize their own inputs internally as their algorithms
+    require.
+    """
     physical = compile_plan(logical, scan_orders, context=execution_context)
-    return list(physical.execute(context))
+    return physical.execute(context)

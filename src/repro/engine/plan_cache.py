@@ -1,0 +1,193 @@
+"""A versioned, thread-safe LRU cache of prepared query plans.
+
+The thesis' economics (§1.2.3–§1.2.4) are that many logical queries share
+a few physical access paths; what makes that *pay* at runtime is not
+re-deriving the access-path choice on every call.  The full pipeline —
+parse → translate → extract maximal patterns → rewriting search over the
+XAM catalog → rank → assemble → compile — is pure with respect to the
+database state, so its output can be reused until that state changes.
+
+:class:`PlanCache` keys entries on ``(normalized query text, flags)`` and
+stamps each entry with the **catalog version** current when the plan was
+prepared.  Any XAM / document / statistics mutation bumps the version
+(see :attr:`repro.storage.catalog.Catalog.version` and
+``Database.catalog_version``), so a later lookup finds a version mismatch
+and drops the stale plan automatically — the cache never needs to know
+*what* changed, only *that* something did.  This is the invalidation
+protocol: versions only grow, entries carry the version they were built
+against, and equality is the sole staleness test.
+
+All operations take a single internal lock; the cache is safe to share
+across the :class:`~repro.core.service.QueryService` worker threads.
+Counters (hits / misses / evictions / invalidations) are maintained under
+the same lock and exposed as an immutable :class:`CacheStats` snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Hashable, Iterator, Optional
+
+__all__ = ["CacheStats", "PlanCache", "normalize_query"]
+
+
+def normalize_query(text: str) -> str:
+    """Whitespace-insensitive form of a query: the cache key treats
+    ``//a/b`` and ``  //a/b  `` (and internal run-of-space differences)
+    as the same query."""
+    return " ".join(text.split())
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """An immutable snapshot of the cache counters.
+
+    ``invalidations`` counts entries dropped because the catalog version
+    moved past them (on lookup or an explicit stale purge); ``evictions``
+    counts capacity-driven LRU drops only.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    invalidations: int = 0
+    size: int = 0
+    capacity: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+            "size": self.size,
+            "capacity": self.capacity,
+            "hit_rate": self.hit_rate,
+        }
+
+    def render(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"evictions={self.evictions} invalidations={self.invalidations} "
+            f"size={self.size}/{self.capacity} hit_rate={self.hit_rate:.0%}"
+        )
+
+
+class _Entry:
+    __slots__ = ("value", "version")
+
+    def __init__(self, value: Any, version: int):
+        self.value = value
+        self.version = version
+
+
+class PlanCache:
+    """LRU map from query keys to prepared plans, with version stamps."""
+
+    def __init__(self, capacity: int = 128):
+        if capacity < 1:
+            raise ValueError("plan cache capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[Hashable, _Entry]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._invalidations = 0
+
+    # -- lookups ------------------------------------------------------------
+
+    def get(self, key: Hashable, version: int = 0) -> Optional[Any]:
+        """The cached value, or None.  A key present at an older catalog
+        version counts as an invalidation *and* a miss, and the stale
+        entry is dropped."""
+        return self.lookup(key, version)[0]
+
+    def lookup(self, key: Hashable, version: int = 0) -> tuple[Optional[Any], str]:
+        """Like :meth:`get`, but also reports the per-lookup outcome:
+        ``"hit"``, ``"miss"``, or ``"stale"`` (version mismatch — counted
+        as an invalidation and a miss)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self._misses += 1
+                return None, "miss"
+            if entry.version != version:
+                del self._entries[key]
+                self._invalidations += 1
+                self._misses += 1
+                return None, "stale"
+            self._entries.move_to_end(key)
+            self._hits += 1
+            return entry.value, "hit"
+
+    def put(self, key: Hashable, value: Any, version: int = 0) -> None:
+        with self._lock:
+            self._entries[key] = _Entry(value, version)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    # -- invalidation -------------------------------------------------------
+
+    def purge_stale(self, version: int) -> int:
+        """Drop every entry not built at ``version`` (the eager half of
+        the protocol — lazy lookup-time drops happen regardless).
+        Returns the number of entries dropped."""
+        with self._lock:
+            stale = [k for k, e in self._entries.items() if e.version != version]
+            for key in stale:
+                del self._entries[key]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    def clear(self) -> int:
+        """Drop everything (counted as invalidations)."""
+        with self._lock:
+            dropped = len(self._entries)
+            self._entries.clear()
+            self._invalidations += dropped
+            return dropped
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> CacheStats:
+        with self._lock:
+            return CacheStats(
+                hits=self._hits,
+                misses=self._misses,
+                evictions=self._evictions,
+                invalidations=self._invalidations,
+                size=len(self._entries),
+                capacity=self.capacity,
+            )
+
+    def keys(self) -> list[Hashable]:
+        """Current keys, least- to most-recently used."""
+        with self._lock:
+            return list(self._entries)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    def __iter__(self) -> Iterator[Hashable]:
+        return iter(self.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<PlanCache {self.stats().render()}>"

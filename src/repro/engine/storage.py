@@ -73,11 +73,17 @@ class Store:
         order: Optional[str] = None,
     ) -> StoredRelation:
         relation = StoredRelation(name, tuples, order)
-        self._relations[name] = relation
+        # copy-on-write: concurrent readers iterating context()/scan_orders()
+        # keep a consistent dict while a writer installs a relation
+        updated = dict(self._relations)
+        updated[name] = relation
+        self._relations = updated
         return relation
 
     def drop(self, name: str) -> None:
-        del self._relations[name]
+        updated = dict(self._relations)
+        del updated[name]
+        self._relations = updated
 
     def __contains__(self, name: str) -> bool:
         return name in self._relations

@@ -51,10 +51,17 @@ class Catalog:
 
     A change to the storage is communicated to the optimizer simply by
     updating this set (§2.2's "simply by updating the XAM set").
+
+    :attr:`version` counts mutations (register / unregister); cached
+    query plans are stamped with the version they were prepared against,
+    so any catalog change invalidates them without further coordination
+    (see :mod:`repro.engine.plan_cache`).
     """
 
     def __init__(self) -> None:
         self._entries: dict[str, CatalogEntry] = {}
+        #: monotonically increasing mutation counter
+        self.version: int = 0
 
     def register(
         self,
@@ -76,10 +83,12 @@ class Catalog:
             metadata=metadata,
         )
         self._entries[name] = entry
+        self.version += 1
         return entry
 
     def unregister(self, name: str) -> None:
         del self._entries[name]
+        self.version += 1
 
     def __contains__(self, name: str) -> bool:
         return name in self._entries

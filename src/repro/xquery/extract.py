@@ -40,13 +40,11 @@ from typing import Optional, Sequence, Union
 from ..algebra.formulas import Formula
 from ..algebra.model import NestedTuple
 from ..algebra.operators import (
-    BaseTuples,
     Operator,
     Product,
     Select,
     TemplateAttr,
     TemplateElement,
-    Union as UnionOp,
     ValueJoin,
     XMLize,
 )
@@ -62,7 +60,6 @@ from ..core.xam import (
     PatternNode,
 )
 from .ast import (
-    DOC_ROOT,
     Comparison,
     ElementConstructor,
     Expr,

@@ -34,7 +34,7 @@ from ..algebra.operators import (
 from ..algebra.predicates import Attr, Compare, Const
 from ..core.semantics import tag_derived_collection
 from ..xmldata.node import Document
-from .ast import Expr, FLWR, PathExpr, SequenceExpr, Step, StepPredicate
+from .ast import Expr, FLWR, PathExpr, SequenceExpr, StepPredicate
 from .extract import assemble_plan, extract
 
 __all__ = [

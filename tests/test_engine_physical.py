@@ -243,7 +243,7 @@ class TestOtherOperators:
 
     def test_scan_missing_ok_compiles(self):
         plan = Scan("ghost", ["x"], missing_ok=True)
-        assert execute(plan, {}) == []
+        assert list(execute(plan, {})) == []
 
 
 # -- property test: StackTree vs nested loops over random trees -------------
@@ -283,3 +283,28 @@ def test_property_stacktree_matches_naive(source, anc_label, desc_label, axis, k
     logical = sorted(t.freeze() for t in plan.evaluate({}))
     physical = sorted(t.freeze() for t in execute(plan, {}))
     assert logical == physical
+
+
+class TestLazyExecute:
+    """Module-level ``execute`` streams: callers that stop early never pay
+    for the full result (the eager ``list()`` was removed)."""
+
+    def test_returns_iterator_not_list(self):
+        rows = [NestedTuple({"x": i}) for i in range(3)]
+        result = execute(Scan("r", ["x"]), {"r": rows})
+        assert not isinstance(result, list)
+        assert iter(result) is result  # a true one-shot iterator
+        assert [t["x"] for t in result] == [0, 1, 2]
+
+    def test_early_stop_skips_remaining_work(self):
+        pulled = []
+
+        def counting_rows():
+            for i in range(1000):
+                pulled.append(i)
+                yield NestedTuple({"x": i})
+
+        result = execute(Scan("r", ["x"]), {"r": counting_rows()})
+        first = next(iter(result))
+        assert first["x"] == 0
+        assert len(pulled) <= 2, "execute must not materialize eagerly"

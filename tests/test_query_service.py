@@ -1,0 +1,243 @@
+"""The concurrent query service: cache correctness, invalidation on every
+mutation kind, timeouts/cancellation, and the multi-threaded smoke test
+over XMark the ISSUE asks for."""
+
+import random
+import threading
+import time
+
+import pytest
+
+from repro import Database, QueryService
+from repro.core.service import QueryTimeout
+from repro.core.uload import QueryCancelled
+from repro.workloads import generate_xmark
+
+from tests.conftest import BIB_XML
+
+PERSON_QUERY = "for $p in //people/person return $p/name/text()"
+AUCTION_QUERY = "//open_auctions/open_auction/initial/text()"
+ITEM_QUERY = "//regions//item/name/text()"
+CLOSED_QUERY = "//closed_auctions/closed_auction/price/text()"
+
+
+@pytest.fixture()
+def xmark_db():
+    db = Database()
+    db.add_document(generate_xmark(scale=1, seed=0))
+    db.add_view("v_person", "//people/person[id:s]{/name[id:s, val]}")
+    db.add_view("v_item", "//regions//item[id:s]{/name[id:s, val]}")
+    return db
+
+
+@pytest.fixture()
+def service(xmark_db):
+    svc = QueryService(xmark_db, cache_capacity=16, max_workers=8)
+    yield svc
+    svc.shutdown()
+
+
+def frozen(result):
+    return [t.freeze() for t in result.tuples]
+
+
+class TestCacheCorrectness:
+    def test_hit_after_miss_returns_identical_tuples(self, service):
+        first = service.query(PERSON_QUERY)
+        second = service.query(PERSON_QUERY)
+        assert frozen(first) == frozen(second)
+        assert first.values == second.values
+        assert first.xml == second.xml
+        stats = service.cache_stats()
+        assert stats.misses == 1 and stats.hits == 1
+
+    def test_counters_surface_in_result(self, service):
+        miss = service.query(PERSON_QUERY, stats=True)
+        hit = service.query(PERSON_QUERY, stats=True)
+        assert miss.counters["plan_cache.miss"] == 1.0
+        assert hit.counters["plan_cache.hit"] == 1.0
+        assert hit.metrics, "stats=True should still record plan metrics"
+
+    def test_counters_surface_in_explain(self, service):
+        service.explain(PERSON_QUERY)
+        report = service.explain(PERSON_QUERY)
+        assert report.counters["plan_cache.hit"] == 1.0
+        assert "plan_cache.hit" in report.render()
+
+    def test_distinct_queries_cached_separately(self, service):
+        service.query(PERSON_QUERY)
+        service.query(AUCTION_QUERY)
+        assert service.cache_stats().size == 2
+
+    def test_whitespace_variants_share_one_entry(self, service):
+        service.query(PERSON_QUERY)
+        service.query("  " + PERSON_QUERY.replace(" return", "   return") + "  ")
+        stats = service.cache_stats()
+        assert stats.hits == 1 and stats.size == 1
+
+    def test_matches_plain_database_results(self, xmark_db, service):
+        direct = xmark_db.query(AUCTION_QUERY)
+        via_service = service.query(AUCTION_QUERY)
+        assert frozen(direct) == frozen(via_service)
+
+
+class TestInvalidation:
+    def test_register_xam_invalidates(self, service):
+        service.query(AUCTION_QUERY)
+        service.add_view(
+            "v_auction", "//open_auctions/open_auction[id:s]{/initial[id:s, val]}"
+        )
+        assert service.cache_stats().invalidations >= 1
+        result = service.query(AUCTION_QUERY)
+        assert "v_auction" in result.used_views
+        assert service.cache_stats().misses == 2  # re-prepared, not reused
+
+    def test_drop_view_invalidates(self, service):
+        before = service.query(PERSON_QUERY)
+        assert "v_person" in before.used_views
+        service.drop_view("v_person")
+        after = service.query(PERSON_QUERY)
+        assert "v_person" not in after.used_views
+        assert sorted(before.values) == sorted(after.values)
+
+    def test_load_document_invalidates(self, service):
+        baseline = service.query("//book/title/text()")
+        assert baseline.values == []
+        service.add_document_xml(BIB_XML, "bib.xml")
+        enriched = service.query("//book/title/text()")
+        assert "Data on the Web" in enriched.values
+        assert service.cache_stats().invalidations >= 1
+
+    def test_refresh_statistics_invalidates(self, service):
+        service.query(PERSON_QUERY)
+        version = service.db.catalog_version
+        service.refresh_statistics()
+        assert service.db.catalog_version == version + 1
+        service.query(PERSON_QUERY)
+        stats = service.cache_stats()
+        assert stats.misses == 2 and stats.invalidations >= 1
+
+    def test_lru_eviction_respects_capacity(self, xmark_db):
+        with QueryService(xmark_db, cache_capacity=2, max_workers=2) as svc:
+            for query in (PERSON_QUERY, AUCTION_QUERY, ITEM_QUERY, CLOSED_QUERY):
+                svc.query(query)
+            stats = svc.cache_stats()
+            assert stats.size == 2
+            assert stats.evictions == 2
+
+
+class TestTimeoutAndCancellation:
+    def test_timeout_raises_query_timeout(self, xmark_db):
+        original = xmark_db.prepare
+
+        def slow_prepare(*args, **kwargs):
+            time.sleep(0.4)
+            return original(*args, **kwargs)
+
+        xmark_db.prepare = slow_prepare
+        with QueryService(xmark_db, max_workers=1) as svc:
+            with pytest.raises(QueryTimeout):
+                svc.query(PERSON_QUERY, timeout=0.05)
+
+    def test_should_stop_cancels_between_units(self, xmark_db):
+        prepared = xmark_db.prepare(PERSON_QUERY)
+        with pytest.raises(QueryCancelled):
+            xmark_db.execute_prepared(prepared, should_stop=lambda: True)
+
+    def test_shutdown_rejects_new_queries(self, xmark_db):
+        svc = QueryService(xmark_db, max_workers=1)
+        svc.shutdown()
+        with pytest.raises(RuntimeError):
+            svc.query(PERSON_QUERY)
+
+
+class TestSessions:
+    def test_sessions_record_latency_percentiles(self, service):
+        session = service.session("alice")
+        for _ in range(5):
+            session.query(PERSON_QUERY)
+        assert len(session.latency) == 5
+        p50 = session.latency.percentile(50)
+        p99 = session.latency.percentile(99)
+        assert p50 is not None and p99 is not None and p50 <= p99
+        assert 50 in session.latency.percentiles((50, 99))
+        assert "p50=" in session.latency.render()
+
+    def test_named_session_is_stable_and_autonames_unique(self, service):
+        assert service.session("alice") is service.session("alice")
+        assert service.session().name != service.session().name
+        assert len(service.sessions()) >= 2
+
+    def test_empty_recorder(self, service):
+        fresh = service.session("idle")
+        assert fresh.latency.percentile(50) is None
+        assert fresh.latency.render() == "no queries recorded"
+
+
+class TestConcurrentSmoke:
+    """≥8 threads, mixed cached/uncached queries, one mid-run catalog
+    mutation — results must be deterministic (acceptance criterion)."""
+
+    QUERIES = [PERSON_QUERY, AUCTION_QUERY, ITEM_QUERY, CLOSED_QUERY]
+
+    def test_eight_thread_smoke(self, xmark_db):
+        reference = {
+            q: sorted(frozen(xmark_db.query(q))) for q in self.QUERIES
+        }
+        svc = QueryService(xmark_db, cache_capacity=16, max_workers=8)
+        errors: list = []
+        mismatches: list = []
+        started = threading.Barrier(9)
+        mutated = threading.Event()
+
+        def reader(seed: int) -> None:
+            rng = random.Random(seed)
+            try:
+                started.wait()
+                session = svc.session(f"reader-{seed}")
+                for i in range(12):
+                    query = rng.choice(self.QUERIES)
+                    result = session.query(query, timeout=30)
+                    if sorted(frozen(result)) != reference[query]:
+                        mismatches.append((seed, i, query))
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append((seed, error))
+
+        def mutator() -> None:
+            try:
+                started.wait()
+                time.sleep(0.02)  # land mid-run
+                svc.add_view(
+                    "v_closed",
+                    "//closed_auctions/closed_auction[id:s]{/price[id:s, val]}",
+                )
+                mutated.set()
+            except Exception as error:  # pragma: no cover - failure detail
+                errors.append(("mutator", error))
+
+        threads = [threading.Thread(target=reader, args=(s,)) for s in range(8)]
+        threads.append(threading.Thread(target=mutator))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=120)
+        svc.shutdown()
+
+        assert not errors, errors
+        assert not mismatches, mismatches
+        assert mutated.is_set()
+        stats = svc.cache_stats()
+        assert stats.hits > 0, "repeated queries must hit the cache"
+        assert stats.misses > 0
+        # every reader finished all its queries
+        assert sum(len(s.latency) for s in svc.sessions()) == 8 * 12
+
+    def test_repeatable_across_runs(self, xmark_db):
+        """The same mixed workload twice yields identical result sets —
+        determinism independent of thread scheduling."""
+        outcomes = []
+        for _ in range(2):
+            with QueryService(xmark_db, cache_capacity=8, max_workers=8) as svc:
+                results = svc.run_batch(self.QUERIES * 4)
+                outcomes.append([sorted(frozen(r)) for r in results])
+        assert outcomes[0] == outcomes[1]

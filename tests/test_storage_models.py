@@ -4,7 +4,7 @@ expected relations, registers describing XAMs, and the QEP-shape claims
 
 import pytest
 
-from repro.algebra import Attr, Compare, Const, NestedTuple, Scan, Select, StructuralJoin, plan_shape
+from repro.algebra import Scan, StructuralJoin, plan_shape
 from repro.engine import Store, execute
 from repro.storage import (
     Catalog,
@@ -228,7 +228,7 @@ class TestQEPShapes:
     def test_both_plans_execute(self, auction_doc, auction_summary):
         for builder in (self.qep_blob, self.qep_fragmented):
             plan, store = builder(auction_doc, auction_summary)
-            out = execute(plan, store.context(), store.scan_orders())
+            out = list(execute(plan, store.context(), store.scan_orders()))
             assert out  # the first item has listitems/keywords
 
 

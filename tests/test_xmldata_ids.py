@@ -5,7 +5,6 @@ import pytest
 
 from repro.xmldata import (
     DeweyID,
-    StructuralID,
     id_of,
     is_ancestor_id,
     is_parent_id,

@@ -3,7 +3,7 @@ blocks, edge-semantics rules, compensations, and templates."""
 
 import pytest
 
-from repro.core import NEST, NEST_OUTER, OUTER, SEMI, evaluate_pattern
+from repro.core import NEST, NEST_OUTER, SEMI, evaluate_pattern
 from repro.xquery import (
     assemble_plan,
     bind_patterns,

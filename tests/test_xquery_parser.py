@@ -4,7 +4,6 @@ import pytest
 
 from repro.workloads import XMARK_QUERIES
 from repro.xquery import (
-    DOC_ROOT,
     ElementConstructor,
     FLWR,
     Literal,
