@@ -41,6 +41,12 @@ def load_medians(path: str) -> dict[str, dict[str, float]]:
             }
             for bench in data["benchmarks"]
         }
+    if "baseline" not in data:
+        print(
+            f"WARNING   {path} has no 'baseline' key — treating as empty "
+            "(every current benchmark will count as NEW; re-seed to fix)"
+        )
+        return {}
     return data["baseline"]
 
 
@@ -75,6 +81,12 @@ def compare(current_path: str, baseline_path: str, threshold: float) -> int:
         base = baseline.get(name)
         if base is None:
             print(f"NEW       {name} (median {stats['median'] * 1000:.3f}ms)")
+            continue
+        if "median" not in base:
+            print(
+                f"WARNING   {name}: baseline entry has no 'median' — "
+                "skipping (re-seed to fix)"
+            )
             continue
         ratio = stats["median"] / base["median"] if base["median"] > 0 else 1.0
         if ratio > 1.0 + threshold:

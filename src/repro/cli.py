@@ -29,8 +29,15 @@ Without ``--query``, starts a REPL with commands:
     .explain <xquery>        full EXPLAIN: plans + est/actual cardinalities
     .stats <xquery>          run a query and print per-operator metrics
     .cache                   plan-cache counters (.cache clear to reset)
+    .health                  access-module circuit-breaker states
     .summary                 summary statistics
     .quit
+
+Exit codes of the one-shot modes: 0 success, 2 parse failure, 3 typed
+execution fault (storage/plan/timeout), 1 anything else.  ``serve`` also
+accepts ``--chaos SPECS`` / ``--chaos-seed N`` to inject storage faults
+(see :mod:`repro.engine.faults`) and reports circuit-breaker health and
+degraded-result counts at the end of the batch.
 """
 
 from __future__ import annotations
@@ -41,8 +48,38 @@ import weakref
 
 from .core.service import QueryService, QueryTimeout
 from .core.uload import Database
+from .core.xam_parser import XAMParseError
+from .engine.faults import FaultInjector
+from .errors import ReproError
+from .xquery.parser import XQueryParseError
 
 __all__ = ["main", "run_command"]
+
+#: process exit codes: parse failures and execution faults are
+#: distinguishable by scripts wrapping the CLI
+EXIT_OK = 0
+EXIT_ERROR = 1
+EXIT_PARSE = 2
+EXIT_FAULT = 3
+
+_PARSE_ERRORS = (XQueryParseError, XAMParseError)
+
+
+def _describe_error(error: BaseException) -> str:
+    """One-line, typed description of a failure (REPL and serve modes)."""
+    if isinstance(error, _PARSE_ERRORS):
+        return f"parse error: {error}"
+    if isinstance(error, ReproError):
+        return f"error [{type(error).__name__}]: {error}"
+    return f"error: {type(error).__name__}: {error}"
+
+
+def _exit_code_for(error: BaseException) -> int:
+    if isinstance(error, _PARSE_ERRORS):
+        return EXIT_PARSE
+    if isinstance(error, ReproError):
+        return EXIT_FAULT
+    return EXIT_ERROR
 
 #: one lazily created service per shell database (keeps run_command's
 #: historical ``(db, line)`` signature while routing queries through the
@@ -72,6 +109,9 @@ def _print_result(result) -> None:
         print(f"-- answered via views: {', '.join(result.used_views)}")
     else:
         print("-- answered from the base store")
+    if getattr(result, "degraded", False):
+        for event in result.degradation_events:
+            print(f"-- degraded: {event}")
 
 
 def _print_metrics(result) -> None:
@@ -94,6 +134,10 @@ def run_command(db: Database, line: str) -> bool:
         return False
     if line == ".cache":
         print(f"  {service.cache_stats().render()}")
+        return True
+    if line == ".health":
+        for health_line in service.health().splitlines():
+            print(f"  {health_line}")
         return True
     if line == ".cache clear":
         dropped = service.invalidate()
@@ -121,8 +165,10 @@ def run_command(db: Database, line: str) -> bool:
         try:
             service.add_view(name, xam.strip())
             print(f"  view {name!r} materialized ({len(db.store[name])} tuples)")
-        except Exception as error:  # surface parse/eval problems to the user
-            print(f"  error: {error}")
+        except ReproError as error:  # parse failure or storage fault, typed
+            print(f"  {_describe_error(error)}")
+        except Exception as error:  # last resort: name the class, never crash
+            print(f"  {_describe_error(error)}")
         return True
     if line.startswith(".drop "):
         name = line[len(".drop "):].strip()
@@ -138,8 +184,10 @@ def run_command(db: Database, line: str) -> bool:
             report = service.explain(query)
             for report_line in report.render().splitlines():
                 print(f"  {report_line}")
-        except Exception as error:
-            print(f"  error: {error}")
+        except ReproError as error:
+            print(f"  {_describe_error(error)}")
+        except Exception as error:  # last resort: name the class, never crash
+            print(f"  {_describe_error(error)}")
         return True
     if line.startswith(".stats "):
         query = line[len(".stats "):]
@@ -147,13 +195,17 @@ def run_command(db: Database, line: str) -> bool:
             result = service.query(query, stats=True)
             _print_result(result)
             _print_metrics(result)
-        except Exception as error:
-            print(f"  error: {error}")
+        except ReproError as error:
+            print(f"  {_describe_error(error)}")
+        except Exception as error:  # last resort: name the class, never crash
+            print(f"  {_describe_error(error)}")
         return True
     try:
         _print_result(service.query(line))
-    except Exception as error:
-        print(f"  error: {error}")
+    except ReproError as error:
+        print(f"  {_describe_error(error)}")
+    except Exception as error:  # last resort: name the class, never crash
+        print(f"  {_describe_error(error)}")
     return True
 
 
@@ -187,8 +239,12 @@ def _explain_main(argv: list[str]) -> int:
     )
     args = parser.parse_args(argv)
     db = _load_database(args.document, args.view, announce=False)
-    print(db.explain(args.query).render())
-    return 0
+    try:
+        print(db.explain(args.query).render())
+    except ReproError as error:
+        print(_describe_error(error), file=sys.stderr)
+        return _exit_code_for(error)
+    return EXIT_OK
 
 
 def _serve_main(argv: list[str]) -> int:
@@ -222,6 +278,17 @@ def _serve_main(argv: list[str]) -> int:
     parser.add_argument(
         "--cache-capacity", type=int, default=128, help="plan cache entries"
     )
+    parser.add_argument(
+        "--chaos",
+        metavar="SPECS",
+        help="inject storage faults while serving, e.g. "
+        "'relation.scan@v_person:transient:0.2' "
+        "(see repro.engine.faults for the grammar)",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the fault injector's RNG (default 0)",
+    )
     args = parser.parse_args(argv)
 
     if args.queries:
@@ -238,6 +305,9 @@ def _serve_main(argv: list[str]) -> int:
         return 1
 
     db = _load_database(args.document, args.view, announce=False)
+    if args.chaos:
+        db.fault_injector = FaultInjector(args.chaos, seed=args.chaos_seed)
+        print(f"-- chaos: {db.fault_injector.render()} (seed {args.chaos_seed})")
     with QueryService(
         db,
         cache_capacity=args.cache_capacity,
@@ -245,7 +315,7 @@ def _serve_main(argv: list[str]) -> int:
         default_timeout=args.timeout,
     ) as service:
         session = service.session("serve")
-        failed = 0
+        failed = degraded = 0
         for round_number in range(args.repeat):
             for query, outcome in zip(
                 queries, _run_batch_settled(service, session, queries)
@@ -253,29 +323,40 @@ def _serve_main(argv: list[str]) -> int:
                 print(f"== {query}")
                 if isinstance(outcome, Exception):
                     failed += 1
-                    print(f"  error: {outcome}")
+                    print(f"  {_describe_error(outcome)}")
                 else:
+                    degraded += 1 if outcome.degraded else 0
                     _print_result(outcome)
         print(f"-- plan cache: {service.cache_stats().render()}")
         print(f"-- latency: {session.latency.render()}")
-    return 1 if failed else 0
+        if degraded:
+            print(f"-- degraded results: {degraded}")
+        if args.chaos or degraded:
+            for health_line in service.health().splitlines():
+                print(f"-- health: {health_line}")
+    return EXIT_ERROR if failed else EXIT_OK
 
 
 def _run_batch_settled(service: QueryService, session, queries: list[str]) -> list:
     """Submit a whole batch, then settle every future: results in
     submission order, exceptions captured per query instead of aborting
     the batch."""
-    futures = [service.submit(q, session=session) for q in queries]
+    futures = [
+        service.submit(q, session=session, timeout=service.default_timeout)
+        for q in queries
+    ]
     outcomes: list = []
     for query, future in zip(queries, futures):
         try:
             outcomes.append(future.result(service.default_timeout))
-        except Exception as error:  # noqa: BLE001 - reported per query
+        except TimeoutError:
             future.cancel()
             if hasattr(future, "cancel_query"):
                 future.cancel_query()
-            if isinstance(error, TimeoutError):
-                error = QueryTimeout(f"timed out: {query!r}")
+            outcomes.append(QueryTimeout(f"timed out: {query!r}"))
+        except ReproError as error:  # typed parse/storage/plan failure
+            outcomes.append(error)
+        except Exception as error:  # noqa: BLE001 - settled, not raised
             outcomes.append(error)
     return outcomes
 
@@ -312,14 +393,18 @@ def main(argv: list[str] | None = None) -> int:
     db = _load_database(args.document, args.view)
 
     if args.query:
-        result = db.query(args.query, stats=args.stats)
+        try:
+            result = db.query(args.query, stats=args.stats)
+        except ReproError as error:
+            print(_describe_error(error), file=sys.stderr)
+            return _exit_code_for(error)
         _print_result(result)
         if args.stats:
             _print_metrics(result)
-        return 0
+        return EXIT_OK
 
     print("repro shell — .quit to exit, "
-          ".views/.view/.drop/.explain/.stats/.cache/.summary")
+          ".views/.view/.drop/.explain/.stats/.cache/.health/.summary")
     while True:
         try:
             line = input("xam> ")

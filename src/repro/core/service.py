@@ -38,7 +38,9 @@ through ``query(stats=True)`` (``result.counters``) and ``explain``
 
 from __future__ import annotations
 
+import random
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -46,6 +48,7 @@ from typing import Optional, Sequence
 
 from ..engine.context import ExecutionContext
 from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
+from ..errors import ReproError, TransientStorageFault
 from .uload import (
     Database,
     ExplainReport,
@@ -61,36 +64,78 @@ __all__ = [
     "QueryTimeout",
     "QueryCancelled",
     "LatencyRecorder",
+    "RetryPolicy",
 ]
 
 
-class QueryTimeout(TimeoutError):
+class QueryTimeout(ReproError, TimeoutError):
     """A query exceeded its deadline; it was cancelled if still queued,
-    or asked to stop at its next unit boundary if already running."""
+    or asked to stop at its next unit boundary if already running.
+    Subclasses both :class:`~repro.errors.ReproError` (the typed fault
+    hierarchy the CLI switches on) and :class:`TimeoutError` (what
+    callers of a timeout-bounded API expect)."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for transient storage faults.
+
+    The service retries a query whose execution raised
+    :class:`~repro.errors.TransientStorageFault` up to
+    ``max_attempts`` total attempts, sleeping
+    ``base_delay * multiplier**(retry-1)`` (capped at ``max_delay``)
+    scaled by a random factor in ``[1, 1+jitter]`` between attempts.
+    Retries never cross the query's deadline: if the next sleep would
+    overshoot it, the fault propagates instead.
+    """
+
+    max_attempts: int = 3
+    base_delay: float = 0.01
+    multiplier: float = 2.0
+    max_delay: float = 0.5
+    jitter: float = 0.5
+
+    def delay(self, retry: int, rng: random.Random) -> float:
+        """Sleep before retry number ``retry`` (1-based)."""
+        raw = min(self.max_delay, self.base_delay * self.multiplier ** (retry - 1))
+        return raw * (1.0 + self.jitter * rng.random())
 
 
 class LatencyRecorder:
-    """Thread-safe latency sample sink with percentile readout."""
+    """Thread-safe latency sample sink with percentile readout.
+
+    Every query contributes a sample, tagged with its outcome (``"ok"``,
+    ``"error"``, ``"timeout"``) — percentiles over successes only would
+    paint exactly the wrong picture under faults, where the slowest
+    queries are the ones that died."""
 
     def __init__(self) -> None:
-        self._samples: list[float] = []
+        self._samples: list[tuple[float, str]] = []
         self._lock = threading.Lock()
 
-    def record(self, seconds: float) -> None:
+    def record(self, seconds: float, outcome: str = "ok") -> None:
         with self._lock:
-            self._samples.append(seconds)
+            self._samples.append((seconds, outcome))
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._samples)
 
+    def outcomes(self) -> dict[str, int]:
+        """Sample count per outcome tag."""
+        counts: dict[str, int] = {}
+        with self._lock:
+            for _, outcome in self._samples:
+                counts[outcome] = counts.get(outcome, 0) + 1
+        return counts
+
     def percentile(self, pct: float) -> Optional[float]:
-        """Nearest-rank percentile of the recorded latencies (seconds);
-        None when nothing has been recorded."""
+        """Nearest-rank percentile of *all* recorded latencies (seconds),
+        failures and timeouts included; None when nothing was recorded."""
         with self._lock:
             if not self._samples:
                 return None
-            ordered = sorted(self._samples)
+            ordered = sorted(seconds for seconds, _ in self._samples)
         rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1))))
         return ordered[rank]
 
@@ -107,6 +152,12 @@ class LatencyRecorder:
         parts = [f"n={len(self)}"]
         for pct, value in self.percentiles().items():
             parts.append(f"p{pct:g}={value * 1000:.2f}ms")
+        outcomes = self.outcomes()
+        if set(outcomes) != {"ok"}:
+            parts.append(
+                "outcomes="
+                + ",".join(f"{k}:{v}" for k, v in sorted(outcomes.items()))
+            )
         return " ".join(parts)
 
 
@@ -155,10 +206,15 @@ class QueryService:
         cache_capacity: int = 128,
         max_workers: int = 4,
         default_timeout: Optional[float] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        retry_seed: int = 0,
     ):
         self.db = db
         self.cache = PlanCache(cache_capacity)
         self.default_timeout = default_timeout
+        self.retry_policy = retry_policy or RetryPolicy()
+        self._retry_rng = random.Random(retry_seed)
+        self._retry_rng_lock = threading.Lock()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
@@ -192,10 +248,11 @@ class QueryService:
         prefer_views: bool,
         physical: bool,
         ctx: ExecutionContext,
-    ) -> PreparedQuery:
-        """Cached prepared plan for the query, preparing on miss.  The
-        hit/miss/invalidation outcome is recorded into ``ctx.counters``
-        (the per-query sink) — totals live in :meth:`cache_stats`."""
+    ) -> tuple[PreparedQuery, tuple]:
+        """Cached prepared plan for the query (and its cache key),
+        preparing on miss.  The hit/miss/invalidation outcome is recorded
+        into ``ctx.counters`` (the per-query sink) — totals live in
+        :meth:`cache_stats`."""
         key = (normalize_query(query), prefer_views, physical)
         version = self.db.catalog_version
         prepared, outcome = self.cache.lookup(key, version)
@@ -205,7 +262,7 @@ class QueryService:
         if prepared is None:
             prepared = self.db.prepare(query, prefer_views, context=ctx)
             self.cache.put(key, prepared, version)
-        return prepared
+        return prepared, key
 
     def cache_stats(self) -> CacheStats:
         return self.cache.stats()
@@ -225,20 +282,78 @@ class QueryService:
         stats: bool,
         session: Optional[QuerySession],
         pending: _PendingQuery,
+        deadline: Optional[float],
     ) -> QueryResult:
         started = ExecutionContext.clock()
+        outcome = "error"
+        try:
+            result = self._execute_with_retries(
+                query, prefer_views, physical, stats, pending, deadline
+            )
+            outcome = "ok"
+            return result
+        except QueryCancelled:
+            # the waiter records the "timeout" sample (it knows the wall
+            # time the caller actually waited); recording here too would
+            # double-count the query
+            outcome = None
+            raise
+        finally:
+            if session is not None and outcome is not None:
+                session.latency.record(
+                    ExecutionContext.clock() - started, outcome=outcome
+                )
+
+    def _execute_with_retries(
+        self,
+        query: str,
+        prefer_views: bool,
+        physical: bool,
+        stats: bool,
+        pending: _PendingQuery,
+        deadline: Optional[float],
+    ) -> QueryResult:
+        """One query through the cache and database, absorbing transient
+        storage faults with bounded backoff.  A degraded result evicts the
+        plan from the cache, so the next preparation re-ranks rewritings
+        with the circuit breakers in view."""
+        policy = self.retry_policy
         ctx = self.db.execution_context()
-        prepared = self._lookup(query, prefer_views, physical, ctx)
-        result = self.db.execute_prepared(
-            prepared,
-            physical=physical,
-            stats=stats,
-            context=ctx,
-            should_stop=pending.should_stop,
-        )
-        if session is not None:
-            session.latency.record(ExecutionContext.clock() - started)
-        return result
+        prepared, key = self._lookup(query, prefer_views, physical, ctx)
+        retries = 0
+        while True:
+            try:
+                result = self.db.execute_prepared(
+                    prepared,
+                    physical=physical,
+                    stats=stats,
+                    context=ctx,
+                    should_stop=pending.should_stop,
+                )
+            except TransientStorageFault:
+                retries += 1
+                ctx.bump("retry.attempts")
+                with self._retry_rng_lock:
+                    pause = policy.delay(retries, self._retry_rng)
+                out_of_time = (
+                    deadline is not None
+                    and ExecutionContext.clock() + pause >= deadline
+                )
+                if (
+                    retries >= policy.max_attempts
+                    or out_of_time
+                    or pending.should_stop()
+                ):
+                    ctx.bump("retry.exhausted")
+                    raise
+                time.sleep(pause)
+                continue
+            if retries:
+                ctx.bump("retry.recovered")
+                result.counters = dict(ctx.counters)
+            if result.degraded:
+                self.cache.remove(key)
+            return result
 
     def submit(
         self,
@@ -247,15 +362,21 @@ class QueryService:
         physical: bool = False,
         stats: bool = False,
         session: Optional[QuerySession] = None,
+        timeout: Optional[float] = None,
     ) -> Future:
         """Enqueue a query on the worker pool; returns its Future.  The
         future's ``cancel_query()`` attribute sets the cooperative stop
-        flag of a run already in progress."""
+        flag of a run already in progress.  ``timeout`` (seconds from now)
+        sets the deadline transient-fault retries must not cross."""
         if self._closed:
             raise RuntimeError("query service is shut down")
         pending = _PendingQuery(stop=threading.Event())
+        deadline = (
+            None if timeout is None else ExecutionContext.clock() + timeout
+        )
         future = self._executor.submit(
-            self._execute, query, prefer_views, physical, stats, session, pending
+            self._execute,
+            query, prefer_views, physical, stats, session, pending, deadline,
         )
         future.cancel_query = pending.stop.set  # type: ignore[attr-defined]
         return future
@@ -276,16 +397,21 @@ class QueryService:
         queued, at its next unit boundary if running — and
         :class:`QueryTimeout` is raised.
         """
+        timeout = self.default_timeout if timeout is None else timeout
+        started = ExecutionContext.clock()
         future = self.submit(
             query, prefer_views=prefer_views, physical=physical,
-            stats=stats, session=session,
+            stats=stats, session=session, timeout=timeout,
         )
-        timeout = self.default_timeout if timeout is None else timeout
         try:
             return future.result(timeout)
         except FutureTimeoutError:
             future.cancel()
             future.cancel_query()
+            if session is not None:
+                session.latency.record(
+                    ExecutionContext.clock() - started, outcome="timeout"
+                )
             raise QueryTimeout(
                 f"query did not finish within {timeout:g}s: {query!r}"
             ) from None
@@ -300,16 +426,23 @@ class QueryService:
         """Run many queries concurrently, returning results in submission
         order (the batch CLI verb's engine)."""
         futures = [
-            self.submit(q, prefer_views=prefer_views, session=session)
+            self.submit(
+                q, prefer_views=prefer_views, session=session, timeout=timeout
+            )
             for q in queries
         ]
         results: list[QueryResult] = []
+        started = ExecutionContext.clock()
         for query, future in zip(queries, futures):
             try:
                 results.append(future.result(timeout))
             except FutureTimeoutError:
                 future.cancel()
                 future.cancel_query()
+                if session is not None:
+                    session.latency.record(
+                        ExecutionContext.clock() - started, outcome="timeout"
+                    )
                 raise QueryTimeout(
                     f"query did not finish within {timeout:g}s: {query!r}"
                 ) from None
@@ -319,8 +452,12 @@ class QueryService:
         """EXPLAIN through the cache: a repeated explain reuses the cached
         plan, and the report's counters show the hit/miss outcome."""
         ctx = self.db.execution_context()
-        prepared = self._lookup(query, prefer_views, physical=True, ctx=ctx)
+        prepared, _ = self._lookup(query, prefer_views, physical=True, ctx=ctx)
         return self.db.explain_prepared(prepared, ctx)
+
+    def health(self) -> str:
+        """Access-module health (the database's circuit-breaker board)."""
+        return self.db.health()
 
     # -- mutations (serialized writers; eager invalidation) -----------------
 

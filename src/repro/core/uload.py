@@ -33,9 +33,12 @@ from typing import Callable, Iterator, Optional
 
 from ..algebra.model import NestedTuple
 from ..algebra.operators import Operator
+from ..engine import faults
+from ..engine.breaker import OPEN, BreakerBoard
 from ..engine.context import ExecutionContext, PlanMetrics
 from ..engine.physical import PScan
 from ..engine.storage import Store
+from ..errors import AccessModuleUnavailable, PlanExecutionError, ReproError
 from ..storage.catalog import Catalog, CatalogEntry
 from ..storage.materialize import materialize_view
 from ..summary.enhanced import annotate_edges
@@ -67,7 +70,7 @@ __all__ = [
 ]
 
 
-class QueryCancelled(RuntimeError):
+class QueryCancelled(ReproError, RuntimeError):
     """Raised inside :meth:`Database.execute_prepared` when the caller's
     ``should_stop`` callback asks a running query to abandon its remaining
     units (the service's cooperative cancellation hook)."""
@@ -106,6 +109,12 @@ class QueryResult:
     #: named event counters copied from the execution context's metrics
     #: sink (plan-cache hits/misses when a QueryService ran the query)
     counters: dict = field(default_factory=dict)
+    #: True when any pattern was answered by a fallback access path after
+    #: its chosen access module failed (the result is still correct — the
+    #: fallback is S-equivalent — but served under degraded conditions)
+    degraded: bool = False
+    #: human-readable log of what degraded and where the query was routed
+    degradation_events: list[str] = field(default_factory=list)
 
     @property
     def used_views(self) -> list[str]:
@@ -198,11 +207,19 @@ class ExplainReport:
     explain — while :attr:`units` carries the full three-stage plan trees
     and :meth:`render` formats everything for humans."""
 
-    def __init__(self, units: list[ExplainUnit], counters: Optional[dict] = None):
+    def __init__(
+        self,
+        units: list[ExplainUnit],
+        counters: Optional[dict] = None,
+        health: Optional[dict] = None,
+    ):
         self.units = units
         #: named event counters from the execution context's metrics sink
         #: (plan-cache hit/miss/invalidation when explained via a service)
         self.counters = dict(counters or {})
+        #: access-module breaker states (name → closed/open/half-open) at
+        #: explain time; empty when no module has ever failed
+        self.health = dict(health or {})
 
     @property
     def resolutions(self) -> list[PatternResolution]:
@@ -229,6 +246,10 @@ class ExplainReport:
                 value = self.counters[name]
                 text = f"{value:g}" if isinstance(value, float) else str(value)
                 parts.append(f"  {name} = {text}")
+        if self.health:
+            parts.append("access modules:")
+            for name in sorted(self.health):
+                parts.append(f"  {name} = {self.health[name]}")
         return "\n".join(parts)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -249,6 +270,15 @@ class Database:
         self.catalog = Catalog()
         self.documents: list[Document] = []
         self.summary = PathSummary()
+        #: per-access-module circuit breakers, living alongside the
+        #: catalog whose entries they track (closed → open after repeated
+        #: failures → half-open recovery probe; open modules are excluded
+        #: from rewriting ranking)
+        self.breakers = BreakerBoard()
+        #: optional default :class:`~repro.engine.faults.FaultInjector`
+        #: attached to every execution context (chaos mode); the
+        #: ``REPRO_FAULTS`` environment variable is the other way in
+        self.fault_injector = None
         #: document/statistics mutation counter (catalog mutations are
         #: counted by the catalog itself; see :attr:`catalog_version`)
         self._mutations = 0
@@ -325,11 +355,21 @@ class Database:
 
     def execution_context(self) -> ExecutionContext:
         """One context per query: summary/store statistics, the cost
-        model, the PatternAccess lowering rule, and the metrics sink."""
-        return ExecutionContext(
+        model, the PatternAccess lowering rule, and the metrics sink.
+        Chaos mode rides along: the database's (or the environment's)
+        fault injector is attached for :meth:`execute_prepared` to scope
+        around execution."""
+        ctx = ExecutionContext(
             statistics=CatalogStatistics(self.catalog, self.summary, self.store),
             registry={PatternAccess: _lower_pattern_access},
         )
+        ctx.fault_injector = self.fault_injector or faults.injector_from_env()
+        return ctx
+
+    def health(self) -> str:
+        """Access-module health — the breaker board, rendered (the REPL's
+        ``.health`` command and ``repro serve`` print this)."""
+        return self.breakers.render()
 
     # -- querying ---------------------------------------------------------------
 
@@ -384,12 +424,17 @@ class Database:
         """
         ctx = context or self.execution_context()
         result = QueryResult()
-        with prepared.lock:
+        events: list[str] = []
+        with prepared.lock, faults.scope(ctx.fault_injector, ctx):
             prepared.executions += 1
             for prepared_unit in prepared.units:
                 if should_stop is not None and should_stop():
                     raise QueryCancelled(f"query cancelled: {prepared.text!r}")
-                self._run_prepared_unit(prepared_unit, result, physical, stats, ctx)
+                self._run_prepared_unit(
+                    prepared_unit, result, physical, stats, ctx, events
+                )
+        result.degradation_events = events
+        result.degraded = bool(events)
         result.counters = dict(ctx.counters)
         return result
 
@@ -443,7 +488,7 @@ class Database:
         (e.g. the service's plan-cache hit/miss for this very lookup)."""
         ctx = context or self.execution_context()
         units: list[ExplainUnit] = []
-        with prepared.lock:
+        with prepared.lock, faults.scope(ctx.fault_injector, ctx):
             prepared.executions += 1
             for prepared_unit in prepared.units:
                 bindings = {}
@@ -470,7 +515,9 @@ class Database:
                         metrics=metrics,
                     )
                 )
-        return ExplainReport(units, counters=ctx.counters)
+        return ExplainReport(
+            units, counters=ctx.counters, health=self.breakers.states()
+        )
 
     def rewrite(self, pattern: Pattern | str, **kwargs) -> list[Rewriting]:
         """Expose pattern rewriting directly (Chapter 5 entry point)."""
@@ -490,6 +537,13 @@ class Database:
         estimate = ctx.statistics.pattern_cardinality(pattern)
         if prefer_views and len(self.catalog.views()) > 0:
             rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
+            # open-circuit modules are out of the race at planning time;
+            # half-open ones stay in (the probe that may close them)
+            unavailable = self.breakers.unavailable_names()
+            if unavailable:
+                rewritings = [
+                    r for r in rewritings if not unavailable & set(r.views)
+                ]
             if rewritings:
                 best = rank_rewritings(
                     rewritings,
@@ -510,13 +564,82 @@ class Database:
         resolution: PatternResolution,
         physical: bool,
         ctx: ExecutionContext,
+        events: Optional[list[str]] = None,
     ) -> list[NestedTuple]:
         """Evaluate one resolved pattern against the current store,
         reusing (and lazily filling) the unit's compiled rewriting plan
-        when the physical engine is requested."""
-        if resolution.rewriting is not None:
-            plan = resolution.rewriting.plan
-            context = self.store.context()
+        when the physical engine is requested.
+
+        This is the degradation point of the availability corollary
+        (thesis §1.2.4): when the chosen access module fails with
+        :class:`AccessModuleUnavailable`, the failure is recorded in the
+        module's circuit breaker and the pattern is re-routed through the
+        next-best S-equivalent rewriting that avoids the failed (and any
+        open-circuit) modules, falling back to base-store evaluation when
+        no rewriting survives.  Transient faults are *not* absorbed here —
+        they propagate to the caller (the query service retries them).
+        """
+        if resolution.rewriting is None:
+            return self._base_pattern_tuples(resolution.pattern)
+        rewriting = resolution.rewriting
+        original = rewriting
+        failed: set[str] = set()
+        while rewriting is not None:
+            try:
+                if rewriting is original:
+                    tuples = self._run_rewriting(
+                        prepared_unit, index, rewriting, physical, ctx
+                    )
+                else:
+                    tuples = self._evaluate_rewriting(rewriting, ctx)
+            except AccessModuleUnavailable as fault:
+                names = [fault.xam] if fault.xam else list(rewriting.views)
+                for name in names:
+                    failed.add(name)
+                    state = self.breakers.record_failure(name, str(fault))
+                    if state == OPEN:
+                        ctx.bump("breaker.opened")
+                ctx.bump("degraded.module_failures")
+                if events is not None:
+                    events.append(
+                        f"access module {'/'.join(names)} unavailable: {fault}"
+                    )
+                rewriting = self._fallback_rewriting(
+                    resolution.pattern, failed, ctx
+                )
+                if rewriting is not None:
+                    ctx.bump("degraded.reroutes")
+                    if events is not None:
+                        events.append(
+                            f"re-routed pattern through views {list(rewriting.views)}"
+                        )
+                continue
+            for name in rewriting.views:
+                self.breakers.record_success(name)
+            if rewriting is not original:
+                ctx.bump("degraded.patterns")
+            return tuples
+        ctx.bump("degraded.patterns")
+        ctx.bump("degraded.base_fallbacks")
+        if events is not None:
+            events.append("no usable rewriting left; fell back to base store")
+        return self._base_pattern_tuples(resolution.pattern)
+
+    def _run_rewriting(
+        self,
+        prepared_unit: PreparedUnit,
+        index: int,
+        rewriting: Rewriting,
+        physical: bool,
+        ctx: ExecutionContext,
+    ) -> list[NestedTuple]:
+        """Run the originally chosen rewriting, reusing the unit's compiled
+        plan cache; storage-level surprises are normalized to the typed
+        hierarchy (a vanished relation is an unavailable module, anything
+        else is a plan-execution fault blamed on this rewriting)."""
+        plan = rewriting.plan
+        context = self.store.context()
+        try:
             if physical:
                 compiled = prepared_unit.compiled_patterns.get(index)
                 if compiled is None:
@@ -524,9 +647,74 @@ class Database:
                     prepared_unit.compiled_patterns[index] = compiled
                 return list(compiled.execute(context))
             return plan.evaluate(context)
+        except ReproError:
+            raise
+        except KeyError as error:
+            raise AccessModuleUnavailable(
+                f"relation {error} missing from the store",
+                xam=rewriting.views[0] if rewriting.views else None,
+            ) from error
+        except Exception as error:
+            raise PlanExecutionError(
+                f"{type(error).__name__} while evaluating rewriting "
+                f"{list(rewriting.views)}: {error}",
+                operator=plan.label() if hasattr(plan, "label") else None,
+                xam=rewriting.views[0] if rewriting.views else None,
+            ) from error
+
+    def _evaluate_rewriting(
+        self, rewriting: Rewriting, ctx: ExecutionContext
+    ) -> list[NestedTuple]:
+        """Run a fallback rewriting logically, without touching the
+        prepared unit's compiled-plan cache (the degraded path must not
+        poison the cached plan of the healthy one)."""
+        try:
+            return rewriting.plan.evaluate(self.store.context())
+        except ReproError:
+            raise
+        except KeyError as error:
+            raise AccessModuleUnavailable(
+                f"relation {error} missing from the store",
+                xam=rewriting.views[0] if rewriting.views else None,
+            ) from error
+        except Exception as error:
+            raise PlanExecutionError(
+                f"{type(error).__name__} while evaluating fallback rewriting "
+                f"{list(rewriting.views)}: {error}",
+                xam=rewriting.views[0] if rewriting.views else None,
+            ) from error
+
+    def _fallback_rewriting(
+        self,
+        pattern: Pattern,
+        failed: set[str],
+        ctx: ExecutionContext,
+    ) -> Optional[Rewriting]:
+        """Best S-equivalent rewriting avoiding the just-failed and any
+        open-circuit access modules; None when no candidate survives."""
+        exclusions = failed | self.breakers.unavailable_names()
+        candidates = [
+            r
+            for r in rewrite_pattern(pattern, self.catalog, self.summary)
+            if not exclusions & set(r.views)
+        ]
+        if not candidates:
+            return None
+        return rank_rewritings(
+            candidates,
+            self.catalog,
+            self.summary,
+            self.store,
+            statistics=ctx.statistics,
+        )[0]
+
+    def _base_pattern_tuples(self, pattern: Pattern) -> list[NestedTuple]:
+        """Evaluate a pattern directly over the in-memory documents — the
+        always-available access path of last resort (it bypasses the
+        store, so storage-level fault points cannot touch it)."""
         tuples: list[NestedTuple] = []
         for doc in self.documents:
-            tuples.extend(evaluate_pattern(resolution.pattern, doc))
+            tuples.extend(evaluate_pattern(pattern, doc))
         return tuples
 
     def _run_prepared_unit(
@@ -536,6 +724,7 @@ class Database:
         physical: bool,
         stats: bool,
         ctx: ExecutionContext,
+        events: Optional[list[str]] = None,
     ) -> None:
         unit = prepared_unit.unit
         resolutions = prepared_unit.resolutions
@@ -543,21 +732,29 @@ class Database:
         bindings = {}
         for index, resolution in enumerate(resolutions):
             tuples = self._prepared_pattern_tuples(
-                prepared_unit, index, resolution, physical, ctx
+                prepared_unit, index, resolution, physical, ctx, events
             )
             resolution.actual_cardinality = len(tuples)
             bindings[f"__pattern_{index}"] = tuples
         plan = prepared_unit.logical
         result.plans.append(plan)
-        if stats:
-            if prepared_unit.compiled_plan is None:
-                prepared_unit.compiled_plan = ctx.compile(
-                    plan, self.store.scan_orders()
-                )
-            tuples, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
-            result.metrics.append(metrics)
-        else:
-            tuples = plan.evaluate(bindings)
+        try:
+            if stats:
+                if prepared_unit.compiled_plan is None:
+                    prepared_unit.compiled_plan = ctx.compile(
+                        plan, self.store.scan_orders()
+                    )
+                tuples, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
+                result.metrics.append(metrics)
+            else:
+                tuples = plan.evaluate(bindings)
+        except ReproError:
+            raise
+        except Exception as error:
+            raise PlanExecutionError(
+                f"{type(error).__name__} while executing {plan.label()}: {error}",
+                operator=plan.label(),
+            ) from error
         result.tuples.extend(tuples)
         if unit.template is not None:
             result.xml.extend(t["xml"] for t in tuples)

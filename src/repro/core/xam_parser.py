@@ -28,14 +28,16 @@ import re
 from typing import Optional, Sequence
 
 from ..algebra.formulas import Formula
+from ..errors import ReproError
 from ..xmldata.ids import ID_KINDS
 from .xam import CHILD, DESCENDANT, EDGE_SEMANTICS, JOIN, Pattern, PatternNode
 
 __all__ = ["parse_pattern", "pattern_from_path", "XAMParseError"]
 
 
-class XAMParseError(ValueError):
-    pass
+class XAMParseError(ReproError, ValueError):
+    """Malformed XAM text (same split as ``XQueryParseError``: parse
+    failures are typed apart from execution faults)."""
 
 
 _TOKEN = re.compile(

@@ -1,5 +1,6 @@
 """Execution engine: physical operators, B+ tree, stores."""
 
+from .breaker import BreakerBoard, CircuitBreaker
 from .btree import BPlusTree
 from .context import (
     CostModel,
@@ -10,6 +11,7 @@ from .context import (
     StatisticsProvider,
     Tunables,
 )
+from .faults import FAULT_POINTS, FaultInjector, FaultSpec, parse_fault_specs
 from .orderdesc import satisfies, sort_key_for
 from .plan_cache import CacheStats, PlanCache, normalize_query
 from .physical import (
@@ -33,8 +35,14 @@ from .physical import (
 from .storage import Store, StoredRelation
 
 __all__ = [
+    "BreakerBoard",
+    "CircuitBreaker",
     "BPlusTree",
     "CostModel",
+    "FAULT_POINTS",
+    "FaultInjector",
+    "FaultSpec",
+    "parse_fault_specs",
     "EmptyStatistics",
     "ExecutionContext",
     "OperatorMetrics",

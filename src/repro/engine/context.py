@@ -250,6 +250,9 @@ class ExecutionContext:
         #: service records plan-cache hits/misses here; EXPLAIN and
         #: ``query(stats=True)`` surface them next to the plan metrics)
         self.counters: dict[str, float] = {}
+        #: optional :class:`~repro.engine.faults.FaultInjector` activated
+        #: around this query's execution (chaos mode); None in production
+        self.fault_injector = None
         self._estimates: dict[int, Optional[float]] = {}
 
     # -- counters -----------------------------------------------------------

@@ -1,0 +1,323 @@
+"""Deterministic, seedable fault injection at storage-model boundaries.
+
+The rewriting search (thesis §4–§5) enumerates many S-equivalent plans
+over different XML Access Modules; the availability claim behind that is
+only testable if storage faults can be produced on demand.  This module
+plants **named fault points** at every boundary where the engine touches
+a physical structure:
+
+========================  ====================================================
+point                     fired by
+========================  ====================================================
+``relation.scan``         reading a base relation out of ``Store.context()``
+``btree.lookup``          a B+-tree probe (``StoredRelation.lookup``)
+``index.structural``      a pre/post-plane window query
+``index.value``           a value-index probe (``materialize.index_lookup``)
+``index.fulltext``        an inverted-file probe (``fulltext_lookup``)
+``blob.fetch``            reading a blob/content relation's textual field
+========================  ====================================================
+
+A :class:`FaultInjector` holds :class:`FaultSpec`\\ s describing *what* to
+inject (``transient`` → :class:`~repro.errors.TransientStorageFault`,
+``corrupt`` → :class:`~repro.errors.AccessModuleUnavailable`, ``latency``
+→ a sleep), *where* (point name or ``*``, optionally narrowed to one XAM
+by ``@name``), and *how often* (a probability drawn from a seeded RNG and
+an optional trigger budget).  Same seed + same execution order ⇒ same
+faults — the chaos suite's reproducibility contract.
+
+Activation is scoped, never ambient: the executor wraps plan execution in
+:func:`scope` with the injector carried by its
+:class:`~repro.engine.context.ExecutionContext` (set per query, by
+``repro serve --chaos``, or from the ``REPRO_FAULTS`` /
+``REPRO_FAULT_SEED`` environment).  :func:`check` is a no-op when no
+scope is active, so the fault points cost one attribute read in
+production.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Optional, Sequence
+
+from ..errors import AccessModuleUnavailable, TransientStorageFault
+
+__all__ = [
+    "FAULT_POINTS",
+    "FAULT_KINDS",
+    "RELATION_SCAN",
+    "BTREE_LOOKUP",
+    "INDEX_STRUCTURAL",
+    "INDEX_VALUE",
+    "INDEX_FULLTEXT",
+    "BLOB_FETCH",
+    "FaultSpec",
+    "FaultInjector",
+    "parse_fault_specs",
+    "injector_from_env",
+    "scope",
+    "check",
+]
+
+RELATION_SCAN = "relation.scan"
+BTREE_LOOKUP = "btree.lookup"
+INDEX_STRUCTURAL = "index.structural"
+INDEX_VALUE = "index.value"
+INDEX_FULLTEXT = "index.fulltext"
+BLOB_FETCH = "blob.fetch"
+
+FAULT_POINTS = (
+    RELATION_SCAN,
+    BTREE_LOOKUP,
+    INDEX_STRUCTURAL,
+    INDEX_VALUE,
+    INDEX_FULLTEXT,
+    BLOB_FETCH,
+)
+
+FAULT_KINDS = ("transient", "corrupt", "latency")
+
+#: environment variables consulted by :func:`injector_from_env`
+ENV_FAULTS = "REPRO_FAULTS"
+ENV_SEED = "REPRO_FAULT_SEED"
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injection rule.
+
+    ``point`` is a fault-point name or ``"*"``; ``target`` narrows the
+    rule to one access module (relation / XAM name), ``None`` matching
+    all.  ``probability`` is drawn per matching check from the injector's
+    seeded RNG; ``times`` caps how often the rule fires (``None`` =
+    unlimited) — ``times=2`` with a transient kind models an I/O error
+    that clears on the third attempt.  ``latency`` (seconds) applies to
+    the ``latency`` kind only.
+    """
+
+    point: str
+    kind: str
+    target: Optional[str] = None
+    probability: float = 1.0
+    times: Optional[int] = None
+    latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} (expected one of {FAULT_KINDS})"
+            )
+        if self.point != "*" and self.point not in FAULT_POINTS:
+            raise ValueError(
+                f"unknown fault point {self.point!r} (expected one of "
+                f"{FAULT_POINTS} or '*')"
+            )
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of [0, 1]: {self.probability}")
+
+    def matches(self, point: str, target: Optional[str]) -> bool:
+        if self.point != "*" and self.point != point:
+            return False
+        if self.target is not None and self.target != target:
+            return False
+        return True
+
+    def render(self) -> str:
+        text = self.point
+        if self.target is not None:
+            text += f"@{self.target}"
+        text += f":{self.kind}"
+        if self.kind == "latency":
+            text += f":{self.latency:g}"
+        elif self.probability != 1.0:
+            text += f":{self.probability:g}"
+        if self.times is not None:
+            text += f":{self.times}"
+        return text
+
+
+def parse_fault_specs(text: str) -> list[FaultSpec]:
+    """Parse a spec string: ``point[@target]:kind[:arg][:times]`` items
+    separated by ``,`` or ``;``.  ``arg`` is the probability (``corrupt``
+    / ``transient``) or the delay in seconds (``latency``).
+
+    Examples::
+
+        relation.scan@v_person:corrupt
+        *:transient:0.25
+        btree.lookup:latency:0.05
+        relation.scan:transient:1.0:2    # always, but only twice
+    """
+    specs: list[FaultSpec] = []
+    for item in text.replace(";", ",").split(","):
+        item = item.strip()
+        if not item:
+            continue
+        fields = item.split(":")
+        if len(fields) < 2:
+            raise ValueError(f"fault spec needs point:kind, got {item!r}")
+        where, kind = fields[0], fields[1].strip().lower()
+        point, _, target = where.partition("@")
+        probability, latency, times = 1.0, 0.0, None
+        if len(fields) > 2 and fields[2]:
+            if kind == "latency":
+                latency = float(fields[2])
+            else:
+                probability = float(fields[2])
+        if len(fields) > 3 and fields[3]:
+            times = int(fields[3])
+        specs.append(
+            FaultSpec(
+                point=point.strip(),
+                kind=kind,
+                target=target.strip() or None,
+                probability=probability,
+                times=times,
+                latency=latency,
+            )
+        )
+    return specs
+
+
+class FaultInjector:
+    """Evaluates fault specs at fault points, deterministically.
+
+    One seeded ``random.Random`` drives every probability draw, so a
+    fixed seed and a fixed execution order replay the exact same fault
+    sequence.  Thread-safe: the chaos serve mode shares one injector
+    across worker threads (cross-thread interleaving is then the only
+    source of nondeterminism, as with any shared fault source).
+    """
+
+    def __init__(
+        self,
+        specs: "Sequence[FaultSpec] | str",
+        seed: int = 0,
+        sleep=time.sleep,
+    ):
+        if isinstance(specs, str):
+            specs = parse_fault_specs(specs)
+        self.specs = list(specs)
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._fired = [0] * len(self.specs)
+        #: total injections per ``"point:kind"`` (observability/tests)
+        self.injected: dict[str, int] = {}
+
+    def reset(self) -> None:
+        """Rewind the RNG and the per-spec trigger budgets."""
+        with self._lock:
+            self._rng = random.Random(self.seed)
+            self._fired = [0] * len(self.specs)
+            self.injected.clear()
+
+    def check(self, point: str, target: Optional[str] = None, counters=None) -> None:
+        """Fire at a fault point: may sleep (latency) or raise a typed
+        storage fault.  ``counters`` is an optional ``ExecutionContext``
+        whose ``faults.injected.<kind>`` counters are bumped."""
+        delay = 0.0
+        fault: Optional[Exception] = None
+        with self._lock:
+            for index, spec in enumerate(self.specs):
+                if not spec.matches(point, target):
+                    continue
+                if spec.times is not None and self._fired[index] >= spec.times:
+                    continue
+                if spec.probability < 1.0 and self._rng.random() >= spec.probability:
+                    continue
+                self._fired[index] += 1
+                key = f"{point}:{spec.kind}"
+                self.injected[key] = self.injected.get(key, 0) + 1
+                if counters is not None:
+                    counters.bump(f"faults.injected.{spec.kind}")
+                if spec.kind == "latency":
+                    delay += spec.latency
+                    continue
+                where = f" reading {target!r}" if target else ""
+                if spec.kind == "transient":
+                    fault = TransientStorageFault(
+                        f"injected transient I/O error at {point}{where}",
+                        point=point,
+                        xam=target,
+                    )
+                else:
+                    fault = AccessModuleUnavailable(
+                        f"injected corruption at {point}{where}",
+                        point=point,
+                        xam=target,
+                        corrupt=True,
+                    )
+                break
+        if delay > 0.0:
+            self._sleep(delay)
+        if fault is not None:
+            raise fault
+
+    def render(self) -> str:
+        parts = [spec.render() for spec in self.specs]
+        return f"seed={self.seed} " + (",".join(parts) if parts else "(no specs)")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<FaultInjector {self.render()}>"
+
+
+# ---------------------------------------------------------------------------
+# Scoped activation
+# ---------------------------------------------------------------------------
+
+_local = threading.local()
+
+#: cache of the environment-configured injector, keyed on the env values
+#: so tests can flip the variables without explicit invalidation
+_env_cache: tuple[Optional[tuple[str, str]], Optional[FaultInjector]] = (None, None)
+_env_lock = threading.Lock()
+
+
+def injector_from_env() -> Optional[FaultInjector]:
+    """The process-wide injector configured by ``REPRO_FAULTS`` (spec
+    string) and ``REPRO_FAULT_SEED``; None when the variable is unset.
+    Cached so trigger budgets persist across queries."""
+    global _env_cache
+    text = os.environ.get(ENV_FAULTS)
+    if not text:
+        return None
+    seed_text = os.environ.get(ENV_SEED, "0")
+    key = (text, seed_text)
+    with _env_lock:
+        if _env_cache[0] == key:
+            return _env_cache[1]
+        injector = FaultInjector(parse_fault_specs(text), seed=int(seed_text))
+        _env_cache = (key, injector)
+        return injector
+
+
+@contextmanager
+def scope(injector: Optional[FaultInjector], counters=None) -> Iterator[None]:
+    """Activate an injector for the current thread.  Scopes nest; the
+    innermost wins.  A ``None`` injector is a true no-op."""
+    if injector is None:
+        yield
+        return
+    stack = getattr(_local, "stack", None)
+    if stack is None:
+        stack = _local.stack = []
+    stack.append((injector, counters))
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def check(point: str, target: Optional[str] = None) -> None:
+    """The fault point probe storage code calls.  Free when no scope is
+    active on this thread."""
+    stack = getattr(_local, "stack", None)
+    if stack:
+        injector, counters = stack[-1]
+        injector.check(point, target, counters)

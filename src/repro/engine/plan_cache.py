@@ -141,6 +141,18 @@ class PlanCache:
 
     # -- invalidation -------------------------------------------------------
 
+    def remove(self, key: Hashable) -> bool:
+        """Drop one entry by key (counted as an invalidation when
+        present).  The query service uses this after a degraded execution:
+        the cached plan's top-ranked rewriting just failed, so the next
+        preparation should re-rank with the circuit breakers in view."""
+        with self._lock:
+            if key not in self._entries:
+                return False
+            del self._entries[key]
+            self._invalidations += 1
+            return True
+
     def purge_stale(self, version: int) -> int:
         """Drop every entry not built at ``version`` (the eager half of
         the protocol — lazy lookup-time drops happen regardless).

@@ -16,9 +16,10 @@ from __future__ import annotations
 from typing import Iterable, Iterator, Optional, Sequence
 
 from ..algebra.model import NestedTuple
+from . import faults
 from .btree import BPlusTree
 
-__all__ = ["Store", "StoredRelation"]
+__all__ = ["Store", "StoredRelation", "FaultCheckedContext"]
 
 
 class StoredRelation:
@@ -54,10 +55,22 @@ class StoredRelation:
 
     def lookup(self, attrs: Sequence[str], values: Sequence) -> list[NestedTuple]:
         """Index lookup (``idxLookup`` of QEP₁₁/QEP₁₃)."""
+        faults.check(faults.BTREE_LOOKUP, self.name)
         return self.build_index(attrs).search(tuple(values))
 
     def columns(self) -> list[str]:
         return self.tuples[0].names() if self.tuples else []
+
+
+class FaultCheckedContext(dict):
+    """The evaluation context handed to plans: relation name → tuples,
+    with the ``relation.scan`` fault point fired on every read — the
+    choke point through which both logical ``Scan.evaluate`` and physical
+    ``PScan`` reach the store."""
+
+    def __getitem__(self, name: str) -> list[NestedTuple]:
+        faults.check(faults.RELATION_SCAN, name)
+        return super().__getitem__(name)
 
 
 class Store:
@@ -95,8 +108,11 @@ class Store:
         return list(self._relations)
 
     def context(self) -> dict[str, list[NestedTuple]]:
-        """The evaluation context logical/physical plans read from."""
-        return {name: rel.tuples for name, rel in self._relations.items()}
+        """The evaluation context logical/physical plans read from (fault-
+        checked: each relation read fires ``relation.scan``)."""
+        return FaultCheckedContext(
+            (name, rel.tuples) for name, rel in self._relations.items()
+        )
 
     def scan_orders(self) -> dict[str, str]:
         return {

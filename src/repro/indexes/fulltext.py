@@ -14,6 +14,7 @@ import re
 from typing import Optional
 
 from ..algebra.model import NestedTuple
+from ..engine import faults
 from ..engine.btree import BPlusTree
 from ..engine.storage import Store
 from ..storage.catalog import Catalog, CatalogEntry
@@ -84,6 +85,7 @@ def build_fulltext_index(
 
 def fulltext_lookup(entry: CatalogEntry, store: Store, word: str) -> list[NestedTuple]:
     """``idxLookup(fti, word)`` — the access path of QEP₁₃."""
+    faults.check(faults.INDEX_FULLTEXT, entry.name)
     relation = store[entry.relation]
     return relation.lookup(["word"], [word.lower()])
 

@@ -24,6 +24,7 @@ import bisect
 from typing import Optional
 
 from ..algebra.model import NestedTuple
+from ..engine import faults
 from ..engine.storage import Store
 from ..storage.catalog import Catalog
 from ..xmldata.ids import STRUCTURAL, StructuralID, id_of
@@ -123,6 +124,7 @@ class PrePostPlane:
         return len(self._points)
 
     def _window(self, low_pre: int, high_pre: int):
+        faults.check(faults.INDEX_STRUCTURAL, "pre/post plane")
         start = bisect.bisect_left(self._pres, low_pre)
         end = bisect.bisect_right(self._pres, high_pre)
         return self._points[start:end]

@@ -16,13 +16,16 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from typing import Optional
+
 from ..algebra.model import NestedTuple
+from ..engine import faults
 from ..engine.storage import Store
 from ..xmldata.ids import STRUCTURAL, id_of
 from ..xmldata.node import Document
 from .catalog import Catalog
 
-__all__ = ["build_content_store", "build_document_blob"]
+__all__ = ["build_content_store", "build_document_blob", "fetch_content"]
 
 
 def build_content_store(
@@ -43,6 +46,22 @@ def build_content_store(
         )
         names.append(relation)
     return names
+
+
+def fetch_content(store: Store, relation: str, node_id=None) -> list[Optional[str]]:
+    """Read the textual field(s) of a blob/content relation — the
+    read-side counterpart of :func:`build_content_store`.
+
+    ``node_id`` narrows the fetch to one element's blob; ``None`` returns
+    every stored content field.  This is the ``blob.fetch`` fault point:
+    blob reads are the engine's coarsest I/O (whole serialized subtrees),
+    so chaos runs target them separately from tuple scans.
+    """
+    faults.check(faults.BLOB_FETCH, relation)
+    rows = store[relation].tuples
+    if node_id is not None:
+        rows = [row for row in rows if row.first("ID") == node_id]
+    return [row.first("content") for row in rows]
 
 
 def build_document_blob(doc: Document, store: Store, catalog: Catalog) -> str:

@@ -19,6 +19,7 @@ from ..core.semantics import tuple_intersection
 from ..core.embedding import evaluate_pattern
 from ..core.xam import Pattern
 from ..core.xam_parser import parse_pattern
+from ..engine import faults
 from ..engine.storage import Store
 from ..xmldata.node import Document
 from .catalog import Catalog, CatalogEntry
@@ -103,6 +104,7 @@ def index_lookup(
     """Evaluate a restricted XAM against bindings (Definition 2.2.6),
     probing the B+-tree when the key is flat, falling back to nested
     tuple intersection otherwise."""
+    faults.check(faults.INDEX_VALUE, entry.name)
     relation = store[entry.relation]
     key_attrs = entry.metadata.get("index_key")
     out: list[NestedTuple] = []

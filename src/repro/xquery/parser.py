@@ -17,6 +17,7 @@ from __future__ import annotations
 import re
 from typing import Optional
 
+from ..errors import ReproError
 from .ast import (
     DOC_ROOT,
     Comparison,
@@ -34,8 +35,10 @@ from .ast import (
 __all__ = ["parse_query", "XQueryParseError"]
 
 
-class XQueryParseError(ValueError):
-    pass
+class XQueryParseError(ReproError, ValueError):
+    """Malformed query text.  Subclasses :class:`~repro.errors.ReproError`
+    so callers can split parse failures from execution faults (the CLI
+    maps them to distinct exit codes)."""
 
 
 _TOKEN = re.compile(

@@ -51,9 +51,50 @@ def test_errors_are_reported_not_raised(db, capsys):
     assert "no view named" in out
 
 
+def test_parse_errors_labeled_as_such(db, capsys):
+    run_command(db, "for broken $syntax")
+    out = capsys.readouterr().out
+    assert "parse error:" in out
+
+
+def test_health_command(db, capsys):
+    run_command(db, ".health")
+    out = capsys.readouterr().out
+    assert "healthy" in out
+    db.breakers.record_failure("v", "boom")
+    run_command(db, ".health")
+    out = capsys.readouterr().out
+    assert "v: closed" in out and "boom" in out
+
+
 def test_quit_and_empty(db):
     assert run_command(db, "") is True
     assert run_command(db, ".quit") is False
+
+
+def test_main_parse_error_exit_code(tmp_path, capsys):
+    document = tmp_path / "doc.xml"
+    document.write_text(BIB_XML)
+    code = main([str(document), "--query", "for broken $syntax"])
+    assert code == 2
+    assert "parse error:" in capsys.readouterr().err
+
+
+def test_main_execution_fault_exit_code(tmp_path, capsys, monkeypatch):
+    document = tmp_path / "doc.xml"
+    document.write_text(BIB_XML)
+    monkeypatch.setenv("REPRO_FAULTS", "relation.scan:transient")
+    code = main(
+        [
+            str(document),
+            "--view",
+            "v=//book[id:s]{/title[id:s, val]}",
+            "--query",
+            "//book/title/text()",
+        ]
+    )
+    assert code == 3
+    assert "TransientStorageFault" in capsys.readouterr().err
 
 
 def test_main_one_shot(tmp_path, capsys):
