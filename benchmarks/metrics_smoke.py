@@ -1,0 +1,179 @@
+#!/usr/bin/env python
+"""Observability smoke workload: XMark through the query service with the
+full tracing + metrics stack on, scraped over HTTP.
+
+The CI observability lane runs this script to prove three things on every
+push:
+
+1. the ``/metrics`` endpoint serves valid Prometheus text covering the
+   required metric families while a real workload is running;
+2. the scraped snapshot reconciles with the per-query counters (the
+   registry is not drifting from the ground truth);
+3. tracing stays cheap: the traced configuration's median workload time
+   must be within ``--threshold`` (default 5%) of the tracing-disabled
+   configuration.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/metrics_smoke.py \
+        --snapshot metrics_snapshot.txt --threshold 0.05
+
+Exit code 0 on success, 1 on any failed check.  Standard library only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+import urllib.request
+
+from repro import Database, QueryService
+from repro.core.httpapi import start_observability_server
+from repro.engine.metrics import MetricsRegistry
+from repro.workloads import XMARK_QUERIES, generate_xmark
+
+REQUIRED_FAMILIES = (
+    "repro_plan_cache_hit_total",
+    "repro_plan_cache_miss_total",
+    "repro_plan_cache_size",
+    "repro_breaker_opened_total",
+    "repro_breaker_open_modules",
+    "repro_retry_attempts_total",
+    "repro_faults_injected_transient_total",
+    "repro_latency_samples_dropped_total",
+    "repro_query_latency_seconds",
+)
+
+
+def build_database(tracer: bool) -> Database:
+    db = Database(metrics=MetricsRegistry(), tracer=tracer)
+    db.add_document(generate_xmark(scale=2, seed=0))
+    db.add_view("v_person", "//people/person[id:s]{/name[id:s, val]}")
+    db.add_view("v_item", "//regions//item[id:s]{/name[id:s, val]}")
+    return db
+
+
+def run_workload(service: QueryService, rounds: int) -> list:
+    results = []
+    for _ in range(rounds):
+        for query in XMARK_QUERIES.values():
+            results.append(service.query(query))
+    return results
+
+
+def timed_workload(tracer: bool, rounds: int, repeats: int) -> float:
+    """Median wall time of the workload under one tracing configuration
+    (fresh database and service per repeat, so plan-cache state is
+    identical across configurations)."""
+    timings = []
+    for _ in range(repeats):
+        db = build_database(tracer=tracer)
+        with QueryService(db, cache_capacity=64, max_workers=4) as service:
+            started = time.perf_counter()
+            run_workload(service, rounds)
+            timings.append(time.perf_counter() - started)
+    timings.sort()
+    return timings[len(timings) // 2]
+
+
+def check(condition: bool, message: str, failures: list) -> None:
+    print(("ok  " if condition else "FAIL") + f"  {message}")
+    if not condition:
+        failures.append(message)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--rounds", type=int, default=3, help="workload rounds per repeat"
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=5,
+        help="timed repeats per configuration (median is compared)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.05,
+        help="max tracing overhead as a fraction (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--snapshot", default=None,
+        help="write the scraped /metrics text here (CI uploads it)",
+    )
+    args = parser.parse_args(argv)
+    failures: list = []
+
+    # -- the observed workload: tracing on, endpoint scraped live ----------
+    db = build_database(tracer=True)
+    with QueryService(db, cache_capacity=64, max_workers=4) as service:
+        server = start_observability_server(service, port=0)
+        try:
+            results = run_workload(service, args.rounds)
+            with urllib.request.urlopen(server.url + "/metrics", timeout=10) as r:
+                content_type = r.headers.get("Content-Type", "")
+                text = r.read().decode("utf-8")
+            with urllib.request.urlopen(
+                server.url + "/metrics.json", timeout=10
+            ) as r:
+                snapshot = json.loads(r.read().decode("utf-8"))
+        finally:
+            server.stop()
+
+        check("version=0.0.4" in content_type, "prometheus content type", failures)
+        for family in REQUIRED_FAMILIES:
+            check(family in text, f"family exposed: {family}", failures)
+
+        expected_queries = len(XMARK_QUERIES) * args.rounds
+        check(
+            all(result.trace_id for result in results),
+            "every result carries a trace id",
+            failures,
+        )
+        hits = service.metrics.counter_value("plan_cache.hit")
+        misses = service.metrics.counter_value("plan_cache.miss")
+        check(
+            hits + misses == expected_queries,
+            f"cache outcomes reconcile ({hits:g}+{misses:g}"
+            f"=={expected_queries})",
+            failures,
+        )
+        per_query_hits = sum(
+            result.counters.get("plan_cache.hit", 0.0) for result in results
+        )
+        check(
+            hits == per_query_hits,
+            "registry hits equal per-query counter sum",
+            failures,
+        )
+        histogram = snapshot["query.latency.seconds"]["series"]
+        check(
+            sum(series["count"] for series in histogram) == expected_queries,
+            "latency histogram saw every query",
+            failures,
+        )
+        if args.snapshot:
+            with open(args.snapshot, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            print(f"--  snapshot written to {args.snapshot}")
+
+    # -- overhead gate: traced vs tracing-disabled -------------------------
+    traced = timed_workload(True, args.rounds, args.repeats)
+    untraced = timed_workload(False, args.rounds, args.repeats)
+    overhead = traced / untraced - 1.0
+    check(
+        overhead <= args.threshold,
+        f"tracing overhead {overhead:+.2%} within {args.threshold:.0%} "
+        f"(traced {traced * 1000:.1f}ms, untraced {untraced * 1000:.1f}ms)",
+        failures,
+    )
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nall observability checks passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

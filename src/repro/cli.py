@@ -28,15 +28,25 @@ Without ``--query``, starts a REPL with commands:
     .views                   list catalog entries
     .explain <xquery>        full EXPLAIN: plans + est/actual cardinalities
     .stats <xquery>          run a query and print per-operator metrics
+    .trace <xquery|id>       run a query and print its span tree (or look
+                             up a past trace by the id a result carried)
+    .metrics                 the unified metrics registry (Prometheus text)
+    .slow                    the slow-query log (span trees over threshold)
     .cache                   plan-cache counters (.cache clear to reset)
     .health                  access-module circuit-breaker states
     .summary                 summary statistics
     .quit
 
 Exit codes of the one-shot modes: 0 success, 2 parse failure, 3 typed
-execution fault (storage/plan/timeout), 1 anything else.  ``serve`` also
-accepts ``--chaos SPECS`` / ``--chaos-seed N`` to inject storage faults
-(see :mod:`repro.engine.faults`) and reports circuit-breaker health and
+execution fault (storage/plan/timeout), 1 anything else.  Only the typed
+:class:`~repro.errors.ReproError` hierarchy is caught and rendered —
+anything else is a genuine bug and surfaces with its full traceback
+instead of being swallowed.  ``serve`` also accepts ``--chaos SPECS`` /
+``--chaos-seed N`` to inject storage faults (see
+:mod:`repro.engine.faults`), ``--metrics-port N`` to expose ``/metrics``
+(Prometheus text + JSON) and ``/trace/<id>`` over HTTP while the batch
+runs, and ``--slow-query-ms T`` to capture the span tree of every query
+slower than T milliseconds; it reports circuit-breaker health and
 degraded-result counts at the end of the batch.
 """
 
@@ -46,6 +56,7 @@ import argparse
 import sys
 import weakref
 
+from .core.httpapi import start_observability_server
 from .core.service import QueryService, QueryTimeout
 from .core.uload import Database
 from .core.xam_parser import XAMParseError
@@ -156,6 +167,33 @@ def run_command(db: Database, line: str) -> bool:
         print(f"  strong edges: {db.summary.count_strong_edges()}")
         print(f"  one-to-one edges: {db.summary.count_one_to_one_edges()}")
         return True
+    if line == ".metrics":
+        for metrics_line in service.metrics.render_prometheus().splitlines():
+            print(f"  {metrics_line}")
+        return True
+    if line == ".slow":
+        for slow_line in service.slow_queries.render().splitlines():
+            print(f"  {slow_line}")
+        return True
+    if line.startswith(".trace "):
+        argument = line[len(".trace "):].strip()
+        trace = service.trace(argument)
+        if trace is not None:  # an id from an earlier result: just look up
+            for trace_line in trace.render().splitlines():
+                print(f"  {trace_line}")
+            return True
+        try:
+            result = service.query(argument)
+            _print_result(result)
+            trace = service.trace(result.trace_id) if result.trace_id else None
+            if trace is None:
+                print("  (tracing disabled on this database)")
+            else:
+                for trace_line in trace.render().splitlines():
+                    print(f"  {trace_line}")
+        except ReproError as error:
+            print(f"  {_describe_error(error)}")
+        return True
     if line.startswith(".view "):
         rest = line[len(".view "):].strip()
         name, _, xam = rest.partition(" ")
@@ -165,9 +203,7 @@ def run_command(db: Database, line: str) -> bool:
         try:
             service.add_view(name, xam.strip())
             print(f"  view {name!r} materialized ({len(db.store[name])} tuples)")
-        except ReproError as error:  # parse failure or storage fault, typed
-            print(f"  {_describe_error(error)}")
-        except Exception as error:  # last resort: name the class, never crash
+        except ReproError as error:  # parse failure, duplicate, storage fault
             print(f"  {_describe_error(error)}")
         return True
     if line.startswith(".drop "):
@@ -186,8 +222,6 @@ def run_command(db: Database, line: str) -> bool:
                 print(f"  {report_line}")
         except ReproError as error:
             print(f"  {_describe_error(error)}")
-        except Exception as error:  # last resort: name the class, never crash
-            print(f"  {_describe_error(error)}")
         return True
     if line.startswith(".stats "):
         query = line[len(".stats "):]
@@ -197,14 +231,10 @@ def run_command(db: Database, line: str) -> bool:
             _print_metrics(result)
         except ReproError as error:
             print(f"  {_describe_error(error)}")
-        except Exception as error:  # last resort: name the class, never crash
-            print(f"  {_describe_error(error)}")
         return True
     try:
         _print_result(service.query(line))
     except ReproError as error:
-        print(f"  {_describe_error(error)}")
-    except Exception as error:  # last resort: name the class, never crash
         print(f"  {_describe_error(error)}")
     return True
 
@@ -289,6 +319,26 @@ def _serve_main(argv: list[str]) -> int:
         "--chaos-seed", type=int, default=0,
         help="seed of the fault injector's RNG (default 0)",
     )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help="expose /metrics, /metrics.json, /health, /traces, "
+        "/trace/<id> and /slow over HTTP while serving (0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--slow-query-ms",
+        type=float,
+        default=None,
+        metavar="T",
+        help="capture the full span tree of queries slower than T ms",
+    )
+    parser.add_argument(
+        "--no-trace",
+        action="store_true",
+        help="disable span tracing (for overhead comparisons)",
+    )
     args = parser.parse_args(argv)
 
     if args.queries:
@@ -305,35 +355,52 @@ def _serve_main(argv: list[str]) -> int:
         return 1
 
     db = _load_database(args.document, args.view, announce=False)
+    if args.no_trace:
+        db.tracer = None
     if args.chaos:
         db.fault_injector = FaultInjector(args.chaos, seed=args.chaos_seed)
         print(f"-- chaos: {db.fault_injector.render()} (seed {args.chaos_seed})")
+    slow_threshold = (
+        args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
+    )
     with QueryService(
         db,
         cache_capacity=args.cache_capacity,
         max_workers=args.workers,
         default_timeout=args.timeout,
+        slow_query_threshold=slow_threshold,
     ) as service:
-        session = service.session("serve")
-        failed = degraded = 0
-        for round_number in range(args.repeat):
-            for query, outcome in zip(
-                queries, _run_batch_settled(service, session, queries)
-            ):
-                print(f"== {query}")
-                if isinstance(outcome, Exception):
-                    failed += 1
-                    print(f"  {_describe_error(outcome)}")
-                else:
-                    degraded += 1 if outcome.degraded else 0
-                    _print_result(outcome)
-        print(f"-- plan cache: {service.cache_stats().render()}")
-        print(f"-- latency: {session.latency.render()}")
-        if degraded:
-            print(f"-- degraded results: {degraded}")
-        if args.chaos or degraded:
-            for health_line in service.health().splitlines():
-                print(f"-- health: {health_line}")
+        observer = None
+        if args.metrics_port is not None:
+            observer = start_observability_server(service, port=args.metrics_port)
+            print(f"-- metrics: {observer.url}/metrics")
+        try:
+            session = service.session("serve")
+            failed = degraded = 0
+            for round_number in range(args.repeat):
+                for query, outcome in zip(
+                    queries, _run_batch_settled(service, session, queries)
+                ):
+                    print(f"== {query}")
+                    if isinstance(outcome, Exception):
+                        failed += 1
+                        print(f"  {_describe_error(outcome)}")
+                    else:
+                        degraded += 1 if outcome.degraded else 0
+                        _print_result(outcome)
+            print(f"-- plan cache: {service.cache_stats().render()}")
+            print(f"-- latency: {session.latency.render()}")
+            if degraded:
+                print(f"-- degraded results: {degraded}")
+            if args.chaos or degraded:
+                for health_line in service.health().splitlines():
+                    print(f"-- health: {health_line}")
+            if service.slow_queries.captured:
+                for slow_line in service.slow_queries.render().splitlines():
+                    print(f"-- slow: {slow_line}")
+        finally:
+            if observer is not None:
+                observer.stop()
     return EXIT_ERROR if failed else EXIT_OK
 
 
@@ -356,8 +423,8 @@ def _run_batch_settled(service: QueryService, session, queries: list[str]) -> li
             outcomes.append(QueryTimeout(f"timed out: {query!r}"))
         except ReproError as error:  # typed parse/storage/plan failure
             outcomes.append(error)
-        except Exception as error:  # noqa: BLE001 - settled, not raised
-            outcomes.append(error)
+        # anything untyped is a bug in the engine, not a settled outcome:
+        # let it propagate so it fails loudly instead of being masked
     return outcomes
 
 
@@ -403,8 +470,8 @@ def main(argv: list[str] | None = None) -> int:
             _print_metrics(result)
         return EXIT_OK
 
-    print("repro shell — .quit to exit, "
-          ".views/.view/.drop/.explain/.stats/.cache/.health/.summary")
+    print("repro shell — .quit to exit, .views/.view/.drop/.explain/.stats/"
+          ".trace/.metrics/.slow/.cache/.health/.summary")
     while True:
         try:
             line = input("xam> ")

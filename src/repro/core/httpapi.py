@@ -1,0 +1,180 @@
+"""Stdlib HTTP exposition of the observability layer.
+
+``repro serve … --metrics-port N`` mounts this next to the batch worker
+pool; embedders call :func:`start_observability_server` directly.  Routes:
+
+==================  =========================================================
+``/metrics``        Prometheus text exposition (format 0.0.4) of the
+                    service's :class:`~repro.engine.metrics.MetricsRegistry`
+``/metrics.json``   the same registry as a JSON snapshot
+``/health``         breaker-board states (JSON; ``?format=text`` renders)
+``/traces``         ids of the retained traces, oldest first (JSON)
+``/trace/<id>``     one span tree (JSON; ``?format=text`` renders the tree)
+``/slow``           the slow-query log (JSON; ``?format=text`` renders)
+==================  =========================================================
+
+Read-only by design: the endpoint exposes measurements, never mutations,
+so binding it is safe even when the query workload itself is untrusted.
+Built on :class:`http.server.ThreadingHTTPServer` — no dependency beyond
+the standard library, matching the repo's no-new-deps constraint.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional
+from urllib.parse import parse_qs, urlparse
+
+__all__ = ["ObservabilityServer", "start_observability_server"]
+
+#: content type of the Prometheus text exposition format
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """One request: route, render, respond.  The service reference lives
+    on the server object (``self.server.service``)."""
+
+    server_version = "repro-observe/1.0"
+
+    # -- plumbing -----------------------------------------------------------
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes every few seconds must not spam the REPL
+
+    def _send(self, body: str, content_type: str, status: int = 200) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, data, status: int = 200) -> None:
+        self._send(
+            json.dumps(data, indent=2, default=str) + "\n",
+            "application/json; charset=utf-8",
+            status,
+        )
+
+    def _wants_text(self) -> bool:
+        query = parse_qs(urlparse(self.path).query)
+        return query.get("format", [""])[0] == "text"
+
+    # -- routing ------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlparse(self.path).path.rstrip("/") or "/"
+        service = self.server.service  # type: ignore[attr-defined]
+        if path == "/metrics":
+            self._send(
+                service.metrics.render_prometheus(), PROMETHEUS_CONTENT_TYPE
+            )
+        elif path == "/metrics.json":
+            self._send_json(service.metrics.snapshot())
+        elif path == "/health":
+            states = service.db.breakers.states()
+            if self._wants_text():
+                self._send(service.health() + "\n", "text/plain; charset=utf-8")
+            else:
+                self._send_json({"modules": states})
+        elif path == "/traces":
+            tracer = service.db.tracer
+            self._send_json(
+                {"traces": tracer.trace_ids() if tracer is not None else []}
+            )
+        elif path.startswith("/trace/"):
+            trace_id = path[len("/trace/"):]
+            trace = service.trace(trace_id)
+            if trace is None:
+                self._send_json({"error": f"no trace {trace_id!r}"}, status=404)
+            elif self._wants_text():
+                self._send(trace.render() + "\n", "text/plain; charset=utf-8")
+            else:
+                self._send_json(trace.as_dict())
+        elif path == "/slow":
+            if self._wants_text():
+                self._send(
+                    service.slow_queries.render() + "\n",
+                    "text/plain; charset=utf-8",
+                )
+            else:
+                self._send_json(
+                    {
+                        "threshold": service.slow_queries.threshold,
+                        "captured": service.slow_queries.captured,
+                        "entries": [
+                            {
+                                "trace_id": entry.trace_id,
+                                "query": entry.query,
+                                "seconds": entry.seconds,
+                                "outcome": entry.outcome,
+                                "spans": entry.rendered,
+                            }
+                            for entry in service.slow_queries.entries()
+                        ],
+                    }
+                )
+        elif path == "/":
+            self._send_json(
+                {
+                    "routes": [
+                        "/metrics", "/metrics.json", "/health",
+                        "/traces", "/trace/<id>", "/slow",
+                    ]
+                }
+            )
+        else:
+            self._send_json({"error": f"no route {path!r}"}, status=404)
+
+
+class ObservabilityServer:
+    """A background HTTP server bound to one
+    :class:`~repro.core.service.QueryService`."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.service = service  # type: ignore[attr-defined]
+        self._httpd.daemon_threads = True
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """(host, actual port) — port 0 binds an ephemeral one."""
+        return self._httpd.server_address[:2]
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def start(self) -> "ObservabilityServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-observe",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    def __enter__(self) -> "ObservabilityServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+def start_observability_server(
+    service, host: str = "127.0.0.1", port: int = 0
+) -> ObservabilityServer:
+    """Bind and start the observability endpoint; returns the running
+    server (``.url`` reports the bound address; ``.stop()`` tears down)."""
+    return ObservabilityServer(service, host, port).start()

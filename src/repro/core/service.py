@@ -38,16 +38,20 @@ through ``query(stats=True)`` (``result.counters``) and ``explain``
 
 from __future__ import annotations
 
+import math
 import random
 import threading
 import time
+from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
 from ..engine.context import ExecutionContext
+from ..engine.metrics import MetricsRegistry
 from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
+from ..engine.tracing import SlowQueryLog
 from ..errors import ReproError, TransientStorageFault
 from .uload import (
     Database,
@@ -107,22 +111,64 @@ class LatencyRecorder:
     Every query contributes a sample, tagged with its outcome (``"ok"``,
     ``"error"``, ``"timeout"``) — percentiles over successes only would
     paint exactly the wrong picture under faults, where the slowest
-    queries are the ones that died."""
+    queries are the ones that died.
 
-    def __init__(self) -> None:
-        self._samples: list[tuple[float, str]] = []
+    Samples live in a **bounded ring** (``capacity`` newest samples,
+    default 10k): under sustained traffic an unbounded list is a memory
+    leak, and recent samples are the ones percentile readouts should
+    describe anyway.  Overwritten samples are counted in :attr:`dropped`
+    (and, when a :class:`~repro.engine.metrics.MetricsRegistry` is
+    attached, in the ``latency.samples_dropped`` counter, so the loss is
+    visible on ``/metrics``, not silent).  An attached registry also
+    receives every sample into the ``query.latency.seconds`` histogram,
+    labeled by outcome — the unbounded-horizon aggregate that survives
+    ring wraparound.
+    """
+
+    #: default ring capacity — ~160 KB of samples at sys.getsizeof scale,
+    #: enough for percentile stability, bounded under any traffic
+    DEFAULT_CAPACITY = 10_000
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        registry: Optional[MetricsRegistry] = None,
+        histogram: str = "query.latency.seconds",
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("latency ring capacity must be >= 1")
+        self.capacity = capacity
+        self._samples: deque[tuple[float, str]] = deque(maxlen=capacity)
+        self._dropped = 0
         self._lock = threading.Lock()
+        self._registry = registry
+        self._histogram = histogram
 
     def record(self, seconds: float, outcome: str = "ok") -> None:
         with self._lock:
+            if len(self._samples) == self.capacity:
+                self._dropped += 1
             self._samples.append((seconds, outcome))
+        if self._registry is not None:
+            self._registry.observe(self._histogram, seconds, outcome=outcome)
+            if self._dropped:
+                self._registry.counter(
+                    "latency.samples_dropped",
+                    "latency ring-buffer samples overwritten before readout",
+                ).set_total(self._dropped)
+
+    @property
+    def dropped(self) -> int:
+        """Samples overwritten by ring wraparound (lifetime total)."""
+        with self._lock:
+            return self._dropped
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._samples)
 
     def outcomes(self) -> dict[str, int]:
-        """Sample count per outcome tag."""
+        """Sample count per outcome tag (retained samples only)."""
         counts: dict[str, int] = {}
         with self._lock:
             for _, outcome in self._samples:
@@ -130,14 +176,22 @@ class LatencyRecorder:
         return counts
 
     def percentile(self, pct: float) -> Optional[float]:
-        """Nearest-rank percentile of *all* recorded latencies (seconds),
-        failures and timeouts included; None when nothing was recorded."""
+        """True nearest-rank percentile of the retained latencies
+        (seconds), failures and timeouts included; None when nothing was
+        recorded.
+
+        Nearest-rank: the P-th percentile of n ordered samples is the
+        value at 1-based rank ``ceil(P/100 * n)`` — index
+        ``ceil(P/100 * n) - 1``.  (The previous ``round(P/100 * (n-1))``
+        was *not* nearest-rank: Python's round-half-even pulled e.g. the
+        p40 of 5 samples down a rank, biasing reported percentiles low.)
+        """
         with self._lock:
             if not self._samples:
                 return None
             ordered = sorted(seconds for seconds, _ in self._samples)
-        rank = max(0, min(len(ordered) - 1, round(pct / 100.0 * (len(ordered) - 1))))
-        return ordered[rank]
+        rank = math.ceil(pct / 100.0 * len(ordered))
+        return ordered[min(len(ordered) - 1, max(0, rank - 1))]
 
     def percentiles(self, pcts: Sequence[float] = (50, 90, 99)) -> dict[float, float]:
         return {
@@ -158,6 +212,8 @@ class LatencyRecorder:
                 "outcomes="
                 + ",".join(f"{k}:{v}" for k, v in sorted(outcomes.items()))
             )
+        if self.dropped:
+            parts.append(f"dropped={self.dropped}")
         return " ".join(parts)
 
 
@@ -182,7 +238,10 @@ class QuerySession:
     def __init__(self, service: "QueryService", name: str):
         self.service = service
         self.name = name
-        self.latency = LatencyRecorder()
+        # session recorders are registry-less: the service-level recorder
+        # already feeds every sample into the shared histogram, and
+        # feeding it twice would double-count
+        self.latency = LatencyRecorder(capacity=service.latency_capacity)
 
     def query(self, query: str, **kwargs) -> QueryResult:
         return self.service.query(query, session=self, **kwargs)
@@ -208,6 +267,9 @@ class QueryService:
         default_timeout: Optional[float] = None,
         retry_policy: Optional[RetryPolicy] = None,
         retry_seed: int = 0,
+        latency_capacity: int = LatencyRecorder.DEFAULT_CAPACITY,
+        slow_query_threshold: Optional[float] = None,
+        slow_query_capacity: int = 64,
     ):
         self.db = db
         self.cache = PlanCache(cache_capacity)
@@ -223,6 +285,69 @@ class QueryService:
         self._session_lock = threading.Lock()
         self._session_counter = 0
         self._closed = False
+        #: the database's process-wide metrics registry — the one sink the
+        #: plan cache, breakers, fault injections, retries and latency
+        #: histogram all land in (and ``/metrics`` reads from)
+        self.metrics: MetricsRegistry = db.metrics
+        self.latency_capacity = latency_capacity
+        #: service-wide latency recorder: every query is sampled here
+        #: (sessions keep their own, registry-less recorders on top)
+        self.latency = LatencyRecorder(
+            capacity=latency_capacity, registry=self.metrics
+        )
+        #: bounded log of span trees for queries over the latency
+        #: threshold (None = disabled)
+        self.slow_queries = SlowQueryLog(
+            threshold=slow_query_threshold, capacity=slow_query_capacity
+        )
+        self._register_metric_families()
+        self.cache.register_metrics(self.metrics)
+
+    def _register_metric_families(self) -> None:
+        """Pre-register every metric family the service can emit, so a
+        scrape of a freshly started (or simply healthy) process already
+        shows the full schema — families must not pop into existence only
+        once something goes wrong."""
+        registry = self.metrics
+        registry.counter("plan_cache.hit", "plan cache lookups served from cache")
+        registry.counter("plan_cache.miss", "plan cache lookups that had to prepare")
+        registry.counter(
+            "plan_cache.invalidated",
+            "plan cache entries dropped on version-mismatch lookups",
+        )
+        registry.counter("retry.attempts", "transient-fault retry attempts")
+        registry.counter("retry.recovered", "queries that succeeded after retries")
+        registry.counter("retry.exhausted", "queries that ran out of retries")
+        registry.counter("breaker.opened", "circuit-breaker open transitions")
+        registry.counter(
+            "degraded.module_failures", "access-module failures during execution"
+        )
+        registry.counter(
+            "degraded.reroutes", "patterns rerouted to a fallback rewriting"
+        )
+        registry.counter(
+            "degraded.patterns", "patterns answered by a degraded access path"
+        )
+        registry.counter(
+            "degraded.base_fallbacks", "patterns that fell back to the base store"
+        )
+        for kind in ("transient", "corrupt", "latency"):
+            registry.counter(
+                f"faults.injected.{kind}", f"injected {kind} faults (chaos mode)"
+            )
+        registry.counter(
+            "latency.samples_dropped",
+            "latency ring-buffer samples overwritten before readout",
+        )
+        registry.counter("queries.timeout", "queries cancelled on deadline")
+        registry.histogram(
+            "query.latency.seconds",
+            "end-to-end query latency by outcome",
+            labelnames=("outcome",),
+        )
+        registry.counter(
+            "slow_queries.captured", "queries logged over the slow-query threshold"
+        )
 
     # -- sessions -----------------------------------------------------------
 
@@ -259,6 +384,7 @@ class QueryService:
         ctx.bump("plan_cache.hit", 1.0 if outcome == "hit" else 0.0)
         ctx.bump("plan_cache.miss", 1.0 if outcome != "hit" else 0.0)
         ctx.bump("plan_cache.invalidated", 1.0 if outcome == "stale" else 0.0)
+        ctx.event(f"cache.{outcome}")
         if prepared is None:
             prepared = self.db.prepare(query, prefer_views, context=ctx)
             self.cache.put(key, prepared, version)
@@ -286,9 +412,10 @@ class QueryService:
     ) -> QueryResult:
         started = ExecutionContext.clock()
         outcome = "error"
+        ctx = self.db.execution_context()
         try:
             result = self._execute_with_retries(
-                query, prefer_views, physical, stats, pending, deadline
+                query, prefer_views, physical, stats, pending, deadline, ctx
             )
             outcome = "ok"
             return result
@@ -299,10 +426,17 @@ class QueryService:
             outcome = None
             raise
         finally:
-            if session is not None and outcome is not None:
-                session.latency.record(
-                    ExecutionContext.clock() - started, outcome=outcome
-                )
+            ctx.end_trace("ok" if outcome == "ok" else "error")
+            elapsed = ExecutionContext.clock() - started
+            if outcome is not None:
+                self.latency.record(elapsed, outcome=outcome)
+                if session is not None:
+                    session.latency.record(elapsed, outcome=outcome)
+            captured = self.slow_queries.consider(
+                query, elapsed, outcome or "cancelled", ctx.trace
+            )
+            if captured is not None:
+                self.metrics.inc("slow_queries.captured")
 
     def _execute_with_retries(
         self,
@@ -312,13 +446,13 @@ class QueryService:
         stats: bool,
         pending: _PendingQuery,
         deadline: Optional[float],
+        ctx: ExecutionContext,
     ) -> QueryResult:
         """One query through the cache and database, absorbing transient
         storage faults with bounded backoff.  A degraded result evicts the
         plan from the cache, so the next preparation re-ranks rewritings
         with the circuit breakers in view."""
         policy = self.retry_policy
-        ctx = self.db.execution_context()
         prepared, key = self._lookup(query, prefer_views, physical, ctx)
         retries = 0
         while True:
@@ -330,7 +464,7 @@ class QueryService:
                     context=ctx,
                     should_stop=pending.should_stop,
                 )
-            except TransientStorageFault:
+            except TransientStorageFault as fault:
                 retries += 1
                 ctx.bump("retry.attempts")
                 with self._retry_rng_lock:
@@ -346,7 +480,10 @@ class QueryService:
                 ):
                     ctx.bump("retry.exhausted")
                     raise
-                time.sleep(pause)
+                with ctx.span(
+                    "retry", attempt=retries, fault=type(fault).__name__
+                ):
+                    time.sleep(pause)
                 continue
             if retries:
                 ctx.bump("retry.recovered")
@@ -408,10 +545,11 @@ class QueryService:
         except FutureTimeoutError:
             future.cancel()
             future.cancel_query()
+            elapsed = ExecutionContext.clock() - started
+            self.latency.record(elapsed, outcome="timeout")
+            self.metrics.inc("queries.timeout")
             if session is not None:
-                session.latency.record(
-                    ExecutionContext.clock() - started, outcome="timeout"
-                )
+                session.latency.record(elapsed, outcome="timeout")
             raise QueryTimeout(
                 f"query did not finish within {timeout:g}s: {query!r}"
             ) from None
@@ -439,10 +577,11 @@ class QueryService:
             except FutureTimeoutError:
                 future.cancel()
                 future.cancel_query()
+                elapsed = ExecutionContext.clock() - started
+                self.latency.record(elapsed, outcome="timeout")
+                self.metrics.inc("queries.timeout")
                 if session is not None:
-                    session.latency.record(
-                        ExecutionContext.clock() - started, outcome="timeout"
-                    )
+                    session.latency.record(elapsed, outcome="timeout")
                 raise QueryTimeout(
                     f"query did not finish within {timeout:g}s: {query!r}"
                 ) from None
@@ -452,8 +591,19 @@ class QueryService:
         """EXPLAIN through the cache: a repeated explain reuses the cached
         plan, and the report's counters show the hit/miss outcome."""
         ctx = self.db.execution_context()
-        prepared, _ = self._lookup(query, prefer_views, physical=True, ctx=ctx)
-        return self.db.explain_prepared(prepared, ctx)
+        try:
+            prepared, _ = self._lookup(query, prefer_views, physical=True, ctx=ctx)
+            return self.db.explain_prepared(prepared, ctx)
+        except BaseException:
+            ctx.end_trace("error")
+            raise
+
+    def trace(self, trace_id: str):
+        """The retained span tree of a past query, by the trace id its
+        :class:`QueryResult` / :class:`ExplainReport` carried; None when
+        tracing is off or the ring evicted it."""
+        tracer = self.db.tracer
+        return tracer.get(trace_id) if tracer is not None else None
 
     def health(self) -> str:
         """Access-module health (the database's circuit-breaker board)."""

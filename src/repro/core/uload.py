@@ -36,9 +36,16 @@ from ..algebra.operators import Operator
 from ..engine import faults
 from ..engine.breaker import OPEN, BreakerBoard
 from ..engine.context import ExecutionContext, PlanMetrics
+from ..engine.metrics import MetricsRegistry, get_registry
 from ..engine.physical import PScan
 from ..engine.storage import Store
-from ..errors import AccessModuleUnavailable, PlanExecutionError, ReproError
+from ..engine.tracing import Tracer
+from ..errors import (
+    AccessModuleUnavailable,
+    DuplicateViewError,
+    PlanExecutionError,
+    ReproError,
+)
 from ..storage.catalog import Catalog, CatalogEntry
 from ..storage.materialize import materialize_view
 from ..summary.enhanced import annotate_edges
@@ -115,6 +122,10 @@ class QueryResult:
     degraded: bool = False
     #: human-readable log of what degraded and where the query was routed
     degradation_events: list[str] = field(default_factory=list)
+    #: id of this query's span tree in the database's tracer ring
+    #: (``service.trace(result.trace_id)`` / ``/trace/<id>``); None when
+    #: tracing is disabled
+    trace_id: Optional[str] = None
 
     @property
     def used_views(self) -> list[str]:
@@ -212,6 +223,7 @@ class ExplainReport:
         units: list[ExplainUnit],
         counters: Optional[dict] = None,
         health: Optional[dict] = None,
+        trace_id: Optional[str] = None,
     ):
         self.units = units
         #: named event counters from the execution context's metrics sink
@@ -220,6 +232,8 @@ class ExplainReport:
         #: access-module breaker states (name → closed/open/half-open) at
         #: explain time; empty when no module has ever failed
         self.health = dict(health or {})
+        #: id of the explain run's span tree (None when tracing is off)
+        self.trace_id = trace_id
 
     @property
     def resolutions(self) -> list[PatternResolution]:
@@ -265,16 +279,35 @@ def _lower_pattern_access(op: PatternAccess, lower, ctx) -> PScan:
 class Database:
     """An XML database with XAM-described physical storage."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer: "Tracer | None | bool" = True,
+    ) -> None:
         self.store = Store()
         self.catalog = Catalog()
         self.documents: list[Document] = []
         self.summary = PathSummary()
+        #: the unified metrics sink: every per-query counter bump, the
+        #: breaker board, the plan cache and the latency histogram land
+        #: here (the process-wide default registry unless one is injected
+        #: — tests asserting exact totals inject private ones)
+        self.metrics = metrics if metrics is not None else get_registry()
+        #: span-based tracer of the query lifecycle; ``True`` (default)
+        #: builds a bounded :class:`~repro.engine.tracing.Tracer`, an
+        #: explicit instance shares one, ``None``/``False`` disables
+        #: tracing entirely (the overhead-comparison configuration)
+        if tracer is True:
+            tracer = Tracer()
+        elif tracer is False:
+            tracer = None
+        self.tracer: Optional[Tracer] = tracer
         #: per-access-module circuit breakers, living alongside the
         #: catalog whose entries they track (closed → open after repeated
         #: failures → half-open recovery probe; open modules are excluded
         #: from rewriting ranking)
         self.breakers = BreakerBoard()
+        self.breakers.register_metrics(self.metrics)
         #: optional default :class:`~repro.engine.faults.FaultInjector`
         #: attached to every execution context (chaos mode); the
         #: ``REPRO_FAULTS`` environment variable is the other way in
@@ -329,7 +362,7 @@ class Database:
         (``drop_view`` it first).
         """
         if any(entry.name == name for entry in self.catalog):
-            raise ValueError(f"view {name!r} already exists")
+            raise DuplicateViewError(f"view {name!r} already exists")
         if isinstance(pattern, str):
             pattern = parse_pattern(pattern)
         if len(self.documents) == 1:
@@ -362,8 +395,11 @@ class Database:
         ctx = ExecutionContext(
             statistics=CatalogStatistics(self.catalog, self.summary, self.store),
             registry={PatternAccess: _lower_pattern_access},
+            metrics_registry=self.metrics,
         )
         ctx.fault_injector = self.fault_injector or faults.injector_from_env()
+        if self.tracer is not None:
+            ctx.trace = self.tracer.start_trace()
         return ctx
 
     def health(self) -> str:
@@ -384,20 +420,26 @@ class Database:
         and assemble the per-unit logical plans.  The result can be
         executed any number of times (and is what the plan cache stores).
         """
-        expr = parse_query(query) if isinstance(query, str) else query
-        extraction = extract(expr)
         ctx = context or self.execution_context()
+        with ctx.span("parse"):
+            expr = parse_query(query) if isinstance(query, str) else query
+        with ctx.span("extract") as extract_span:
+            extraction = extract(expr)
+            if extract_span is not None:
+                extract_span.attributes["units"] = len(extraction.units)
         units: list[PreparedUnit] = []
         for unit in extraction.units:
             resolutions = [
                 self._resolve_pattern(pattern, prefer_views, ctx)
                 for pattern in unit.patterns
             ]
+            with ctx.span("assemble"):
+                logical = assemble_plan(unit)
             units.append(
                 PreparedUnit(
                     unit=unit,
                     resolutions=resolutions,
-                    logical=assemble_plan(unit),
+                    logical=logical,
                 )
             )
         return PreparedQuery(
@@ -425,17 +467,23 @@ class Database:
         ctx = context or self.execution_context()
         result = QueryResult()
         events: list[str] = []
-        with prepared.lock, faults.scope(ctx.fault_injector, ctx):
-            prepared.executions += 1
-            for prepared_unit in prepared.units:
-                if should_stop is not None and should_stop():
-                    raise QueryCancelled(f"query cancelled: {prepared.text!r}")
-                self._run_prepared_unit(
-                    prepared_unit, result, physical, stats, ctx, events
-                )
+        with ctx.span("execute", units=len(prepared.units)):
+            with prepared.lock, faults.scope(ctx.fault_injector, ctx):
+                prepared.executions += 1
+                for number, prepared_unit in enumerate(prepared.units):
+                    if should_stop is not None and should_stop():
+                        raise QueryCancelled(
+                            f"query cancelled: {prepared.text!r}"
+                        )
+                    with ctx.span("unit", index=number):
+                        self._run_prepared_unit(
+                            prepared_unit, result, physical, stats, ctx, events
+                        )
         result.degradation_events = events
         result.degraded = bool(events)
         result.counters = dict(ctx.counters)
+        result.trace_id = ctx.trace_id
+        ctx.end_trace("degraded" if result.degraded else "ok")
         return result
 
     def query(
@@ -458,8 +506,14 @@ class Database:
         and execution.
         """
         ctx = context or self.execution_context()
-        prepared = self.prepare(query, prefer_views, context=ctx)
-        return self.execute_prepared(prepared, physical=physical, stats=stats, context=ctx)
+        try:
+            prepared = self.prepare(query, prefer_views, context=ctx)
+            return self.execute_prepared(
+                prepared, physical=physical, stats=stats, context=ctx
+            )
+        except BaseException:
+            ctx.end_trace("error")
+            raise
 
     def explain(
         self,
@@ -475,7 +529,13 @@ class Database:
         per-operator cardinalities and timings.
         """
         ctx = context or self.execution_context()
-        return self.explain_prepared(self.prepare(query, prefer_views, context=ctx), ctx)
+        try:
+            return self.explain_prepared(
+                self.prepare(query, prefer_views, context=ctx), ctx
+            )
+        except BaseException:
+            ctx.end_trace("error")
+            raise
 
     def explain_prepared(
         self,
@@ -488,36 +548,44 @@ class Database:
         (e.g. the service's plan-cache hit/miss for this very lookup)."""
         ctx = context or self.execution_context()
         units: list[ExplainUnit] = []
-        with prepared.lock, faults.scope(ctx.fault_injector, ctx):
-            prepared.executions += 1
-            for prepared_unit in prepared.units:
-                bindings = {}
-                for index, resolution in enumerate(prepared_unit.resolutions):
-                    tuples = self._prepared_pattern_tuples(
-                        prepared_unit, index, resolution, physical=True, ctx=ctx
+        with ctx.span("execute", units=len(prepared.units), explain=True):
+            with prepared.lock, faults.scope(ctx.fault_injector, ctx):
+                prepared.executions += 1
+                for prepared_unit in prepared.units:
+                    bindings = {}
+                    for index, resolution in enumerate(prepared_unit.resolutions):
+                        with ctx.span("pattern", index=index):
+                            tuples = self._prepared_pattern_tuples(
+                                prepared_unit, index, resolution,
+                                physical=True, ctx=ctx,
+                            )
+                        resolution.actual_cardinality = len(tuples)
+                        bindings[f"__pattern_{index}"] = tuples
+                    if prepared_unit.compiled_plan is None:
+                        prepared_unit.compiled_plan = ctx.compile(
+                            prepared_unit.logical, self.store.scan_orders()
+                        )
+                    _, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
+                    units.append(
+                        ExplainUnit(
+                            logical=prepared_unit.logical,
+                            resolutions=prepared_unit.resolutions,
+                            rewritten=[
+                                r.rewriting.plan if r.rewriting is not None else None
+                                for r in prepared_unit.resolutions
+                            ],
+                            physical=prepared_unit.compiled_plan,
+                            metrics=metrics,
+                        )
                     )
-                    resolution.actual_cardinality = len(tuples)
-                    bindings[f"__pattern_{index}"] = tuples
-                if prepared_unit.compiled_plan is None:
-                    prepared_unit.compiled_plan = ctx.compile(
-                        prepared_unit.logical, self.store.scan_orders()
-                    )
-                _, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
-                units.append(
-                    ExplainUnit(
-                        logical=prepared_unit.logical,
-                        resolutions=prepared_unit.resolutions,
-                        rewritten=[
-                            r.rewriting.plan if r.rewriting is not None else None
-                            for r in prepared_unit.resolutions
-                        ],
-                        physical=prepared_unit.compiled_plan,
-                        metrics=metrics,
-                    )
-                )
-        return ExplainReport(
-            units, counters=ctx.counters, health=self.breakers.states()
+        report = ExplainReport(
+            units,
+            counters=ctx.counters,
+            health=self.breakers.states(),
+            trace_id=ctx.trace_id,
         )
+        ctx.end_trace()
+        return report
 
     def rewrite(self, pattern: Pattern | str, **kwargs) -> list[Rewriting]:
         """Expose pattern rewriting directly (Chapter 5 entry point)."""
@@ -536,22 +604,29 @@ class Database:
         ctx = ctx or self.execution_context()
         estimate = ctx.statistics.pattern_cardinality(pattern)
         if prefer_views and len(self.catalog.views()) > 0:
-            rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
-            # open-circuit modules are out of the race at planning time;
-            # half-open ones stay in (the probe that may close them)
-            unavailable = self.breakers.unavailable_names()
-            if unavailable:
-                rewritings = [
-                    r for r in rewritings if not unavailable & set(r.views)
-                ]
+            with ctx.span(
+                "rewrite-search", pattern=pattern.to_text()
+            ) as search_span:
+                rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
+                # open-circuit modules are out of the race at planning
+                # time; half-open ones stay in (the probe that may close
+                # them)
+                unavailable = self.breakers.unavailable_names()
+                if unavailable:
+                    rewritings = [
+                        r for r in rewritings if not unavailable & set(r.views)
+                    ]
+                if search_span is not None:
+                    search_span.attributes["candidates"] = len(rewritings)
             if rewritings:
-                best = rank_rewritings(
-                    rewritings,
-                    self.catalog,
-                    self.summary,
-                    self.store,
-                    statistics=ctx.statistics,
-                )[0]
+                with ctx.span("rank", candidates=len(rewritings)):
+                    best = rank_rewritings(
+                        rewritings,
+                        self.catalog,
+                        self.summary,
+                        self.store,
+                        statistics=ctx.statistics,
+                    )[0]
                 return PatternResolution(
                     pattern, "rewriting", best, estimated_cardinality=estimate
                 )
@@ -599,19 +674,31 @@ class Database:
                     state = self.breakers.record_failure(name, str(fault))
                     if state == OPEN:
                         ctx.bump("breaker.opened")
+                        ctx.event("breaker.opened", module=name)
                 ctx.bump("degraded.module_failures")
                 if events is not None:
                     events.append(
-                        f"access module {'/'.join(names)} unavailable: {fault}"
+                        self._stamp_event(
+                            f"access module {'/'.join(names)} "
+                            f"unavailable: {fault}",
+                            ctx,
+                        )
                     )
                 rewriting = self._fallback_rewriting(
                     resolution.pattern, failed, ctx
                 )
                 if rewriting is not None:
                     ctx.bump("degraded.reroutes")
+                    ctx.event(
+                        "degraded.reroute", views=",".join(rewriting.views)
+                    )
                     if events is not None:
                         events.append(
-                            f"re-routed pattern through views {list(rewriting.views)}"
+                            self._stamp_event(
+                                "re-routed pattern through views "
+                                f"{list(rewriting.views)}",
+                                ctx,
+                            )
                         )
                 continue
             for name in rewriting.views:
@@ -621,9 +708,21 @@ class Database:
             return tuples
         ctx.bump("degraded.patterns")
         ctx.bump("degraded.base_fallbacks")
+        ctx.event("degraded.base-fallback")
         if events is not None:
-            events.append("no usable rewriting left; fell back to base store")
+            events.append(
+                self._stamp_event(
+                    "no usable rewriting left; fell back to base store", ctx
+                )
+            )
         return self._base_pattern_tuples(resolution.pattern)
+
+    @staticmethod
+    def _stamp_event(message: str, ctx: ExecutionContext) -> str:
+        """Degradation events carry the trace id, so a degraded result's
+        log lines lead back to the span tree that explains them."""
+        trace_id = ctx.trace_id
+        return f"{message} [trace {trace_id}]" if trace_id else message
 
     def _run_rewriting(
         self,
@@ -731,9 +830,12 @@ class Database:
         result.resolutions.extend(resolutions)
         bindings = {}
         for index, resolution in enumerate(resolutions):
-            tuples = self._prepared_pattern_tuples(
-                prepared_unit, index, resolution, physical, ctx, events
-            )
+            with ctx.span(
+                "pattern", index=index, access=resolution.access_path
+            ):
+                tuples = self._prepared_pattern_tuples(
+                    prepared_unit, index, resolution, physical, ctx, events
+                )
             resolution.actual_cardinality = len(tuples)
             bindings[f"__pattern_{index}"] = tuples
         plan = prepared_unit.logical

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import threading
 import time
+import weakref
 from typing import Callable, Optional
 
 __all__ = ["CircuitBreaker", "BreakerBoard", "CLOSED", "OPEN", "HALF_OPEN"]
@@ -115,6 +116,9 @@ class BreakerBoard:
     broken?" rather than listing everything.
     """
 
+    #: numeric encoding of breaker states for the ``breaker.state`` gauge
+    STATE_VALUES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
     def __init__(
         self,
         failure_threshold: int = 3,
@@ -126,6 +130,49 @@ class BreakerBoard:
         self._clock = clock
         self._breakers: dict[str, CircuitBreaker] = {}
         self._lock = threading.Lock()
+        self._registry = None
+
+    def register_metrics(self, registry) -> None:
+        """Publish the board into a
+        :class:`~repro.engine.metrics.MetricsRegistry`: per-module
+        failure/success counters are bumped inline (they are events, not
+        state), while the state gauges are refreshed by a scrape-time
+        collector (state is a function of the clock — half-open emerges
+        from elapsed time, not from any recorded event)."""
+        self._registry = registry
+        registry.counter(
+            "breaker.failures", "access-module failures recorded", ("module",)
+        )
+        registry.counter(
+            "breaker.successes", "access-module successes recorded", ("module",)
+        )
+        registry.gauge(
+            "breaker.open_modules", "access modules currently circuit-open"
+        )
+        registry.gauge(
+            "breaker.state",
+            "breaker state per module (0=closed 1=half-open 2=open)",
+            ("module",),
+        )
+
+        self_ref = weakref.ref(self)
+
+        def collect(reg) -> None:
+            board = self_ref()
+            if board is None:  # don't pin dead boards to the registry
+                reg.unregister_collector(collect)
+                return
+            states = board.states()
+            reg.set_gauge(
+                "breaker.open_modules",
+                sum(1 for state in states.values() if state == OPEN),
+            )
+            for name, state in states.items():
+                reg.set_gauge(
+                    "breaker.state", board.STATE_VALUES[state], module=name
+                )
+
+        registry.register_collector(collect)
 
     def breaker(self, name: str) -> CircuitBreaker:
         with self._lock:
@@ -143,15 +190,21 @@ class BreakerBoard:
                 breaker = self._breakers[name] = CircuitBreaker(
                     self.failure_threshold, self.recovery_timeout, self._clock
                 )
-            return breaker.record_failure(error)
+            state = breaker.record_failure(error)
+        if self._registry is not None:
+            self._registry.inc("breaker.failures", module=name)
+        return state
 
     def record_success(self, name: str) -> None:
         """Successes only touch modules already being tracked (no entry =
         nothing to recover)."""
         with self._lock:
             breaker = self._breakers.get(name)
-            if breaker is not None:
-                breaker.record_success()
+            if breaker is None:
+                return
+            breaker.record_success()
+        if self._registry is not None:
+            self._registry.inc("breaker.successes", module=name)
 
     def state(self, name: str) -> str:
         with self._lock:

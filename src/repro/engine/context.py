@@ -33,6 +33,7 @@ layers can build contexts without pulling the whole engine in.
 from __future__ import annotations
 
 import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Optional
 
@@ -240,6 +241,7 @@ class ExecutionContext:
         cost_model: Optional[CostModel] = None,
         tunables: Optional[Tunables] = None,
         registry: Optional[Mapping[type, LoweringFn]] = None,
+        metrics_registry=None,
     ):
         self.tunables = tunables or Tunables()
         self.statistics = statistics or EmptyStatistics()
@@ -250,6 +252,16 @@ class ExecutionContext:
         #: service records plan-cache hits/misses here; EXPLAIN and
         #: ``query(stats=True)`` surface them next to the plan metrics)
         self.counters: dict[str, float] = {}
+        #: optional process-wide
+        #: :class:`~repro.engine.metrics.MetricsRegistry` that every
+        #: :meth:`bump` is forwarded to — the invariant the stress suite
+        #: checks is that registry totals equal the sum of the per-query
+        #: ``counters`` dicts
+        self.metrics_registry = metrics_registry
+        #: optional :class:`~repro.engine.tracing.Trace` of this query's
+        #: lifecycle; None disables tracing (``span`` / ``event`` become
+        #: single-branch no-ops)
+        self.trace = None
         #: optional :class:`~repro.engine.faults.FaultInjector` activated
         #: around this query's execution (chaos mode); None in production
         self.fault_injector = None
@@ -258,8 +270,48 @@ class ExecutionContext:
     # -- counters -----------------------------------------------------------
 
     def bump(self, name: str, value: float = 1.0) -> None:
-        """Increment a named counter in the metrics sink."""
+        """Increment a named counter in the metrics sink (and its
+        process-wide mirror, when a registry is attached)."""
         self.counters[name] = self.counters.get(name, 0.0) + value
+        if self.metrics_registry is not None:
+            self.metrics_registry.inc(name, value)
+
+    # -- tracing ------------------------------------------------------------
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return self.trace.trace_id if self.trace is not None else None
+
+    @contextmanager
+    def span(self, name: str, **attributes) -> Iterator[Any]:
+        """A lifecycle span covering the ``with`` body; no-op when tracing
+        is off.  An escaping exception marks the span (and, through
+        :meth:`end_trace`, the trace) as errored."""
+        if self.trace is None:
+            yield None
+            return
+        span = self.trace.start_span(name, **attributes)
+        try:
+            yield span
+        except BaseException as error:
+            self.trace.finish_span(
+                span, status="error", error=type(error).__name__
+            )
+            raise
+        else:
+            self.trace.finish_span(span)
+
+    def event(self, name: str, **attributes) -> None:
+        """A zero-duration point event in the trace; no-op when off."""
+        if self.trace is not None:
+            self.trace.event(name, **attributes)
+
+    def end_trace(self, status: str = "ok") -> None:
+        """Close this query's trace (idempotent — retries re-enter the
+        execution path on the same context, and only the outcome that
+        sticks should close the root)."""
+        if self.trace is not None and not self.trace.done:
+            self.trace.finish(status)
 
     # -- estimation ---------------------------------------------------------
 
@@ -277,7 +329,8 @@ class ExecutionContext:
         """Lower a logical plan through the cost-based compiler."""
         from .physical import compile_plan
 
-        return compile_plan(logical, scan_orders, context=self)
+        with self.span("compile"):
+            return compile_plan(logical, scan_orders, context=self)
 
     # -- instrumentation & execution ---------------------------------------
 

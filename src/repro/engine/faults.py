@@ -236,6 +236,16 @@ class FaultInjector:
                 self.injected[key] = self.injected.get(key, 0) + 1
                 if counters is not None:
                     counters.bump(f"faults.injected.{spec.kind}")
+                    # stamp the injection into the query's trace, when the
+                    # counters sink is a (tracing-capable) ExecutionContext
+                    event = getattr(counters, "event", None)
+                    if event is not None:
+                        event(
+                            "fault.injected",
+                            point=point,
+                            kind=spec.kind,
+                            **({"target": target} if target else {}),
+                        )
                 if spec.kind == "latency":
                     delay += spec.latency
                     continue

@@ -1,0 +1,478 @@
+"""A process-wide metrics registry: counters, gauges, bounded histograms.
+
+PRs 1–3 grew observability organically: plan-cache hit/miss counts lived
+in :class:`~repro.engine.plan_cache.CacheStats`, breaker state on the
+:class:`~repro.engine.breaker.BreakerBoard`, fault injections in
+``FaultInjector.injected``, retry and degradation counts in each query's
+``ExecutionContext.counters`` dict — five disjoint sinks with five
+reading conventions.  The thesis' argument (the optimizer *chooses* among
+S-equivalent access paths) is only auditable if the evidence for those
+choices is queryable in one place; this module is that place.
+
+:class:`MetricsRegistry` owns three instrument kinds:
+
+* :class:`Counter` — monotonically increasing event counts
+  (``plan_cache.hit``, ``retry.attempts``, ``faults.injected.transient``);
+* :class:`Gauge` — point-in-time values set at scrape time by registered
+  collectors (``plan_cache.size``, ``breaker.open_modules``);
+* :class:`Histogram` — bounded-bucket distributions (cumulative
+  Prometheus-style ``le`` buckets), used for query latency with an
+  ``outcome`` label.
+
+Instruments are named with dotted lowercase words (``family.event``);
+exposition sanitizes them into the Prometheus grammar
+(``repro_family_event_total``).  Two renderings are offered:
+:meth:`MetricsRegistry.render_prometheus` (text exposition format 0.0.4,
+what the ``/metrics`` HTTP route serves) and
+:meth:`MetricsRegistry.snapshot` (a JSON-able dict, what ``/metrics.json``
+and the REPL's ``.metrics`` command serve).
+
+Integration contract: :meth:`ExecutionContext.bump
+<repro.engine.context.ExecutionContext.bump>` forwards every per-query
+counter bump to the registry attached by ``Database.execution_context``,
+so the process totals always equal the sum of the per-query
+``result.counters`` dicts — the reconciliation invariant the stress suite
+asserts.  Collectors (the plan cache's and the breaker board's) refresh
+gauges lazily at scrape time instead of on every mutation.
+
+The module-level :data:`REGISTRY` is the process-wide default; tests that
+assert exact totals construct private registries instead.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Iterator, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "get_registry",
+    "sanitize_metric_name",
+    "DEFAULT_LATENCY_BUCKETS",
+]
+
+#: default histogram buckets (seconds) — tuned for sub-millisecond
+#: in-memory query latencies up through multi-second chaos timeouts
+DEFAULT_LATENCY_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+def sanitize_metric_name(name: str) -> str:
+    """Dotted registry name → Prometheus metric name (``[a-zA-Z_:][a-zA-Z0-9_:]*``)."""
+    cleaned = "".join(c if c.isalnum() or c == "_" else "_" for c in name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _render_labels(labelnames: Sequence[str], labelvalues: Sequence[str]) -> str:
+    if not labelnames:
+        return ""
+    pairs = ",".join(
+        f'{name}="{_escape_label(value)}"'
+        for name, value in zip(labelnames, labelvalues)
+    )
+    return "{" + pairs + "}"
+
+
+def _escape_label(value: str) -> str:
+    return str(value).replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Instrument:
+    """Common shell of every instrument: a name, help text, label names,
+    and per-label-value child state guarded by one lock."""
+
+    kind = "untyped"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        self.name = name
+        self.help = help
+        self.labelnames = tuple(labelnames)
+        self._lock = threading.Lock()
+
+    def _label_key(self, labels: dict[str, str]) -> tuple[str, ...]:
+        if set(labels) != set(self.labelnames):
+            raise ValueError(
+                f"instrument {self.name!r} takes labels {self.labelnames}, "
+                f"got {tuple(labels)}"
+            )
+        return tuple(str(labels[name]) for name in self.labelnames)
+
+
+class Counter(_Instrument):
+    """A monotonically increasing count of events."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        if value < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def set_total(self, value: float, **labels: str) -> None:
+        """Overwrite the absolute total — for collectors mirroring a
+        counter maintained elsewhere (e.g. the plan cache's eviction
+        count).  The source must itself be monotonic."""
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def value(self, **labels: str) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def items(self) -> list[tuple[tuple[str, ...], float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class Gauge(_Instrument):
+    """A point-in-time value (sizes, capacities, open-breaker counts)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labelnames: Sequence[str] = ()):
+        super().__init__(name, help, labelnames)
+        self._values: dict[tuple[str, ...], float] = {}
+        if not self.labelnames:
+            self._values[()] = 0.0
+
+    def set(self, value: float, **labels: str) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, value: float = 1.0, **labels: str) -> None:
+        key = self._label_key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + value
+
+    def value(self, **labels: str) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def items(self) -> list[tuple[tuple[str, ...], float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+
+class _HistogramChild:
+    __slots__ = ("bucket_counts", "total", "count")
+
+    def __init__(self, n_buckets: int):
+        self.bucket_counts = [0] * n_buckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Instrument):
+    """A bounded-memory distribution: fixed buckets, running sum & count.
+
+    Buckets are upper bounds (``le`` semantics); an implicit ``+Inf``
+    bucket always exists.  Memory is O(buckets) per label combination
+    regardless of how many samples are observed — the registry never
+    retains raw samples (the :class:`~repro.core.service.LatencyRecorder`
+    keeps a *bounded* raw-sample ring for exact small-n percentiles; this
+    is the unbounded-horizon aggregate).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ):
+        super().__init__(name, help, labelnames)
+        bounds = sorted(float(b) for b in buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if bounds and bounds[-1] == float("inf"):
+            bounds = bounds[:-1]
+        self.buckets = tuple(bounds)
+        self._children: dict[tuple[str, ...], _HistogramChild] = {}
+        if not self.labelnames:
+            self._children[()] = _HistogramChild(len(self.buckets) + 1)
+
+    def observe(self, value: float, **labels: str) -> None:
+        key = self._label_key(labels)
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(len(self.buckets) + 1)
+            child.bucket_counts[index] += 1
+            child.total += value
+            child.count += 1
+
+    def count(self, **labels: str) -> int:
+        key = self._label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.count if child is not None else 0
+
+    def sum(self, **labels: str) -> float:
+        key = self._label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            return child.total if child is not None else 0.0
+
+    def quantile(self, q: float, **labels: str) -> Optional[float]:
+        """Approximate quantile (the upper bound of the bucket holding the
+        nearest-rank sample); None when empty or when it falls in +Inf."""
+        key = self._label_key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None or child.count == 0:
+                return None
+            counts = list(child.bucket_counts)
+            count = child.count
+        import math
+
+        rank = max(1, min(count, math.ceil(q * count)))
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index < len(self.buckets):
+                    return self.buckets[index]
+                return None  # in the +Inf bucket: no finite upper bound
+        return None
+
+    def items(self) -> list[tuple[tuple[str, ...], _HistogramChild]]:
+        with self._lock:
+            return sorted(
+                (key, child) for key, child in self._children.items()
+            )
+
+
+class MetricsRegistry:
+    """Get-or-create home of every instrument, with unified exposition.
+
+    ``inc`` / ``set_gauge`` / ``observe`` are name-keyed conveniences used
+    by call sites that should not care whether the instrument existed yet
+    (``ExecutionContext.bump`` forwarding); typed accessors
+    (:meth:`counter`, :meth:`gauge`, :meth:`histogram`) pre-register
+    instruments with help text so ``/metrics`` shows every family even
+    before its first event.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, _Instrument] = {}
+        self._collectors: list[Callable[["MetricsRegistry"], None]] = []
+        self._lock = threading.Lock()
+
+    # -- instrument access --------------------------------------------------
+
+    def _get_or_create(self, cls, name: str, help: str, **kwargs) -> _Instrument:
+        with self._lock:
+            instrument = self._instruments.get(name)
+            if instrument is None:
+                instrument = self._instruments[name] = cls(name, help, **kwargs)
+            elif not isinstance(instrument, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {instrument.kind}"
+                )
+            return instrument
+
+    def counter(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Counter:
+        return self._get_or_create(Counter, name, help, labelnames=labelnames)
+
+    def gauge(
+        self, name: str, help: str = "", labelnames: Sequence[str] = ()
+    ) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labelnames=labelnames)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labelnames: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(
+            Histogram, name, help, labelnames=labelnames, buckets=buckets
+        )
+
+    # -- name-keyed conveniences -------------------------------------------
+
+    def inc(self, name: str, value: float = 1.0, **labels: str) -> None:
+        labelnames = tuple(sorted(labels))
+        self.counter(name, labelnames=labelnames).inc(value, **labels)
+
+    def set_gauge(self, name: str, value: float, **labels: str) -> None:
+        labelnames = tuple(sorted(labels))
+        self.gauge(name, labelnames=labelnames).set(value, **labels)
+
+    def observe(self, name: str, value: float, **labels: str) -> None:
+        labelnames = tuple(sorted(labels))
+        self.histogram(name, labelnames=labelnames).observe(value, **labels)
+
+    def counter_value(self, name: str, **labels: str) -> float:
+        instrument = self._instruments.get(name)
+        if not isinstance(instrument, Counter):
+            return 0.0
+        return instrument.value(**labels)
+
+    def counter_total(self, name: str) -> float:
+        """Sum of a counter across all its label combinations."""
+        instrument = self._instruments.get(name)
+        if not isinstance(instrument, Counter):
+            return 0.0
+        return sum(value for _, value in instrument.items())
+
+    # -- collectors ---------------------------------------------------------
+
+    def register_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        """Register a scrape-time callback that refreshes gauges (and
+        mirrored counters) from live objects — the pull model: state is
+        read when someone looks, not maintained on every mutation.
+
+        Collectors registered on the process-wide registry must not pin
+        their source objects: hold a weak reference and call
+        :meth:`unregister_collector` when it dies (see
+        ``PlanCache.register_metrics`` for the idiom)."""
+        with self._lock:
+            self._collectors.append(collector)
+
+    def unregister_collector(
+        self, collector: Callable[["MetricsRegistry"], None]
+    ) -> None:
+        with self._lock:
+            try:
+                self._collectors.remove(collector)
+            except ValueError:
+                pass
+
+    def collect(self) -> list[_Instrument]:
+        for collector in list(self._collectors):
+            collector(self)
+        with self._lock:
+            return [self._instruments[name] for name in sorted(self._instruments)]
+
+    # -- exposition ---------------------------------------------------------
+
+    def render_prometheus(self, prefix: str = "repro") -> str:
+        """Prometheus text exposition format 0.0.4."""
+        lines: list[str] = []
+        for instrument in self.collect():
+            base = sanitize_metric_name(
+                f"{prefix}_{instrument.name}" if prefix else instrument.name
+            )
+            exposed = base + "_total" if instrument.kind == "counter" else base
+            help_text = instrument.help or instrument.name
+            lines.append(f"# HELP {exposed} {help_text}")
+            lines.append(f"# TYPE {exposed} {instrument.kind}")
+            if isinstance(instrument, (Counter, Gauge)):
+                for labelvalues, value in instrument.items():
+                    labels = _render_labels(instrument.labelnames, labelvalues)
+                    lines.append(f"{exposed}{labels} {_format_value(value)}")
+            elif isinstance(instrument, Histogram):
+                for labelvalues, child in instrument.items():
+                    cumulative = 0
+                    for bound, bucket_count in zip(
+                        instrument.buckets + (float("inf"),), child.bucket_counts
+                    ):
+                        cumulative += bucket_count
+                        labels = _render_labels(
+                            instrument.labelnames + ("le",),
+                            labelvalues + (_format_value(bound),),
+                        )
+                        lines.append(f"{exposed}_bucket{labels} {cumulative}")
+                    labels = _render_labels(instrument.labelnames, labelvalues)
+                    lines.append(f"{exposed}_sum{labels} {repr(child.total)}")
+                    lines.append(f"{exposed}_count{labels} {child.count}")
+        return "\n".join(lines) + "\n"
+
+    def snapshot(self) -> dict:
+        """JSON-able snapshot of every instrument."""
+        out: dict[str, dict] = {}
+        for instrument in self.collect():
+            if isinstance(instrument, (Counter, Gauge)):
+                series = [
+                    {
+                        "labels": dict(zip(instrument.labelnames, labelvalues)),
+                        "value": value,
+                    }
+                    for labelvalues, value in instrument.items()
+                ]
+            else:
+                assert isinstance(instrument, Histogram)
+                series = [
+                    {
+                        "labels": dict(zip(instrument.labelnames, labelvalues)),
+                        "count": child.count,
+                        "sum": child.total,
+                        "buckets": {
+                            _format_value(bound): bucket_count
+                            for bound, bucket_count in zip(
+                                instrument.buckets + (float("inf"),),
+                                child.bucket_counts,
+                            )
+                        },
+                    }
+                    for labelvalues, child in instrument.items()
+                ]
+            out[instrument.name] = {
+                "kind": instrument.kind,
+                "help": instrument.help,
+                "series": series,
+            }
+        return out
+
+    # -- introspection ------------------------------------------------------
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._instruments)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._instruments
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MetricsRegistry {len(self.names())} instruments>"
+
+
+#: the process-wide default registry (``Database`` attaches it unless a
+#: private one is injected — tests asserting exact totals inject their own)
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY

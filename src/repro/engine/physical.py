@@ -691,6 +691,9 @@ def _lower_value_join(op: ValueJoin, lower, ctx: ExecutionContext) -> PhysicalOp
         choice = ctx.cost_model.choose_join(
             ctx.estimate(op.children[0]), ctx.estimate(op.children[1])
         )
+        # the cost-based decision is exactly the evidence the metrics
+        # layer exists to surface: count which algorithm won
+        ctx.bump(f"compile.join.{choice}")
         if choice == "hash":
             left_attr = predicate.left if predicate.left.side == 0 else predicate.right
             right_attr = predicate.right if predicate.right.side == 1 else predicate.left

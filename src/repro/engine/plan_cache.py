@@ -26,6 +26,7 @@ the same lock and exposed as an immutable :class:`CacheStats` snapshot.
 from __future__ import annotations
 
 import threading
+import weakref
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, Optional
@@ -173,6 +174,39 @@ class PlanCache:
             return dropped
 
     # -- introspection ------------------------------------------------------
+
+    def register_metrics(self, registry) -> None:
+        """Publish this cache into a
+        :class:`~repro.engine.metrics.MetricsRegistry`: a scrape-time
+        collector mirrors the lifetime counters (hits / misses /
+        evictions / invalidations are maintained under the cache lock
+        anyway — no reason to double-count them on the hot path) and
+        refreshes the size / capacity gauges."""
+        registry.counter("plan_cache.hits", "plan cache hits (lifetime)")
+        registry.counter("plan_cache.misses", "plan cache misses (lifetime)")
+        registry.counter("plan_cache.evictions", "capacity-driven LRU drops")
+        registry.counter(
+            "plan_cache.invalidations", "version/staleness-driven drops"
+        )
+        registry.gauge("plan_cache.size", "cached plans right now")
+        registry.gauge("plan_cache.capacity", "plan cache capacity")
+
+        self_ref = weakref.ref(self)
+
+        def collect(reg) -> None:
+            cache = self_ref()
+            if cache is None:  # don't pin dead caches to the registry
+                reg.unregister_collector(collect)
+                return
+            stats = cache.stats()
+            reg.counter("plan_cache.hits").set_total(stats.hits)
+            reg.counter("plan_cache.misses").set_total(stats.misses)
+            reg.counter("plan_cache.evictions").set_total(stats.evictions)
+            reg.counter("plan_cache.invalidations").set_total(stats.invalidations)
+            reg.set_gauge("plan_cache.size", stats.size)
+            reg.set_gauge("plan_cache.capacity", stats.capacity)
+
+        registry.register_collector(collect)
 
     def stats(self) -> CacheStats:
         with self._lock:

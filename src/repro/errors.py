@@ -25,6 +25,7 @@ __all__ = [
     "AccessModuleUnavailable",
     "PlanExecutionError",
     "NoUsableAccessPath",
+    "DuplicateViewError",
 ]
 
 
@@ -105,3 +106,10 @@ class NoUsableAccessPath(ReproError):
     """Every access path for a pattern is circuit-broken or failed and no
     base-store fallback exists.  (With in-memory documents the base store
     always exists, so this is reserved for configurations that drop it.)"""
+
+
+class DuplicateViewError(ReproError, ValueError):
+    """Registering a view under a name the catalog already holds.  Keeps
+    :class:`ValueError` as a base so pre-existing callers catching that
+    still work, while joining the typed hierarchy the CLI's narrowed
+    handlers rely on."""

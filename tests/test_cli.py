@@ -113,3 +113,118 @@ def test_main_one_shot(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "Data on the Web" in out
     assert "via views: v" in out
+
+
+def test_repl_bugs_are_not_masked(db, monkeypatch):
+    # the REPL catches the typed ReproError hierarchy only: an untyped
+    # exception is an engine bug and must escape with its traceback
+    # instead of being rendered as a one-liner
+    from repro.cli import _service_for
+
+    service = _service_for(db)
+
+    def boom(*args, **kwargs):
+        raise TypeError("engine bug")
+
+    monkeypatch.setattr(service, "query", boom)
+    with pytest.raises(TypeError, match="engine bug"):
+        run_command(db, "//book/title/text()")
+    with pytest.raises(TypeError, match="engine bug"):
+        run_command(db, ".stats //book")
+
+    monkeypatch.setattr(service, "explain", boom)
+    with pytest.raises(TypeError, match="engine bug"):
+        run_command(db, ".explain //book")
+
+    monkeypatch.setattr(service, "add_view", boom)
+    with pytest.raises(TypeError, match="engine bug"):
+        run_command(db, ".view v //book[id:s]")
+
+
+def test_duplicate_view_is_reported_not_raised(db, capsys):
+    run_command(db, ".view v //book[id:s]{/title[id:s, val]}")
+    assert run_command(db, ".view v //book[id:s]{/title[id:s, val]}")
+    out = capsys.readouterr().out
+    assert "DuplicateViewError" in out
+
+
+def test_batch_settle_propagates_untyped_errors(db):
+    from repro.cli import _run_batch_settled
+    from repro.core.service import QueryService
+
+    class BuggyFuture:
+        def result(self, timeout=None):
+            raise TypeError("engine bug")
+
+    service = QueryService(db, max_workers=1)
+    try:
+        service.submit = lambda *args, **kwargs: BuggyFuture()
+        with pytest.raises(TypeError, match="engine bug"):
+            _run_batch_settled(service, service.session("s"), ["//book"])
+    finally:
+        del service.submit
+        service.shutdown()
+
+
+def test_metrics_command(db, capsys):
+    run_command(db, "//book/title/text()")
+    run_command(db, ".metrics")
+    out = capsys.readouterr().out
+    assert "# TYPE repro_plan_cache_miss_total counter" in out
+    assert "repro_query_latency_seconds_count" in out
+
+
+def test_trace_command_runs_query_and_prints_tree(db, capsys):
+    run_command(db, ".trace //book/title/text()")
+    out = capsys.readouterr().out
+    assert "Data on the Web" in out
+    assert "query" in out and "execute" in out and "ms]" in out
+
+
+def test_trace_command_looks_up_past_trace(db, capsys):
+    from repro.cli import _service_for
+
+    result = _service_for(db).query("//book/title/text()")
+    capsys.readouterr()
+    run_command(db, f".trace {result.trace_id}")
+    out = capsys.readouterr().out
+    assert "query" in out and "execute" in out
+
+
+def test_slow_command_empty(db, capsys):
+    run_command(db, ".slow")
+    out = capsys.readouterr().out
+    assert "no slow queries captured" in out
+
+
+def test_serve_with_metrics_endpoint(tmp_path, capsys):
+    document = tmp_path / "doc.xml"
+    document.write_text(BIB_XML)
+    queries = tmp_path / "queries.txt"
+    queries.write_text("//book/title/text()\n")
+    code = main(
+        [
+            "serve",
+            str(document),
+            "--queries",
+            str(queries),
+            "--metrics-port",
+            "0",
+            "--slow-query-ms",
+            "0",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "-- metrics: http://" in out
+    assert "-- slow:" in out
+
+
+def test_serve_no_trace_flag(tmp_path, capsys):
+    document = tmp_path / "doc.xml"
+    document.write_text(BIB_XML)
+    queries = tmp_path / "queries.txt"
+    queries.write_text("//book/title/text()\n")
+    code = main(["serve", str(document), "--queries", str(queries), "--no-trace"])
+    assert code == 0
+    assert "Data on the Web" in capsys.readouterr().out
