@@ -11,7 +11,10 @@ push:
    registry is not drifting from the ground truth);
 3. tracing stays cheap: the traced configuration's median workload time
    must be within ``--threshold`` (default 5%) of the tracing-disabled
-   configuration.
+   configuration;
+4. workload capture stays cheap: the file-backed query-log configuration
+   must be within ``--qlog-threshold`` (default 5%) of the capture-
+   disabled configuration.
 
 Usage::
 
@@ -25,13 +28,16 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+import tempfile
 import time
 import urllib.request
 
 from repro import Database, QueryService
 from repro.core.httpapi import start_observability_server
 from repro.engine.metrics import MetricsRegistry
+from repro.engine.qlog import QueryLog
 from repro.workloads import XMARK_QUERIES, generate_xmark
 
 REQUIRED_FAMILIES = (
@@ -44,6 +50,9 @@ REQUIRED_FAMILIES = (
     "repro_faults_injected_transient_total",
     "repro_latency_samples_dropped_total",
     "repro_query_latency_seconds",
+    "repro_qlog_records_total",
+    "repro_planner_plan_flip_total",
+    "repro_planner_misestimate_total",
 )
 
 
@@ -63,17 +72,30 @@ def run_workload(service: QueryService, rounds: int) -> list:
     return results
 
 
-def timed_workload(tracer: bool, rounds: int, repeats: int) -> float:
-    """Median wall time of the workload under one tracing configuration
-    (fresh database and service per repeat, so plan-cache state is
-    identical across configurations)."""
+def timed_workload(
+    tracer: bool, rounds: int, repeats: int, qlog_dir: str | None = None,
+    qlog_off: bool = False,
+) -> float:
+    """Median wall time of the workload under one configuration (fresh
+    database and service per repeat, so plan-cache state is identical
+    across configurations).  ``qlog_dir`` runs with a file-backed query
+    log (a fresh capture per repeat); ``qlog_off`` disables capture."""
     timings = []
-    for _ in range(repeats):
+    for number in range(repeats):
         db = build_database(tracer=tracer)
-        with QueryService(db, cache_capacity=64, max_workers=4) as service:
+        qlog: QueryLog | None | bool = None
+        if qlog_dir is not None:
+            qlog = QueryLog(os.path.join(qlog_dir, f"capture-{number}.jsonl"))
+        elif qlog_off:
+            qlog = False
+        with QueryService(
+            db, cache_capacity=64, max_workers=4, qlog=qlog
+        ) as service:
             started = time.perf_counter()
             run_workload(service, rounds)
             timings.append(time.perf_counter() - started)
+        if isinstance(qlog, QueryLog):
+            qlog.close()
     timings.sort()
     return timings[len(timings) // 2]
 
@@ -96,6 +118,11 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--threshold", type=float, default=0.05,
         help="max tracing overhead as a fraction (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--qlog-threshold", type=float, default=0.05,
+        help="max query-log capture overhead as a fraction "
+        "(default 0.05 = 5%%)",
     )
     parser.add_argument(
         "--snapshot", default=None,
@@ -165,6 +192,21 @@ def main(argv=None) -> int:
         overhead <= args.threshold,
         f"tracing overhead {overhead:+.2%} within {args.threshold:.0%} "
         f"(traced {traced * 1000:.1f}ms, untraced {untraced * 1000:.1f}ms)",
+        failures,
+    )
+
+    # -- overhead gate: file-backed query log vs capture disabled ----------
+    with tempfile.TemporaryDirectory(prefix="repro-qlog-") as qlog_dir:
+        logged = timed_workload(
+            True, args.rounds, args.repeats, qlog_dir=qlog_dir
+        )
+    unlogged = timed_workload(True, args.rounds, args.repeats, qlog_off=True)
+    qlog_overhead = logged / unlogged - 1.0
+    check(
+        qlog_overhead <= args.qlog_threshold,
+        f"query-log overhead {qlog_overhead:+.2%} within "
+        f"{args.qlog_threshold:.0%} (logged {logged * 1000:.1f}ms, "
+        f"unlogged {unlogged * 1000:.1f}ms)",
         failures,
     )
 

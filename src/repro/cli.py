@@ -5,7 +5,9 @@ Usage::
     python -m repro.cli DOCUMENT.xml [--view name=XAM ...] [--query QUERY] [--stats]
     python -m repro.cli explain DOCUMENT.xml QUERY [--view name=XAM ...]
     python -m repro.cli serve DOCUMENT.xml [--view ...] [--queries FILE]
-                        [--workers N] [--repeat K] [--timeout S]
+                        [--workers N] [--repeat K] [--timeout S] [--qlog PATH]
+    python -m repro.cli record DOCUMENT.xml QLOG [--view ...] [--queries FILE]
+    python -m repro.cli replay DOCUMENT.xml QLOG [--view ...] [--json]
 
 The ``explain`` form prints the full plan lifecycle of one query — the
 logical plan, the chosen access paths with their rewritten plans, and the
@@ -19,6 +21,14 @@ line (from ``--queries FILE`` or stdin), runs them through a
 cache, prints the results in submission order, and ends with the cache
 counters and latency percentiles.  ``--repeat K`` replays the whole batch
 K times — the idiomatic way to watch the plan cache pay off.
+
+The ``record`` form runs a workload with capture on: every execution's
+plan fingerprint, result checksum and latency land in a JSONL query log.
+The ``replay`` form re-runs such a capture against a freshly loaded
+database and diffs fingerprints and checksums, exiting non-zero on any
+divergence — the plan-regression gate CI runs on every push.  ``serve``,
+``record`` and the log-capturing paths all flush and close the capture
+on SIGINT/SIGTERM before exiting with code 130.
 
 Without ``--query``, starts a REPL with commands:
 
@@ -53,14 +63,19 @@ degraded-result counts at the end of the batch.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import signal
 import sys
+import threading
 import weakref
 
 from .core.httpapi import start_observability_server
+from .core.replay import replay_records
 from .core.service import QueryService, QueryTimeout
 from .core.uload import Database
 from .core.xam_parser import XAMParseError
 from .engine.faults import FaultInjector
+from .engine.qlog import QueryLog
 from .errors import ReproError
 from .xquery.parser import XQueryParseError
 
@@ -72,6 +87,35 @@ EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_PARSE = 2
 EXIT_FAULT = 3
+#: 128 + SIGINT, the shell convention for "killed by ^C" — what serve and
+#: record return after a graceful (log-flushing) interrupt shutdown
+EXIT_INTERRUPT = 130
+
+
+@contextlib.contextmanager
+def _graceful_signals():
+    """Route SIGINT/SIGTERM into :class:`KeyboardInterrupt` for the scope
+    of a serving loop, so ``finally`` blocks run: the query log flushes,
+    the metrics server unbinds, the worker pool drains.  A no-op off the
+    main thread (tests drive the CLI from workers; signal handlers can
+    only be installed on the main thread) and handlers are restored on
+    exit either way."""
+    if threading.current_thread() is not threading.main_thread():
+        yield
+        return
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt(signal.Signals(signum).name)
+
+    previous = {
+        signal.SIGINT: signal.signal(signal.SIGINT, _interrupt),
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _interrupt),
+    }
+    try:
+        yield
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
 
 _PARSE_ERRORS = (XQueryParseError, XAMParseError)
 
@@ -339,17 +383,16 @@ def _serve_main(argv: list[str]) -> int:
         action="store_true",
         help="disable span tracing (for overhead comparisons)",
     )
+    parser.add_argument(
+        "--qlog",
+        metavar="PATH",
+        default=None,
+        help="capture every executed query to a JSONL workload log "
+        "(replayable with 'repro replay'); default honours $REPRO_QLOG",
+    )
     args = parser.parse_args(argv)
 
-    if args.queries:
-        with open(args.queries, encoding="utf-8") as handle:
-            lines = handle.readlines()
-    else:
-        lines = sys.stdin.readlines()
-    queries = [
-        line.strip() for line in lines
-        if line.strip() and not line.lstrip().startswith("#")
-    ]
+    queries = _read_queries(args.queries)
     if not queries:
         print("no queries to run", file=sys.stderr)
         return 1
@@ -363,45 +406,171 @@ def _serve_main(argv: list[str]) -> int:
     slow_threshold = (
         args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
     )
+    qlog = QueryLog(args.qlog) if args.qlog else None
+    interrupted = False
+    failed = 0
     with QueryService(
         db,
         cache_capacity=args.cache_capacity,
         max_workers=args.workers,
         default_timeout=args.timeout,
         slow_query_threshold=slow_threshold,
+        qlog=qlog,  # None → the service honours $REPRO_QLOG itself
     ) as service:
         observer = None
         if args.metrics_port is not None:
             observer = start_observability_server(service, port=args.metrics_port)
             print(f"-- metrics: {observer.url}/metrics")
+        if qlog is not None:
+            print(f"-- query log: {qlog.path}")
         try:
-            session = service.session("serve")
-            failed = degraded = 0
-            for round_number in range(args.repeat):
-                for query, outcome in zip(
-                    queries, _run_batch_settled(service, session, queries)
-                ):
-                    print(f"== {query}")
-                    if isinstance(outcome, Exception):
-                        failed += 1
-                        print(f"  {_describe_error(outcome)}")
-                    else:
-                        degraded += 1 if outcome.degraded else 0
-                        _print_result(outcome)
-            print(f"-- plan cache: {service.cache_stats().render()}")
-            print(f"-- latency: {session.latency.render()}")
-            if degraded:
-                print(f"-- degraded results: {degraded}")
-            if args.chaos or degraded:
-                for health_line in service.health().splitlines():
-                    print(f"-- health: {health_line}")
-            if service.slow_queries.captured:
-                for slow_line in service.slow_queries.render().splitlines():
-                    print(f"-- slow: {slow_line}")
+            with _graceful_signals():
+                session = service.session("serve")
+                degraded = 0
+                for round_number in range(args.repeat):
+                    for query, outcome in zip(
+                        queries, _run_batch_settled(service, session, queries)
+                    ):
+                        print(f"== {query}")
+                        if isinstance(outcome, Exception):
+                            failed += 1
+                            print(f"  {_describe_error(outcome)}")
+                        else:
+                            degraded += 1 if outcome.degraded else 0
+                            _print_result(outcome)
+                print(f"-- plan cache: {service.cache_stats().render()}")
+                print(f"-- latency: {session.latency.render()}")
+                if degraded:
+                    print(f"-- degraded results: {degraded}")
+                if args.chaos or degraded:
+                    for health_line in service.health().splitlines():
+                        print(f"-- health: {health_line}")
+                if service.slow_queries.captured:
+                    for slow_line in service.slow_queries.render().splitlines():
+                        print(f"-- slow: {slow_line}")
+                if service.sentinel.plan_flips or service.sentinel.misestimates:
+                    for sentinel_line in service.sentinel.render().splitlines():
+                        print(f"-- sentinel: {sentinel_line}")
+        except KeyboardInterrupt:
+            # graceful interrupt: fall through to the cleanup below, so
+            # the capture's tail reaches disk and the port unbinds
+            interrupted = True
+            print("-- interrupted; flushing query log", file=sys.stderr)
         finally:
             if observer is not None:
                 observer.stop()
+            if qlog is not None:
+                qlog.close()
+                print(f"-- query log: {qlog.written} record(s) -> {qlog.path}")
+    if interrupted:
+        return EXIT_INTERRUPT
     return EXIT_ERROR if failed else EXIT_OK
+
+
+def _read_queries(path: str | None) -> list[str]:
+    """One query per line from a file (or stdin), '#' comments skipped."""
+    if path:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    else:
+        lines = sys.stdin.readlines()
+    return [
+        line.strip() for line in lines
+        if line.strip() and not line.lstrip().startswith("#")
+    ]
+
+
+def _record_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro record",
+        description="run a workload with capture on: every query's plan "
+        "fingerprint, result checksum and latency land in a JSONL log "
+        "that 'repro replay' can re-run and diff",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument("qlog", metavar="QLOG", help="JSONL capture to write")
+    parser.add_argument(
+        "--view", action="append", default=[], metavar="NAME=XAM",
+        help="materialize a view before recording (repeatable)",
+    )
+    parser.add_argument(
+        "--queries", metavar="FILE",
+        help="file with one query per line; default: read from stdin",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the workload K times (stresses fingerprint stability)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true",
+        help="execute with per-operator metrics (recorded per query)",
+    )
+    args = parser.parse_args(argv)
+
+    queries = _read_queries(args.queries)
+    if not queries:
+        print("no queries to record", file=sys.stderr)
+        return EXIT_ERROR
+    db = _load_database(args.document, args.view, announce=False)
+    qlog = QueryLog(args.qlog)
+    failed = 0
+    interrupted = False
+    with QueryService(db, qlog=qlog) as service:
+        try:
+            with _graceful_signals():
+                for _ in range(args.repeat):
+                    for query in queries:
+                        try:
+                            service.query(query, stats=args.stats)
+                        except ReproError as error:
+                            failed += 1
+                            print(
+                                f"-- {query}: {_describe_error(error)}",
+                                file=sys.stderr,
+                            )
+        except KeyboardInterrupt:
+            interrupted = True
+            print("-- interrupted; flushing query log", file=sys.stderr)
+        finally:
+            qlog.close()
+    print(f"recorded {qlog.written} record(s) -> {args.qlog}"
+          + (f" ({failed} failed)" if failed else ""))
+    if interrupted:
+        return EXIT_INTERRUPT
+    return EXIT_ERROR if failed else EXIT_OK
+
+
+def _replay_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro replay",
+        description="re-run a captured workload and diff plan fingerprints "
+        "and result checksums against the recording; exits non-zero on "
+        "any divergence",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument(
+        "qlog", metavar="QLOG", help="JSONL capture written by 'repro record'"
+    )
+    parser.add_argument(
+        "--view", action="append", default=[], metavar="NAME=XAM",
+        help="materialize a view before replaying (repeatable; must match "
+        "the recording environment for a clean diff)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    records = QueryLog.read_all(args.qlog)
+    db = _load_database(args.document, args.view, announce=False)
+    report = replay_records(db, records)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+    return EXIT_OK if report.ok else EXIT_ERROR
 
 
 def _run_batch_settled(service: QueryService, session, queries: list[str]) -> list:
@@ -438,6 +607,10 @@ def main(argv: list[str] | None = None) -> int:
         return _explain_main(argv[1:])
     if argv and argv[0] == "serve":
         return _serve_main(argv[1:])
+    if argv and argv[0] == "record":
+        return _record_main(argv[1:])
+    if argv and argv[0] == "replay":
+        return _replay_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="XAM-based XML database shell"
     )

@@ -46,6 +46,13 @@ from .uload import (
     QueryResult,
 )
 from .service import QueryService, QuerySession, QueryTimeout
+from .replay import (
+    ReplayDiff,
+    ReplayReport,
+    load_records,
+    replay_file,
+    replay_records,
+)
 
 __all__ = [
     "CHILD",
@@ -97,4 +104,9 @@ __all__ = [
     "QueryService",
     "QuerySession",
     "QueryTimeout",
+    "ReplayDiff",
+    "ReplayReport",
+    "load_records",
+    "replay_file",
+    "replay_records",
 ]

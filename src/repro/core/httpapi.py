@@ -11,6 +11,10 @@ pool; embedders call :func:`start_observability_server` directly.  Routes:
 ``/traces``         ids of the retained traces, oldest first (JSON)
 ``/trace/<id>``     one span tree (JSON; ``?format=text`` renders the tree)
 ``/slow``           the slow-query log (JSON; ``?format=text`` renders)
+``/qlog``           newest query-log records (JSON; ``?count=N`` limits,
+                    ``?format=text`` renders one line per query)
+``/regressions``    the plan-regression sentinel: flip/misestimate counts
+                    and the finding ring (JSON; ``?format=text`` renders)
 ==================  =========================================================
 
 Read-only by design: the endpoint exposes measurements, never mutations,
@@ -117,12 +121,41 @@ class _Handler(BaseHTTPRequestHandler):
                         ],
                     }
                 )
+        elif path == "/qlog":
+            qlog = service.qlog
+            if qlog is None:
+                self._send_json({"error": "query log disabled"}, status=404)
+            elif self._wants_text():
+                self._send(qlog.render() + "\n", "text/plain; charset=utf-8")
+            else:
+                query = parse_qs(urlparse(self.path).query)
+                try:
+                    count = int(query.get("count", ["0"])[0]) or None
+                except ValueError:
+                    count = None
+                self._send_json(
+                    {
+                        "path": qlog.path,
+                        "written": qlog.written,
+                        "rotations": qlog.rotations,
+                        "records": qlog.tail(count),
+                    }
+                )
+        elif path == "/regressions":
+            if self._wants_text():
+                self._send(
+                    service.sentinel.render() + "\n",
+                    "text/plain; charset=utf-8",
+                )
+            else:
+                self._send_json(service.sentinel.as_dict())
         elif path == "/":
             self._send_json(
                 {
                     "routes": [
                         "/metrics", "/metrics.json", "/health",
                         "/traces", "/trace/<id>", "/slow",
+                        "/qlog", "/regressions",
                     ]
                 }
             )

@@ -51,6 +51,8 @@ from typing import Optional, Sequence
 from ..engine.context import ExecutionContext
 from ..engine.metrics import MetricsRegistry
 from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
+from ..engine.qlog import QueryLog, build_record
+from ..engine.sentinel import PlanRegressionSentinel, SentinelConfig
 from ..engine.tracing import SlowQueryLog
 from ..errors import ReproError, TransientStorageFault
 from .uload import (
@@ -270,6 +272,9 @@ class QueryService:
         latency_capacity: int = LatencyRecorder.DEFAULT_CAPACITY,
         slow_query_threshold: Optional[float] = None,
         slow_query_capacity: int = 64,
+        qlog: "QueryLog | None | bool" = None,
+        sentinel_config: Optional[SentinelConfig] = None,
+        auto_refresh_statistics: bool = True,
     ):
         self.db = db
         self.cache = PlanCache(cache_capacity)
@@ -299,6 +304,32 @@ class QueryService:
         #: threshold (None = disabled)
         self.slow_queries = SlowQueryLog(
             threshold=slow_query_threshold, capacity=slow_query_capacity
+        )
+        #: structured query log: every execution appends one JSONL record
+        #: (fingerprint, checksum, est-vs-actual rows, latency, counters)
+        #: — the substrate of ``repro record`` / ``repro replay``.
+        #: ``qlog=None`` honours the ``REPRO_QLOG`` env var (memory-only
+        #: ring otherwise, so ``/qlog`` always answers); ``qlog=False``
+        #: disables capture entirely; an instance is used as given.
+        self._owns_qlog = False
+        if qlog is False:
+            self.qlog: Optional[QueryLog] = None
+        elif qlog is None or qlog is True:
+            # explicit None check: a fresh QueryLog is len()==0 and falsy
+            from_env = QueryLog.from_env()
+            self.qlog = from_env if from_env is not None else QueryLog()
+            self._owns_qlog = True
+        else:
+            self.qlog = qlog
+        if self.qlog is not None:
+            self.qlog.bind_registry(self.metrics)
+        #: live plan-regression watch: fingerprint flips, cardinality
+        #: misestimates, and (after repeated misestimates) an automatic
+        #: statistics refresh closing the telemetry → planner loop
+        self.sentinel = PlanRegressionSentinel(
+            config=sentinel_config,
+            registry=self.metrics,
+            on_refresh=self.refresh_statistics if auto_refresh_statistics else None,
         )
         self._register_metric_families()
         self.cache.register_metrics(self.metrics)
@@ -347,6 +378,18 @@ class QueryService:
         )
         registry.counter(
             "slow_queries.captured", "queries logged over the slow-query threshold"
+        )
+        registry.counter(
+            "planner.plan_flip",
+            "queries re-prepared to a different plan fingerprint",
+        )
+        registry.counter(
+            "planner.misestimate",
+            "pattern cardinality estimates off beyond the sentinel factor",
+        )
+        registry.counter(
+            "planner.stats_refresh",
+            "statistics refreshes triggered by repeated misestimates",
         )
 
     # -- sessions -----------------------------------------------------------
@@ -412,6 +455,8 @@ class QueryService:
     ) -> QueryResult:
         started = ExecutionContext.clock()
         outcome = "error"
+        result: Optional[QueryResult] = None
+        error_type: Optional[str] = None
         ctx = self.db.execution_context()
         try:
             result = self._execute_with_retries(
@@ -424,14 +469,37 @@ class QueryService:
             # time the caller actually waited); recording here too would
             # double-count the query
             outcome = None
+            error_type = "QueryCancelled"
+            raise
+        except BaseException as exc:
+            error_type = type(exc).__name__
             raise
         finally:
+            if outcome == "ok" and result is not None:
+                # while the trace is still open, so sentinel events land
+                # in the span tree a /trace/<id> readout shows
+                self.sentinel.observe(normalize_query(query), result, ctx)
             ctx.end_trace("ok" if outcome == "ok" else "error")
             elapsed = ExecutionContext.clock() - started
             if outcome is not None:
                 self.latency.record(elapsed, outcome=outcome)
                 if session is not None:
                     session.latency.record(elapsed, outcome=outcome)
+            if self.qlog is not None:
+                self.qlog.record(
+                    build_record(
+                        normalize_query(query),
+                        result,
+                        elapsed,
+                        outcome or "cancelled",
+                        error=error_type,
+                        flags={
+                            "prefer_views": prefer_views,
+                            "physical": physical,
+                            "stats": stats,
+                        },
+                    )
+                )
             captured = self.slow_queries.consider(
                 query, elapsed, outcome or "cancelled", ctx.trace
             )
@@ -637,9 +705,13 @@ class QueryService:
 
     def shutdown(self, wait: bool = True, cancel_pending: bool = True) -> None:
         """Stop accepting queries; optionally cancel queued ones and wait
-        for running ones to drain."""
+        for running ones to drain.  An owned query log (one the service
+        created itself) is flushed and closed; an injected one is left to
+        its owner."""
         self._closed = True
         self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+        if self._owns_qlog and self.qlog is not None:
+            self.qlog.close()
 
     def __enter__(self) -> "QueryService":
         return self

@@ -155,6 +155,14 @@ class CatalogStatistics(StatisticsProvider):
     Base relations answer with their *actual* stored size when a store is
     at hand, falling back to the summary estimate of the catalog entry
     describing them; tree patterns answer with the summary estimator.
+
+    ``overrides`` pins answers by key — a relation/view name for
+    :meth:`relation_size`, a pattern's ``to_text()`` form for
+    :meth:`pattern_cardinality` — and is consulted *first*.  The database
+    shares its ``statistics_overrides`` dict here, which is the lever for
+    reproducing stale-statistics incidents (pin a wrong cardinality, watch
+    rewriting ranking flip and the sentinel flag the misestimate) without
+    mutating documents.
     """
 
     def __init__(
@@ -163,13 +171,18 @@ class CatalogStatistics(StatisticsProvider):
         summary: Optional[PathSummary] = None,
         store=None,
         predicate_selectivity: float = DEFAULT_PREDICATE_SELECTIVITY,
+        overrides: Optional[dict[str, float]] = None,
     ):
         self.catalog = catalog
         self.summary = summary
         self.store = store
         self.predicate_selectivity = predicate_selectivity
+        self.overrides = overrides if overrides is not None else {}
 
     def relation_size(self, name: str) -> Optional[float]:
+        pinned = self.overrides.get(name)
+        if pinned is not None:
+            return float(pinned)
         if self.store is not None and name in self.store:
             return float(len(self.store[name]))
         if self.catalog is not None and self.summary is not None and name in self.catalog:
@@ -179,6 +192,9 @@ class CatalogStatistics(StatisticsProvider):
         return None
 
     def pattern_cardinality(self, pattern: Pattern) -> Optional[float]:
+        pinned = self.overrides.get(pattern.to_text())
+        if pinned is not None:
+            return float(pinned)
         if self.summary is None:
             return None
         return estimate_pattern_cardinality(

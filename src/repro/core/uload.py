@@ -38,6 +38,7 @@ from ..engine.breaker import OPEN, BreakerBoard
 from ..engine.context import ExecutionContext, PlanMetrics
 from ..engine.metrics import MetricsRegistry, get_registry
 from ..engine.physical import PScan
+from ..engine.qlog import fingerprint_plan
 from ..engine.storage import Store
 from ..engine.tracing import Tracer
 from ..errors import (
@@ -126,6 +127,10 @@ class QueryResult:
     #: (``service.trace(result.trace_id)`` / ``/trace/<id>``); None when
     #: tracing is disabled
     trace_id: Optional[str] = None
+    #: stable hash of the prepared physical plan shape and chosen access
+    #: paths (see :func:`repro.engine.qlog.fingerprint_plan`) — what the
+    #: query log records and the plan-regression sentinel watches
+    plan_fingerprint: Optional[str] = None
 
     @property
     def used_views(self) -> list[str]:
@@ -172,6 +177,13 @@ class PreparedQuery:
     prefer_views: bool
     catalog_version: int
     units: list[PreparedUnit]
+    #: stable hash of the compiled plan shapes + chosen access paths
+    #: (identical state re-prepares to an identical fingerprint; a
+    #: different fingerprint means the optimizer changed its mind)
+    fingerprint: str = ""
+    #: the human-readable text the fingerprint hashes — kept for
+    #: explaining *what* flipped when two fingerprints differ
+    plan_shape: str = ""
     executions: int = 0
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -224,6 +236,7 @@ class ExplainReport:
         counters: Optional[dict] = None,
         health: Optional[dict] = None,
         trace_id: Optional[str] = None,
+        plan_fingerprint: Optional[str] = None,
     ):
         self.units = units
         #: named event counters from the execution context's metrics sink
@@ -234,6 +247,10 @@ class ExplainReport:
         self.health = dict(health or {})
         #: id of the explain run's span tree (None when tracing is off)
         self.trace_id = trace_id
+        #: the prepared plan's fingerprint — compare against the query
+        #: log / sentinel to see whether EXPLAIN describes the same plan
+        #: production executed
+        self.plan_fingerprint = plan_fingerprint
 
     @property
     def resolutions(self) -> list[PatternResolution]:
@@ -250,6 +267,8 @@ class ExplainReport:
 
     def render(self) -> str:
         parts = []
+        if self.plan_fingerprint:
+            parts.append(f"plan fingerprint: {self.plan_fingerprint}")
         for number, unit in enumerate(self.units, 1):
             if len(self.units) > 1:
                 parts.append(f"── unit {number} " + "─" * 24)
@@ -312,6 +331,13 @@ class Database:
         #: attached to every execution context (chaos mode); the
         #: ``REPRO_FAULTS`` environment variable is the other way in
         self.fault_injector = None
+        #: pinned statistics answers consulted before the live catalog /
+        #: summary (key: relation name or pattern text).  The lever for
+        #: reproducing stale-statistics incidents: pin a wrong number,
+        #: watch the sentinel catch the misestimate, and let
+        #: :meth:`refresh_statistics` clear it — mutate via
+        #: :meth:`override_statistic` so cached plans invalidate
+        self.statistics_overrides: dict[str, float] = {}
         #: document/statistics mutation counter (catalog mutations are
         #: counted by the catalog itself; see :attr:`catalog_version`)
         self._mutations = 0
@@ -345,12 +371,28 @@ class Database:
         return doc
 
     def refresh_statistics(self) -> None:
-        """Recompute summary annotations over all documents and bump the
-        catalog version: cardinality estimates feed rewriting choice, so
-        cached plans ranked under the old statistics must be re-prepared."""
+        """Recompute summary annotations over all documents, drop any
+        pinned statistics overrides, and bump the catalog version:
+        cardinality estimates feed rewriting choice, so cached plans
+        ranked under the old statistics must be re-prepared."""
+        self.statistics_overrides.clear()
         self.summary.finalize()
         for doc in self.documents:
             annotate_edges(self.summary, doc)
+        self._mutations += 1
+
+    def override_statistic(self, key: str, value: Optional[float]) -> None:
+        """Pin (or, with ``value=None``, unpin) one statistics answer.
+
+        ``key`` is a relation/view name (``relation_size``) or a pattern's
+        ``to_text()`` form (``pattern_cardinality``).  Bumps the catalog
+        version: plans ranked under the old answer are stale and must be
+        re-prepared — which is exactly how a deliberately dropped or
+        corrupted statistics entry surfaces as a plan-fingerprint flip."""
+        if value is None:
+            self.statistics_overrides.pop(key, None)
+        else:
+            self.statistics_overrides[key] = float(value)
         self._mutations += 1
 
     # -- storage management ----------------------------------------------------
@@ -393,7 +435,12 @@ class Database:
         fault injector is attached for :meth:`execute_prepared` to scope
         around execution."""
         ctx = ExecutionContext(
-            statistics=CatalogStatistics(self.catalog, self.summary, self.store),
+            statistics=CatalogStatistics(
+                self.catalog,
+                self.summary,
+                self.store,
+                overrides=self.statistics_overrides,
+            ),
             registry={PatternAccess: _lower_pattern_access},
             metrics_registry=self.metrics,
         )
@@ -442,11 +489,20 @@ class Database:
                     logical=logical,
                 )
             )
+        # Fingerprint the prepared plan: compiles each unit (and chosen
+        # rewriting) eagerly — the compiled artifacts are cached on the
+        # units, so later stats/physical executions reuse them — and
+        # hashes the physical shapes plus the chosen access paths.
+        fingerprint, plan_shape = fingerprint_plan(
+            units, ctx, self.store.scan_orders()
+        )
         return PreparedQuery(
             text=query if isinstance(query, str) else "",
             prefer_views=prefer_views,
             catalog_version=self.catalog_version,
             units=units,
+            fingerprint=fingerprint,
+            plan_shape=plan_shape,
         )
 
     def execute_prepared(
@@ -483,6 +539,7 @@ class Database:
         result.degraded = bool(events)
         result.counters = dict(ctx.counters)
         result.trace_id = ctx.trace_id
+        result.plan_fingerprint = prepared.fingerprint or None
         ctx.end_trace("degraded" if result.degraded else "ok")
         return result
 
@@ -583,6 +640,7 @@ class Database:
             counters=ctx.counters,
             health=self.breakers.states(),
             trace_id=ctx.trace_id,
+            plan_fingerprint=prepared.fingerprint or None,
         )
         ctx.end_trace()
         return report

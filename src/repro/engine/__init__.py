@@ -14,6 +14,14 @@ from .context import (
 from .faults import FAULT_POINTS, FaultInjector, FaultSpec, parse_fault_specs
 from .orderdesc import satisfies, sort_key_for
 from .plan_cache import CacheStats, PlanCache, normalize_query
+from .qlog import (
+    QueryLog,
+    build_record,
+    fingerprint_plan,
+    iter_ok_records,
+    result_checksum,
+)
+from .sentinel import PlanRegressionSentinel, RegressionFinding, SentinelConfig
 from .physical import (
     PBase,
     PConcat,
@@ -54,6 +62,14 @@ __all__ = [
     "CacheStats",
     "PlanCache",
     "normalize_query",
+    "QueryLog",
+    "build_record",
+    "fingerprint_plan",
+    "iter_ok_records",
+    "result_checksum",
+    "PlanRegressionSentinel",
+    "RegressionFinding",
+    "SentinelConfig",
     "PBase",
     "PConcat",
     "PDifference",

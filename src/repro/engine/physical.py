@@ -113,6 +113,18 @@ class PhysicalOperator:
     def label(self) -> str:
         return type(self).__name__
 
+    def shape(self) -> str:
+        """Stable one-line structural signature of the plan subtree:
+        operator labels (which carry the chosen algorithm — hash vs
+        nested loops, StackTree variant, sort placement — and scanned
+        relation names) over the child structure.  Plan fingerprints
+        (:mod:`repro.engine.qlog`) hash this, so equal shapes mean "the
+        engine would execute the same plan"."""
+        if not self.children:
+            return self.label()
+        inner = ",".join(child.shape() for child in self.children)
+        return f"{self.label()}({inner})"
+
     def walk(self) -> Iterator["PhysicalOperator"]:
         """Pre-order traversal (uniform with ``Operator.walk``)."""
         yield self

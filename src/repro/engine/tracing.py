@@ -37,9 +37,13 @@ Design constraints:
   :class:`~repro.engine.context.ExecutionContext` makes ``span()`` /
   ``event()`` single-branch no-ops, keeping overhead well under the 5%
   budget the CI observability lane enforces;
-* **single-writer spans**: one query runs on one worker thread, so a
-  trace's span stack needs no lock; the tracer's ring (shared across
-  workers) takes one.
+* **single-writer spans, concurrent readers**: one query runs on one
+  worker thread, but its trace is published in the tracer ring *while
+  still open* — an HTTP scrape of ``/trace/<id>`` or a slow-query render
+  can walk the tree mid-mutation.  Each trace therefore carries one
+  plain lock: the writer takes it per span transition, readers take it
+  to snapshot/render.  The tracer's ring and the slow-query log (shared
+  across workers) keep their own locks.
 
 :class:`SlowQueryLog` rides on top: the query service captures the
 rendered span tree of any query slower than a configurable threshold —
@@ -157,59 +161,69 @@ class Trace:
             start=time.perf_counter(),
         )
         self._stack: list[Span] = [self.root]
+        # guards _stack and every Span's children list: the owning worker
+        # is the only writer, but /trace/<id> scrapes read open traces
+        # concurrently.  Plain Lock — locked methods inline the stack
+        # access instead of re-entering through ``current``.
+        self._lock = threading.Lock()
 
     # -- span lifecycle -----------------------------------------------------
 
     @property
     def current(self) -> Span:
-        return self._stack[-1] if self._stack else self.root
+        with self._lock:
+            return self._stack[-1] if self._stack else self.root
 
     def start_span(self, name: str, **attributes) -> Span:
-        parent = self.current
-        span = Span(
-            name=name,
-            trace_id=self.trace_id,
-            span_id=_next_id("s"),
-            parent_id=parent.span_id,
-            start=time.perf_counter(),
-            attributes=dict(attributes),
-        )
-        parent.children.append(span)
-        self._stack.append(span)
-        return span
+        with self._lock:
+            parent = self._stack[-1] if self._stack else self.root
+            span = Span(
+                name=name,
+                trace_id=self.trace_id,
+                span_id=_next_id("s"),
+                parent_id=parent.span_id,
+                start=time.perf_counter(),
+                attributes=dict(attributes),
+            )
+            parent.children.append(span)
+            self._stack.append(span)
+            return span
 
     def finish_span(self, span: Span, status: str = "ok", **attributes) -> None:
-        span.finish(status, **attributes)
-        if self._stack and self._stack[-1] is span:
-            self._stack.pop()
+        with self._lock:
+            span.finish(status, **attributes)
+            if self._stack and self._stack[-1] is span:
+                self._stack.pop()
 
     def event(self, name: str, **attributes) -> Span:
         """A zero-duration child span marking a point event (cache
         outcome, fault injection, breaker transition, reroute)."""
-        parent = self.current
-        now = time.perf_counter()
-        span = Span(
-            name=name,
-            trace_id=self.trace_id,
-            span_id=_next_id("s"),
-            parent_id=parent.span_id,
-            start=now,
-            end=now,
-            attributes=dict(attributes),
-        )
-        parent.children.append(span)
-        return span
+        with self._lock:
+            parent = self._stack[-1] if self._stack else self.root
+            now = time.perf_counter()
+            span = Span(
+                name=name,
+                trace_id=self.trace_id,
+                span_id=_next_id("s"),
+                parent_id=parent.span_id,
+                start=now,
+                end=now,
+                attributes=dict(attributes),
+            )
+            parent.children.append(span)
+            return span
 
     def finish(self, status: str = "ok") -> None:
         """Close the trace: any still-open non-root spans are finished
         with the trace's final status (an error propagating out of a span
         body unwinds through here), then the root."""
-        while len(self._stack) > 1:
-            self._stack[-1].finish(status)
-            self._stack.pop()
-        if not self.root.ended:
-            self.root.finish(status)
-            self._stack.clear()
+        with self._lock:
+            while len(self._stack) > 1:
+                self._stack[-1].finish(status)
+                self._stack.pop()
+            if not self.root.ended:
+                self.root.finish(status)
+                self._stack.clear()
 
     # -- introspection ------------------------------------------------------
 
@@ -222,21 +236,26 @@ class Trace:
         return self.root.duration
 
     def spans(self) -> list[Span]:
-        return list(self.root.walk())
+        with self._lock:
+            return list(self.root.walk())
 
     def find(self, name: str) -> list[Span]:
-        return [span for span in self.root.walk() if span.name == name]
+        with self._lock:
+            return [span for span in self.root.walk() if span.name == name]
 
     def complete(self) -> bool:
         """Every span closed and reachable from the root — the "no span
         orphaned or double-closed" check, structurally."""
-        return all(span.ended for span in self.root.walk())
+        with self._lock:
+            return all(span.ended for span in self.root.walk())
 
     def render(self) -> str:
-        return self.root.pretty()
+        with self._lock:
+            return self.root.pretty()
 
     def as_dict(self) -> dict:
-        return {"trace_id": self.trace_id, "root": self.root.as_dict()}
+        with self._lock:
+            return {"trace_id": self.trace_id, "root": self.root.as_dict()}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Trace {self.trace_id} {len(self.spans())} spans>"

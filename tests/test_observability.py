@@ -13,7 +13,7 @@ import pytest
 
 from repro import Database, QueryService
 from repro.core.httpapi import start_observability_server
-from repro.core.service import LatencyRecorder
+from repro.core.service import LatencyRecorder, RetryPolicy
 from repro.engine.faults import FaultInjector
 from repro.engine.metrics import (
     DEFAULT_LATENCY_BUCKETS,
@@ -619,7 +619,10 @@ RECONCILED_FAMILIES = (
 class TestConcurrentReconciliation:
     def test_registry_reconciles_with_per_query_counters(self, db):
         # times-bounded transient faults: every query eventually succeeds,
-        # so every per-query counters dict is returned and summable
+        # so every per-query counters dict is returned and summable.  The
+        # 6-injection budget is global, so under unlucky interleaving one
+        # query can absorb several faults itself — max_attempts must cover
+        # the whole budget or the test races on thread scheduling.
         db.fault_injector = FaultInjector(
             "relation.scan@v_person:transient:1.0:6", seed=7
         )
@@ -628,7 +631,12 @@ class TestConcurrentReconciliation:
         results_lock = threading.Lock()
         errors = []
 
-        with QueryService(db, cache_capacity=16, max_workers=8) as service:
+        with QueryService(
+            db,
+            cache_capacity=16,
+            max_workers=8,
+            retry_policy=RetryPolicy(max_attempts=7, base_delay=0.002),
+        ) as service:
 
             def worker(worker_id):
                 try:
