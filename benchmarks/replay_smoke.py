@@ -13,7 +13,10 @@ replay loop is deterministic end to end:
    result-checksum diff fails the job.  Against unchanged state the diff
    count must be exactly zero — a non-zero diff means preparation or
    execution stopped being deterministic, which is precisely the
-   regression this lane exists to catch;
+   regression this lane exists to catch.  The lane is deliberately
+   *cross-engine*: it records under the ``iter`` executor and replays
+   under ``batch``, so zero diffs also proves the two engines agree on
+   every fingerprint and checksum in the workload;
 3. **sentinel cross-check** — the run must have produced no plan flips
    (stable state ⇒ silent sentinel), and a deliberately poisoned
    statistics entry must produce both a sentinel flip and a replay diff
@@ -42,8 +45,8 @@ from repro.engine.qlog import QueryLog
 from repro.workloads import XMARK_QUERIES, generate_xmark
 
 
-def build_database() -> Database:
-    db = Database(metrics=MetricsRegistry())
+def build_database(executor: "str | None" = None) -> Database:
+    db = Database(metrics=MetricsRegistry(), executor=executor)
     db.add_document(generate_xmark(scale=2, seed=0))
     # v_person and v_person_twin are S-equivalent: ranking races them on
     # statistics alone, so one poisoned entry is enough to flip the plan.
@@ -89,7 +92,7 @@ def main(argv=None) -> int:
         if os.path.exists(stale):
             os.remove(stale)
     qlog = QueryLog(args.qlog)
-    record_db = build_database()
+    record_db = build_database(executor="iter")
     with QueryService(record_db, cache_capacity=64, qlog=qlog) as service:
         for _ in range(args.rounds):
             for query in XMARK_QUERIES.values():
@@ -107,9 +110,14 @@ def main(argv=None) -> int:
         failures,
     )
 
-    # -- replay against a fresh, identical database ------------------------
+    # -- replay against a fresh, identical database — other engine ---------
     records = QueryLog.read_all(args.qlog)
-    report = replay_records(build_database(), records)
+    check(
+        all(record.get("executor") == "iter" for record in records),
+        "capture records carry the recording executor",
+        failures,
+    )
+    report = replay_records(build_database(executor="batch"), records)
     print(f"--  {report.render()}")
     check(
         report.replayed == expected and report.skipped == 0,
@@ -118,7 +126,8 @@ def main(argv=None) -> int:
     )
     check(
         report.ok and report.matches == expected,
-        f"zero diffs on unchanged state ({len(report.diffs)} diff(s))",
+        "zero diffs on unchanged state, iter-recorded -> batch-replayed "
+        f"({len(report.diffs)} diff(s))",
         failures,
     )
 

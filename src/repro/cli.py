@@ -43,6 +43,7 @@ Without ``--query``, starts a REPL with commands:
     .metrics                 the unified metrics registry (Prometheus text)
     .slow                    the slow-query log (span trees over threshold)
     .cache                   plan-cache counters (.cache clear to reset)
+    .executor [iter|batch]   show or switch the executor mode
     .health                  access-module circuit-breaker states
     .summary                 summary statistics
     .quit
@@ -72,7 +73,7 @@ import weakref
 from .core.httpapi import start_observability_server
 from .core.replay import replay_records
 from .core.service import QueryService, QueryTimeout
-from .core.uload import Database
+from .core.uload import EXECUTORS, Database, resolve_executor
 from .core.xam_parser import XAMParseError
 from .engine.faults import FaultInjector
 from .engine.qlog import QueryLog
@@ -198,6 +199,18 @@ def run_command(db: Database, line: str) -> bool:
         dropped = service.invalidate()
         print(f"  dropped {dropped} cached plan(s)")
         return True
+    if line == ".executor" or line.startswith(".executor "):
+        argument = line[len(".executor"):].strip()
+        if not argument:
+            print(f"  executor: {db.executor}")
+            return True
+        try:
+            db.executor = resolve_executor(argument)
+        except ValueError as error:
+            print(f"  {error}")
+            return True
+        print(f"  executor: {db.executor}")
+        return True
     if line == ".views":
         for entry in db.catalog:
             marker = "index" if entry.is_index else entry.kind
@@ -283,9 +296,15 @@ def run_command(db: Database, line: str) -> bool:
     return True
 
 
-def _load_database(document: str, view_specs: list[str], announce: bool = True) -> Database:
+def _load_database(
+    document: str,
+    view_specs: list[str],
+    announce: bool = True,
+    executor: str | None = None,
+) -> Database:
     with open(document, encoding="utf-8") as handle:
         db = Database.from_xml(handle.read(), document)
+    db.executor = resolve_executor(executor)
     if announce:
         print(f"loaded {document}: {db.documents[0].count()} nodes, "
               f"{len(db.summary)} summary paths")
@@ -295,6 +314,17 @@ def _load_database(document: str, view_specs: list[str], announce: bool = True) 
         if announce:
             print(f"view {name.strip()!r} installed")
     return db
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=EXECUTORS,
+        default=None,
+        help="execution engine: 'batch' runs compiled columnar-block "
+        "closures, 'iter' the per-tuple operator iterators; default "
+        "honours $REPRO_EXECUTOR, else batch",
+    )
 
 
 def _explain_main(argv: list[str]) -> int:
@@ -311,8 +341,11 @@ def _explain_main(argv: list[str]) -> int:
         metavar="NAME=XAM",
         help="materialize a view before explaining (repeatable)",
     )
+    _add_executor_argument(parser)
     args = parser.parse_args(argv)
-    db = _load_database(args.document, args.view, announce=False)
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor
+    )
     try:
         print(db.explain(args.query).render())
     except ReproError as error:
@@ -390,6 +423,7 @@ def _serve_main(argv: list[str]) -> int:
         help="capture every executed query to a JSONL workload log "
         "(replayable with 'repro replay'); default honours $REPRO_QLOG",
     )
+    _add_executor_argument(parser)
     args = parser.parse_args(argv)
 
     queries = _read_queries(args.queries)
@@ -397,7 +431,9 @@ def _serve_main(argv: list[str]) -> int:
         print("no queries to run", file=sys.stderr)
         return 1
 
-    db = _load_database(args.document, args.view, announce=False)
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor
+    )
     if args.no_trace:
         db.tracer = None
     if args.chaos:
@@ -505,13 +541,16 @@ def _record_main(argv: list[str]) -> int:
         "--stats", action="store_true",
         help="execute with per-operator metrics (recorded per query)",
     )
+    _add_executor_argument(parser)
     args = parser.parse_args(argv)
 
     queries = _read_queries(args.queries)
     if not queries:
         print("no queries to record", file=sys.stderr)
         return EXIT_ERROR
-    db = _load_database(args.document, args.view, announce=False)
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor
+    )
     qlog = QueryLog(args.qlog)
     failed = 0
     interrupted = False
@@ -559,10 +598,13 @@ def _replay_main(argv: list[str]) -> int:
     parser.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    _add_executor_argument(parser)
     args = parser.parse_args(argv)
 
     records = QueryLog.read_all(args.qlog)
-    db = _load_database(args.document, args.view, announce=False)
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor
+    )
     report = replay_records(db, records)
     if args.json:
         import json as _json
@@ -628,9 +670,10 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with --query: print per-operator metrics after the result",
     )
+    _add_executor_argument(parser)
     args = parser.parse_args(argv)
 
-    db = _load_database(args.document, args.view)
+    db = _load_database(args.document, args.view, executor=args.executor)
 
     if args.query:
         try:
@@ -644,7 +687,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_OK
 
     print("repro shell — .quit to exit, .views/.view/.drop/.explain/.stats/"
-          ".trace/.metrics/.slow/.cache/.health/.summary")
+          ".trace/.metrics/.slow/.cache/.executor/.health/.summary")
     while True:
         try:
             line = input("xam> ")

@@ -333,6 +333,9 @@ class QueryService:
         )
         self._register_metric_families()
         self.cache.register_metrics(self.metrics)
+        self.db.compiled_plans.register_metrics(
+            self.metrics, prefix="compiled_plans"
+        )
 
     def _register_metric_families(self) -> None:
         """Pre-register every metric family the service can emit, so a
@@ -345,6 +348,25 @@ class QueryService:
         registry.counter(
             "plan_cache.invalidated",
             "plan cache entries dropped on version-mismatch lookups",
+        )
+        registry.counter(
+            "plan_compile.hit", "compiled batch artifacts reused from cache"
+        )
+        registry.counter(
+            "plan_compile.miss", "batch plan-to-closure compilations"
+        )
+        registry.counter(
+            "plan_compile.invalidate",
+            "compiled batch artifacts dropped on catalog-version bumps",
+        )
+        registry.counter(
+            "executor.fallback",
+            "plans run on the iterator engine because the batch path "
+            "does not cover an operator",
+        )
+        registry.counter(
+            "fallback.materialized_rows",
+            "input rows materialized by PLogicalFallback substitutions",
         )
         registry.counter("retry.attempts", "transient-fault retry attempts")
         registry.counter("retry.recovered", "queries that succeeded after retries")
@@ -682,24 +704,32 @@ class QueryService:
     def add_view(self, name: str, pattern: "Pattern | str", kind: str = "view"):
         with self._mutate_lock:
             entry = self.db.add_view(name, pattern, kind)
-            self.cache.purge_stale(self.db.catalog_version)
+            self._purge_stale_plans()
             return entry
 
     def drop_view(self, name: str) -> None:
         with self._mutate_lock:
             self.db.drop_view(name)
-            self.cache.purge_stale(self.db.catalog_version)
+            self._purge_stale_plans()
 
     def add_document_xml(self, source: str, name: str = "doc.xml"):
         with self._mutate_lock:
             doc = self.db.add_document_xml(source, name)
-            self.cache.purge_stale(self.db.catalog_version)
+            self._purge_stale_plans()
             return doc
 
     def refresh_statistics(self) -> None:
         with self._mutate_lock:
             self.db.refresh_statistics()
-            self.cache.purge_stale(self.db.catalog_version)
+            self._purge_stale_plans()
+
+    def _purge_stale_plans(self) -> None:
+        """Eagerly drop prepared plans *and* compiled batch artifacts made
+        stale by a mutation (the lazy version check would catch them on
+        the next lookup anyway)."""
+        version = self.db.catalog_version
+        self.cache.purge_stale(version)
+        self.db.compiled_plans.purge_stale(version)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -27,6 +27,7 @@ estimated *and* actual per-operator cardinalities and timings.
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Callable, Iterator, Optional
@@ -34,10 +35,12 @@ from typing import Callable, Iterator, Optional
 from ..algebra.model import NestedTuple
 from ..algebra.operators import Operator
 from ..engine import faults
+from ..engine.batch import batch_covered, compile_batch
 from ..engine.breaker import OPEN, BreakerBoard
-from ..engine.context import ExecutionContext, PlanMetrics
+from ..engine.context import EXEC_CTX_KEY, ExecutionContext, PlanMetrics
 from ..engine.metrics import MetricsRegistry, get_registry
 from ..engine.physical import PScan
+from ..engine.plan_cache import CompiledPlanArtifact, CompiledSlot, PlanCache
 from ..engine.qlog import fingerprint_plan
 from ..engine.storage import Store
 from ..engine.tracing import Tracer
@@ -75,6 +78,9 @@ __all__ = [
     "QueryCancelled",
     "ExplainUnit",
     "ExplainReport",
+    "EXECUTORS",
+    "EXECUTOR_ENV_VAR",
+    "resolve_executor",
 ]
 
 
@@ -82,6 +88,27 @@ class QueryCancelled(ReproError, RuntimeError):
     """Raised inside :meth:`Database.execute_prepared` when the caller's
     ``should_stop`` callback asks a running query to abandon its remaining
     units (the service's cooperative cancellation hook)."""
+
+
+#: the two execution engines: the per-tuple iterator interpreter and the
+#: batch (columnar-block) executor of :mod:`repro.engine.batch`
+EXECUTORS = ("iter", "batch")
+
+#: environment variable selecting the default executor for new databases
+EXECUTOR_ENV_VAR = "REPRO_EXECUTOR"
+
+
+def resolve_executor(value: Optional[str]) -> str:
+    """Normalize and validate an executor name (``None`` → the
+    ``REPRO_EXECUTOR`` environment variable → ``"batch"``)."""
+    if value is None:
+        value = os.environ.get(EXECUTOR_ENV_VAR) or "batch"
+    name = value.strip().lower()
+    if name not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {value!r}: expected one of {', '.join(EXECUTORS)}"
+        )
+    return name
 
 
 @dataclass
@@ -131,6 +158,10 @@ class QueryResult:
     #: paths (see :func:`repro.engine.qlog.fingerprint_plan`) — what the
     #: query log records and the plan-regression sentinel watches
     plan_fingerprint: Optional[str] = None
+    #: which execution engine served this query (``"iter"`` / ``"batch"``
+    #: — the *requested* mode; a per-plan coverage fallback shows up as an
+    #: ``executor.fallback`` counter, never as a different fingerprint)
+    executor: Optional[str] = None
 
     @property
     def used_views(self) -> list[str]:
@@ -149,6 +180,10 @@ class PreparedUnit:
     unit: ExtractionUnit
     resolutions: list[PatternResolution]
     logical: Operator
+    #: position of this unit in the prepared query (names the slots of
+    #: the fingerprint-keyed compiled artifact: ``unit:<index>`` /
+    #: ``pattern:<index>:<pattern>``)
+    index: int = 0
     #: pattern index → compiled physical plan of the chosen rewriting
     #: (filled on first ``physical=True`` execution)
     compiled_patterns: dict[int, object] = field(default_factory=dict)
@@ -302,6 +337,7 @@ class Database:
         self,
         metrics: Optional[MetricsRegistry] = None,
         tracer: "Tracer | None | bool" = True,
+        executor: Optional[str] = None,
     ) -> None:
         self.store = Store()
         self.catalog = Catalog()
@@ -341,6 +377,18 @@ class Database:
         #: document/statistics mutation counter (catalog mutations are
         #: counted by the catalog itself; see :attr:`catalog_version`)
         self._mutations = 0
+        #: which execution engine queries run under (``"iter"`` /
+        #: ``"batch"``); defaults to ``$REPRO_EXECUTOR`` or ``"batch"``.
+        #: Mutable at runtime (the REPL's ``.executor`` command) — plans
+        #: and fingerprints are executor-independent, only execution
+        #: changes.
+        self.executor = resolve_executor(executor)
+        #: fingerprint-keyed cache of compiled batch artifacts
+        #: (:class:`~repro.engine.plan_cache.CompiledPlanArtifact`);
+        #: entries are stamped with :attr:`catalog_version`, so any
+        #: view/document/statistics mutation invalidates them exactly as
+        #: it invalidates prepared plans
+        self.compiled_plans = PlanCache(capacity=64)
 
     @property
     def catalog_version(self) -> int:
@@ -445,6 +493,7 @@ class Database:
             metrics_registry=self.metrics,
         )
         ctx.fault_injector = self.fault_injector or faults.injector_from_env()
+        ctx.executor = self.executor
         if self.tracer is not None:
             ctx.trace = self.tracer.start_trace()
         return ctx
@@ -487,6 +536,7 @@ class Database:
                     unit=unit,
                     resolutions=resolutions,
                     logical=logical,
+                    index=len(units),
                 )
             )
         # Fingerprint the prepared plan: compiles each unit (and chosen
@@ -533,13 +583,15 @@ class Database:
                         )
                     with ctx.span("unit", index=number):
                         self._run_prepared_unit(
-                            prepared_unit, result, physical, stats, ctx, events
+                            prepared_unit, result, physical, stats, ctx,
+                            events, fingerprint=prepared.fingerprint,
                         )
         result.degradation_events = events
         result.degraded = bool(events)
         result.counters = dict(ctx.counters)
         result.trace_id = ctx.trace_id
         result.plan_fingerprint = prepared.fingerprint or None
+        result.executor = getattr(ctx, "executor", None)
         ctx.end_trace("degraded" if result.degraded else "ok")
         return result
 
@@ -615,6 +667,7 @@ class Database:
                             tuples = self._prepared_pattern_tuples(
                                 prepared_unit, index, resolution,
                                 physical=True, ctx=ctx,
+                                fingerprint=prepared.fingerprint,
                             )
                         resolution.actual_cardinality = len(tuples)
                         bindings[f"__pattern_{index}"] = tuples
@@ -622,7 +675,23 @@ class Database:
                         prepared_unit.compiled_plan = ctx.compile(
                             prepared_unit.logical, self.store.scan_orders()
                         )
-                    _, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
+                    slot = self._batch_slot(
+                        prepared.fingerprint,
+                        f"unit:{prepared_unit.index}",
+                        prepared_unit.compiled_plan,
+                        ctx,
+                    )
+                    if slot is not None:
+                        with slot.lock:
+                            _, metrics = ctx.run(
+                                slot.plan, bindings, batch_fn=slot.fn
+                            )
+                        explained_physical = slot.plan
+                    else:
+                        _, metrics = ctx.run(
+                            prepared_unit.compiled_plan, bindings
+                        )
+                        explained_physical = prepared_unit.compiled_plan
                     units.append(
                         ExplainUnit(
                             logical=prepared_unit.logical,
@@ -631,7 +700,7 @@ class Database:
                                 r.rewriting.plan if r.rewriting is not None else None
                                 for r in prepared_unit.resolutions
                             ],
-                            physical=prepared_unit.compiled_plan,
+                            physical=explained_physical,
                             metrics=metrics,
                         )
                     )
@@ -652,6 +721,45 @@ class Database:
         return rewrite_pattern(pattern, self.catalog, self.summary, **kwargs)
 
     # -- internals -------------------------------------------------------------
+
+    def _batch_slot(
+        self,
+        fingerprint: Optional[str],
+        slot_name: str,
+        physical_plan,
+        ctx: ExecutionContext,
+    ) -> Optional[CompiledSlot]:
+        """The compiled batch slot for one physical plan, or None when the
+        iterator engine should run it.
+
+        Selection: the context must request the batch executor, and the
+        plan must be covered (an uncovered operator falls the *whole plan*
+        back to the iterator path, counted via ``executor.fallback``).
+        Compiled closures are cached in :attr:`compiled_plans` under the
+        plan fingerprint, stamped with the catalog version — a
+        view/document/statistics mutation makes the artifact stale on the
+        next lookup (``plan_compile.invalidate``) and it is recompiled.
+        """
+        if getattr(ctx, "executor", "iter") != "batch":
+            return None
+        if not batch_covered(physical_plan):
+            ctx.bump("executor.fallback")
+            ctx.event("executor.fallback", plan=physical_plan.label())
+            return None
+        if not fingerprint:
+            # unfingerprinted plans compile uncached (still batch-executed)
+            return CompiledSlot(slot_name, physical_plan, compile_batch(physical_plan))
+        version = self.catalog_version
+        artifact, outcome = self.compiled_plans.lookup(fingerprint, version)
+        if outcome == "stale":
+            ctx.bump("plan_compile.invalidate")
+            ctx.event("plan_compile.invalidate", fingerprint=fingerprint)
+        if artifact is None:
+            artifact = CompiledPlanArtifact(fingerprint, version)
+            self.compiled_plans.put(fingerprint, artifact, version)
+        slot, fresh = artifact.slot(slot_name, physical_plan, compile_batch)
+        ctx.bump("plan_compile.miss" if fresh else "plan_compile.hit")
+        return slot
 
     def _resolve_pattern(
         self,
@@ -698,6 +806,7 @@ class Database:
         physical: bool,
         ctx: ExecutionContext,
         events: Optional[list[str]] = None,
+        fingerprint: Optional[str] = None,
     ) -> list[NestedTuple]:
         """Evaluate one resolved pattern against the current store,
         reusing (and lazily filling) the unit's compiled rewriting plan
@@ -721,7 +830,8 @@ class Database:
             try:
                 if rewriting is original:
                     tuples = self._run_rewriting(
-                        prepared_unit, index, rewriting, physical, ctx
+                        prepared_unit, index, rewriting, physical, ctx,
+                        fingerprint=fingerprint,
                     )
                 else:
                     tuples = self._evaluate_rewriting(rewriting, ctx)
@@ -789,19 +899,32 @@ class Database:
         rewriting: Rewriting,
         physical: bool,
         ctx: ExecutionContext,
+        fingerprint: Optional[str] = None,
     ) -> list[NestedTuple]:
         """Run the originally chosen rewriting, reusing the unit's compiled
-        plan cache; storage-level surprises are normalized to the typed
-        hierarchy (a vanished relation is an unavailable module, anything
-        else is a plan-execution fault blamed on this rewriting)."""
+        plan cache (and, under the batch executor, the fingerprint-keyed
+        compiled closure); storage-level surprises are normalized to the
+        typed hierarchy (a vanished relation is an unavailable module,
+        anything else is a plan-execution fault blamed on this
+        rewriting)."""
         plan = rewriting.plan
         context = self.store.context()
+        context[EXEC_CTX_KEY] = ctx
         try:
             if physical:
                 compiled = prepared_unit.compiled_patterns.get(index)
                 if compiled is None:
                     compiled = ctx.compile(plan, self.store.scan_orders())
                     prepared_unit.compiled_patterns[index] = compiled
+                slot = self._batch_slot(
+                    fingerprint,
+                    f"pattern:{prepared_unit.index}:{index}",
+                    compiled,
+                    ctx,
+                )
+                if slot is not None:
+                    with slot.lock:
+                        return slot.fn(context).tuples
                 return list(compiled.execute(context))
             return plan.evaluate(context)
         except ReproError:
@@ -882,6 +1005,7 @@ class Database:
         stats: bool,
         ctx: ExecutionContext,
         events: Optional[list[str]] = None,
+        fingerprint: Optional[str] = None,
     ) -> None:
         unit = prepared_unit.unit
         resolutions = prepared_unit.resolutions
@@ -892,7 +1016,8 @@ class Database:
                 "pattern", index=index, access=resolution.access_path
             ):
                 tuples = self._prepared_pattern_tuples(
-                    prepared_unit, index, resolution, physical, ctx, events
+                    prepared_unit, index, resolution, physical, ctx, events,
+                    fingerprint=fingerprint,
                 )
             resolution.actual_cardinality = len(tuples)
             bindings[f"__pattern_{index}"] = tuples
@@ -904,7 +1029,21 @@ class Database:
                     prepared_unit.compiled_plan = ctx.compile(
                         plan, self.store.scan_orders()
                     )
-                tuples, metrics = ctx.run(prepared_unit.compiled_plan, bindings)
+                slot = self._batch_slot(
+                    fingerprint,
+                    f"unit:{prepared_unit.index}",
+                    prepared_unit.compiled_plan,
+                    ctx,
+                )
+                if slot is not None:
+                    with slot.lock:
+                        tuples, metrics = ctx.run(
+                            slot.plan, bindings, batch_fn=slot.fn
+                        )
+                else:
+                    tuples, metrics = ctx.run(
+                        prepared_unit.compiled_plan, bindings
+                    )
                 result.metrics.append(metrics)
             else:
                 tuples = plan.evaluate(bindings)

@@ -1,0 +1,541 @@
+"""Batch (columnar-block) execution and plan-to-closure compilation.
+
+The iterator engine of :mod:`repro.engine.physical` pays Python generator
+machinery per tuple per operator — and, when instrumented, two
+``perf_counter`` calls per tuple on top.  This module trades that for
+block-at-a-time execution: :func:`compile_batch` lowers a compiled
+physical plan into one specialized closure per operator, each consuming
+and producing a :class:`Block` (the tuple list plus lazily extracted
+parallel arrays of structural IDs and the order descriptor).  The closure
+tree *is* the compiled artifact the fingerprint-keyed plan cache stores
+(:class:`repro.engine.plan_cache.CompiledPlanArtifact`).
+
+Semantics are bit-for-bit those of the iterator engine:
+
+* every operator produces tuples in the same order (sorts reuse
+  :func:`~repro.engine.orderdesc.sort_key_for` and Python's stable sort,
+  which reproduces the B+-tree's duplicate-bucket order; hash joins and
+  group-bys keep insertion/first-seen order);
+* children are evaluated in the order the iterator algorithms consume
+  them (build side first for hash/nested-loops joins and difference,
+  ancestors before descendants for the stack-tree joins), so seeded
+  chaos fault injection draws the same RNG sequence under either engine;
+* the stack-tree structural joins run as merge passes over pre-extracted
+  sorted ID arrays instead of generator chains — same stack discipline,
+  integer-indexed.
+
+Cold operators (``PLogicalFallback``, ``PConcat``, ``PDifference``) are
+not rewritten: :class:`PBlockInput` adapts a compiled batch closure back
+into an iterator-model child, so their original ``_run`` algorithms
+execute unmodified over batch-produced inputs.  A plan containing any
+*other* operator type is not covered (:func:`batch_covered` is False) and
+the caller falls back to the iterator engine for the whole plan.
+
+Metrics stay exact: each closure reads its operator's ``metrics`` node at
+call time and accumulates actual rows per block and inclusive wall time
+per operator — the same quantities the iterator engine's per-tuple
+``_record`` wrapper maintains, at block granularity.
+"""
+
+from __future__ import annotations
+
+import copy
+import time
+from typing import Callable, List, Optional
+
+from ..algebra.model import NestedTuple, concat
+from .physical import (
+    PBase,
+    PConcat,
+    PDifference,
+    PFilter,
+    PHashGroupBy,
+    PHashJoin,
+    PLogicalFallback,
+    PNestedLoopsJoin,
+    PProject,
+    PScan,
+    PSort,
+    PStackTreeAnc,
+    PStackTreeDesc,
+    PhysicalOperator,
+    _covers,
+    _emit_variant,
+    _is_rel,
+    _pre,
+    _sid,
+)
+from .orderdesc import sort_key_for
+
+__all__ = [
+    "Block",
+    "BatchUnsupported",
+    "PBlockInput",
+    "BatchFn",
+    "batch_covered",
+    "compile_batch",
+]
+
+#: a compiled batch closure: evaluation context in, one Block out
+BatchFn = Callable[[Optional[dict]], "Block"]
+
+
+class Block:
+    """One batch of tuples flowing between operators.
+
+    ``tuples`` is the row list (never mutated by consumers — operators
+    build fresh lists); ``order`` is the order descriptor the block is
+    sorted by (``None`` = unordered).  Column arrays are extracted lazily
+    and cached, so a structural join asking for the ID and pre-rank
+    columns of its sorted inputs pays the per-tuple attribute walk once.
+    """
+
+    __slots__ = ("tuples", "order", "_columns")
+
+    def __init__(self, tuples: List[NestedTuple], order: Optional[str] = None):
+        self.tuples = tuples
+        self.order = order
+        self._columns: Optional[dict] = None
+
+    def __len__(self) -> int:
+        return len(self.tuples)
+
+    def _cache(self) -> dict:
+        if self._columns is None:
+            self._columns = {}
+        return self._columns
+
+    def column(self, attr: str) -> list:
+        """Parallel array of ``t.get(attr)`` values."""
+        cache = self._cache()
+        col = cache.get(("v", attr))
+        if col is None:
+            col = cache[("v", attr)] = [t.get(attr) for t in self.tuples]
+        return col
+
+    def id_column(self, attr: str) -> list:
+        """Parallel array of validated structural identifiers."""
+        cache = self._cache()
+        col = cache.get(("id", attr))
+        if col is None:
+            col = cache[("id", attr)] = [_sid(t, attr) for t in self.tuples]
+        return col
+
+    def pre_column(self, attr: str) -> list:
+        """Parallel array of document-order (pre) ranks of the IDs."""
+        cache = self._cache()
+        col = cache.get(("pre", attr))
+        if col is None:
+            col = cache[("pre", attr)] = [_pre(i) for i in self.id_column(attr)]
+        return col
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Block n={len(self.tuples)} order={self.order!r}>"
+
+
+class BatchUnsupported(Exception):
+    """The plan contains an operator the batch engine does not cover."""
+
+
+class PBlockInput(PhysicalOperator):
+    """Block→iterator adapter.
+
+    Presents a compiled batch closure as an iterator-model child, so
+    adapted (cold) operators run their original ``_run`` algorithms
+    unmodified over batch-produced inputs.  The closure is invoked when
+    the parent first pulls the iterator — the same point the iterator
+    engine would start the child subtree — keeping fault-injection draw
+    order identical across engines.
+    """
+
+    def __init__(self, fn: BatchFn, template: PhysicalOperator):
+        self.fn = fn
+        self.output_order = template.output_order
+        self.estimated_rows = template.estimated_rows
+
+    def _run(self, context=None):
+        return iter(self.fn(context).tuples)
+
+    def label(self) -> str:
+        return "PBlockInput"
+
+
+# ---------------------------------------------------------------------------
+# Coverage
+# ---------------------------------------------------------------------------
+
+#: operators with a native batch implementation
+_HOT = (
+    PScan,
+    PBase,
+    PFilter,
+    PProject,
+    PSort,
+    PHashGroupBy,
+    PHashJoin,
+    PNestedLoopsJoin,
+    PStackTreeDesc,
+    PStackTreeAnc,
+)
+
+#: cold operators run unmodified behind the PBlockInput adapter
+_ADAPTED = (PConcat, PDifference, PLogicalFallback)
+
+_COVERED = _HOT + _ADAPTED + (PBlockInput,)
+
+
+def batch_covered(physical: PhysicalOperator) -> bool:
+    """Whether every operator of the plan is either batch-native or
+    adapted; False means the caller must run the iterator engine (the
+    per-plan ``executor.fallback`` path)."""
+    return all(isinstance(op, _COVERED) for op in physical.walk())
+
+
+# ---------------------------------------------------------------------------
+# Per-operator closure builders
+# ---------------------------------------------------------------------------
+
+def _observed(op: PhysicalOperator, fn: BatchFn) -> BatchFn:
+    """Wrap a closure with metrics accounting against the operator's
+    (dynamically attached) metrics node: inclusive wall time per call,
+    actual rows per block — the batch-granularity equivalent of the
+    iterator engine's per-tuple ``_record``."""
+    clock = time.perf_counter
+
+    def run(context):
+        m = op.metrics
+        if m is None:
+            return fn(context)
+        m.executions += 1
+        started = clock()
+        block = fn(context)
+        m.elapsed += clock() - started
+        m.rows_out += len(block.tuples)
+        return block
+
+    return run
+
+
+def _scan(op: PScan) -> BatchFn:
+    name, missing_ok, order = op.name, op.missing_ok, op.output_order
+
+    def fn(context):
+        if context is None or name not in context:
+            if missing_ok:
+                return Block([], order)
+            raise KeyError(f"base relation {name!r} missing from context")
+        # context[name] fires the relation.scan fault point, exactly as
+        # the iterator PScan does; the copy keeps store state unaliased
+        return Block(list(context[name]), order)
+
+    return fn
+
+
+def _base(op: PBase) -> BatchFn:
+    def fn(context):
+        return Block(list(op.tuples), op.output_order)
+
+    return fn
+
+
+def _filter(op: PFilter, child: BatchFn) -> BatchFn:
+    predicate, order = op.predicate, op.output_order
+
+    def fn(context):
+        return Block(
+            [t for t in child(context).tuples if predicate(t)], order
+        )
+
+    return fn
+
+
+def _project(op: PProject, child: BatchFn) -> BatchFn:
+    columns, renames, dedup = op.columns, op.renames, op.dedup
+    order = op.output_order
+
+    def fn(context):
+        rows = child(context).tuples
+        if renames:
+            projected = [t.project(columns).rename(renames) for t in rows]
+        else:
+            projected = [t.project(columns) for t in rows]
+        if dedup:
+            seen: set = set()
+            kept = []
+            for p in projected:
+                key = p.freeze()
+                if key not in seen:
+                    seen.add(key)
+                    kept.append(p)
+            projected = kept
+        return Block(projected, order)
+
+    return fn
+
+
+def _sort(op: PSort, child: BatchFn) -> BatchFn:
+    # Python's stable sort over sort_key_for reproduces the B+-tree's
+    # order exactly: equal keys append to a bucket in insertion order
+    # there, and stability preserves input order here.
+    key = sort_key_for(op.path)
+    path = op.path
+
+    def fn(context):
+        return Block(sorted(child(context).tuples, key=key), path)
+
+    return fn
+
+
+def _group_by(op: PHashGroupBy, child: BatchFn) -> BatchFn:
+    keys, nest_as, order = op.keys, op.nest_as, op.output_order
+
+    def fn(context):
+        groups: dict = {}
+        heads: dict = {}
+        first_seen: list = []
+        for t in child(context).tuples:
+            head = t.project(keys)
+            key = head.freeze()
+            if key not in groups:
+                groups[key] = []
+                heads[key] = head
+                first_seen.append(key)
+            groups[key].append(t.drop(keys))
+        return Block(
+            [
+                heads[key].with_attrs(**{nest_as: groups[key]})
+                for key in first_seen
+            ],
+            order,
+        )
+
+    return fn
+
+
+def _hash_join(op: PHashJoin, left: BatchFn, right: BatchFn) -> BatchFn:
+    left_attr, right_attr = op.left_attr, op.right_attr
+    kind, nest_as, right_columns = op.kind, op.nest_as, op.right_columns
+    order = op.output_order
+
+    def fn(context):
+        # build side first — the order the iterator algorithm consumes
+        # its children in (fault-draw parity)
+        table: dict = {}
+        for r in right(context).tuples:
+            key = r.first(right_attr)
+            if key is not None:
+                table.setdefault(key, []).append(r)
+        out: list = []
+        if kind == "j":
+            append = out.append
+            for lt in left(context).tuples:
+                key = lt.first(left_attr)
+                if key is None:
+                    continue
+                bucket = table.get(key)
+                if bucket:
+                    for m in bucket:
+                        append(concat(lt, m))
+        else:
+            extend = out.extend
+            for lt in left(context).tuples:
+                key = lt.first(left_attr)
+                matches = table.get(key, []) if key is not None else []
+                extend(
+                    _emit_variant(kind, lt, matches, nest_as, right_columns)
+                )
+        return Block(out, order)
+
+    return fn
+
+
+def _nested_loops(op: PNestedLoopsJoin, left: BatchFn, right: BatchFn) -> BatchFn:
+    match, kind = op.match, op.kind
+    nest_as, right_columns = op.nest_as, op.right_columns
+    order = op.output_order
+
+    def fn(context):
+        right_rows = right(context).tuples  # blocks on the right input
+        out: list = []
+        extend = out.extend
+        for lt in left(context).tuples:
+            matches = [r for r in right_rows if match(lt, r)]
+            extend(_emit_variant(kind, lt, matches, nest_as, right_columns))
+        return Block(out, order)
+
+    return fn
+
+
+def _stack_tree_desc(op: PStackTreeDesc, left: BatchFn, right: BatchFn) -> BatchFn:
+    anc_attr, desc_attr, axis = op.anc_attr, op.desc_attr, op.axis
+    order = op.output_order
+
+    def fn(context):
+        anc_block = left(context)
+        desc_block = right(context)
+        anc_rows = anc_block.tuples
+        desc_rows = desc_block.tuples
+        anc_ids = anc_block.id_column(anc_attr)
+        anc_pres = anc_block.pre_column(anc_attr)
+        desc_ids = desc_block.id_column(desc_attr)
+        desc_pres = desc_block.pre_column(desc_attr)
+        out: list = []
+        append = out.append
+        stack: list = []  # (anc_id, anc_tuple)
+        a, n_anc = 0, len(anc_rows)
+        for d in range(len(desc_rows)):
+            desc_id = desc_ids[d]
+            desc_pre = desc_pres[d]
+            # Push every ancestor starting before this descendant.
+            while a < n_anc and anc_pres[a] < desc_pre:
+                anc_id = anc_ids[a]
+                while stack and not _covers(stack[-1][0], anc_id):
+                    stack.pop()
+                stack.append((anc_id, anc_rows[a]))
+                a += 1
+            while stack and not _covers(stack[-1][0], desc_id):
+                stack.pop()
+            desc_tuple = desc_rows[d]
+            for anc_id, anc_tuple in stack:
+                if _is_rel(anc_id, desc_id, axis):
+                    append(concat(anc_tuple, desc_tuple))
+        return Block(out, order)
+
+    return fn
+
+
+def _stack_tree_anc(op: PStackTreeAnc, left: BatchFn, right: BatchFn) -> BatchFn:
+    anc_attr, desc_attr, axis = op.anc_attr, op.desc_attr, op.axis
+    kind, nest_as, right_columns = op.kind, op.nest_as, op.right_columns
+    order = op.output_order
+
+    def fn(context):
+        anc_block = left(context)
+        desc_block = right(context)
+        anc_rows = anc_block.tuples
+        desc_rows = desc_block.tuples
+        anc_ids = anc_block.id_column(anc_attr)
+        anc_pres = anc_block.pre_column(anc_attr)
+        desc_ids = desc_block.id_column(desc_attr)
+        desc_pres = desc_block.pre_column(desc_attr)
+        out: list = []
+        # stack entries: [anc_id, anc_tuple, matches, anc_pre]
+        stack: list = []
+        pending: list = []  # popped ancestors not yet emitted (anc order)
+
+        def flush_pending() -> None:
+            # pop order is deepest-first; restore ancestor (pre) order
+            pending.sort(key=lambda e: e[3])
+            for _anc_id, anc_tuple, matches, _p in pending:
+                out.extend(
+                    _emit_variant(kind, anc_tuple, matches, nest_as, right_columns)
+                )
+            pending.clear()
+
+        a = d = 0
+        n_anc, n_desc = len(anc_rows), len(desc_rows)
+        while a < n_anc or d < n_desc:
+            advance_anc = d >= n_desc or (
+                a < n_anc and anc_pres[a] < desc_pres[d]
+            )
+            if advance_anc:
+                anc_id = anc_ids[a]
+                while stack and not _covers(stack[-1][0], anc_id):
+                    pending.append(stack.pop())
+                if not stack:
+                    flush_pending()
+                stack.append([anc_id, anc_rows[a], [], anc_pres[a]])
+                a += 1
+            else:
+                desc_id = desc_ids[d]
+                while stack and not _covers(stack[-1][0], desc_id):
+                    pending.append(stack.pop())
+                if not stack:
+                    flush_pending()
+                desc_tuple = desc_rows[d]
+                for entry in stack:
+                    if _is_rel(entry[0], desc_id, axis):
+                        entry[2].append(desc_tuple)
+                d += 1
+        while stack:
+            pending.append(stack.pop())
+        flush_pending()
+        return Block(out, order)
+
+    return fn
+
+
+def _adapted(op: PhysicalOperator, child_fns: List[BatchFn]) -> BatchFn:
+    """Run a cold operator's original iterator algorithm over
+    batch-compiled children: a shallow copy of the operator gets
+    :class:`PBlockInput` children, and its unmodified ``_run`` drives
+    them.  Metrics for the operator itself are recorded at block level by
+    the :func:`_observed` wrapper (the shadow's ``metrics`` stays None so
+    nothing double-counts)."""
+    shadow = copy.copy(op)
+    shadow.metrics = None
+    shadow.children = tuple(
+        PBlockInput(fn, child) for fn, child in zip(child_fns, op.children)
+    )
+    if isinstance(op, PLogicalFallback):
+        # the shadow keeps its own per-context substitution slot
+        shadow._substituted = None
+    order = op.output_order
+
+    def fn(context):
+        return Block(list(shadow._run(context)), order)
+
+    return fn
+
+
+# ---------------------------------------------------------------------------
+# The compiler
+# ---------------------------------------------------------------------------
+
+def compile_batch(physical: PhysicalOperator) -> BatchFn:
+    """Compile a physical plan into one specialized closure tree:
+    ``fn(context) -> Block``.
+
+    Raises :class:`BatchUnsupported` when the plan contains an operator
+    outside the covered set — callers should test :func:`batch_covered`
+    first and fall back to the iterator engine.
+    """
+
+    def build(op: PhysicalOperator) -> BatchFn:
+        if isinstance(op, PScan):
+            raw = _scan(op)
+        elif isinstance(op, PBase):
+            raw = _base(op)
+        elif isinstance(op, PFilter):
+            raw = _filter(op, build(op.children[0]))
+        elif isinstance(op, PProject):
+            raw = _project(op, build(op.children[0]))
+        elif isinstance(op, PSort):
+            raw = _sort(op, build(op.children[0]))
+        elif isinstance(op, PHashGroupBy):
+            raw = _group_by(op, build(op.children[0]))
+        elif isinstance(op, PHashJoin):
+            raw = _hash_join(op, build(op.children[0]), build(op.children[1]))
+        elif isinstance(op, PNestedLoopsJoin):
+            raw = _nested_loops(
+                op, build(op.children[0]), build(op.children[1])
+            )
+        elif isinstance(op, PStackTreeDesc):
+            raw = _stack_tree_desc(
+                op, build(op.children[0]), build(op.children[1])
+            )
+        elif isinstance(op, PStackTreeAnc):
+            raw = _stack_tree_anc(
+                op, build(op.children[0]), build(op.children[1])
+            )
+        elif isinstance(op, PBlockInput):
+            raw = op.fn
+        elif isinstance(op, _ADAPTED):
+            raw = _adapted(op, [build(child) for child in op.children])
+        else:
+            raise BatchUnsupported(
+                f"no batch implementation for {op.label()}"
+            )
+        return _observed(op, raw)
+
+    return build(physical)

@@ -45,7 +45,16 @@ __all__ = [
     "OperatorMetrics",
     "PlanMetrics",
     "ExecutionContext",
+    "EXEC_CTX_KEY",
 ]
+
+#: reserved data-context key under which :meth:`ExecutionContext.run` (and
+#: the database's rewriting executor) exposes the execution context to
+#: operators at runtime — read with ``context.get(EXEC_CTX_KEY)``, which
+#: bypasses the fault-checked ``__getitem__`` of store contexts.  Operators
+#: use it to bump counters (e.g. ``fallback.materialized_rows``) without
+#: pinning a context onto cached plans.
+EXEC_CTX_KEY = "__execution_context__"
 
 
 # ---------------------------------------------------------------------------
@@ -265,6 +274,12 @@ class ExecutionContext:
         #: optional :class:`~repro.engine.faults.FaultInjector` activated
         #: around this query's execution (chaos mode); None in production
         self.fault_injector = None
+        #: which execution engine this query runs under: ``"iter"`` (the
+        #: per-tuple iterator interpreter — the default for stand-alone
+        #: contexts, which never receive batch closures) or ``"batch"``
+        #: (set by ``Database.execution_context`` when the batch executor
+        #: is selected).  Recorded into results and the query log.
+        self.executor = "iter"
         self._estimates: dict[int, Optional[float]] = {}
 
     # -- counters -----------------------------------------------------------
@@ -350,10 +365,29 @@ class ExecutionContext:
         self.metrics.append(plan_metrics)
         return plan_metrics
 
-    def run(self, physical, data_context=None) -> tuple[list, PlanMetrics]:
-        """Instrument, execute to completion, and return (tuples, metrics)."""
+    def run(
+        self, physical, data_context=None, batch_fn=None
+    ) -> tuple[list, PlanMetrics]:
+        """Instrument, execute to completion, and return (tuples, metrics).
+
+        ``batch_fn`` is an optional compiled batch closure for the same
+        plan (see :func:`repro.engine.batch.compile_batch`); when given,
+        it executes in place of the iterator walk — metrics land in the
+        same instrumented nodes, accumulated per block instead of per
+        tuple.  Either way the context publishes itself into the data
+        context under :data:`EXEC_CTX_KEY` so operators can reach the
+        counter sink at runtime.
+        """
         plan_metrics = self.instrument(physical)
-        tuples = list(physical.execute(data_context))
+        if data_context is not None:
+            try:
+                data_context[EXEC_CTX_KEY] = self
+            except TypeError:  # read-only mapping: operators just lose counters
+                pass
+        if batch_fn is not None:
+            tuples = batch_fn(data_context).tuples
+        else:
+            tuples = list(physical.execute(data_context))
         return tuples, plan_metrics
 
     # -- timing primitive used by the physical layer ------------------------

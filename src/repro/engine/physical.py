@@ -44,7 +44,7 @@ from ..algebra.operators import (
 from ..algebra.predicates import Attr, Compare
 from ..xmldata.ids import DeweyID, StructuralID
 from .btree import BPlusTree
-from .context import ExecutionContext, OperatorMetrics
+from .context import EXEC_CTX_KEY, ExecutionContext, OperatorMetrics
 from .orderdesc import project_order, satisfies, sort_key_for
 
 __all__ = [
@@ -584,10 +584,13 @@ class PLogicalFallback(PhysicalOperator):
     operator evaluates over them.
 
     Each physical input is materialized **exactly once per execution
-    context**: re-executing the same compiled plan against the same
-    context reuses the substituted inputs instead of re-running the whole
-    child subtree (the wrapper is a pipeline breaker either way, so the
-    cached lists are exactly what a second run would rebuild)."""
+    context** — one materialized block set per context, not an unbounded
+    accumulation: re-executing the same compiled plan against the same
+    context reuses the substituted inputs, and a new context *replaces*
+    the slot instead of growing it.  Every (re)build reports its size
+    through the ``fallback.materialized_rows`` counter of the execution
+    context published under :data:`~repro.engine.context.EXEC_CTX_KEY`,
+    so the buffering is observable rather than silent."""
 
     def __init__(self, logical: Operator, children: Sequence[PhysicalOperator]):
         self.logical = logical
@@ -600,15 +603,22 @@ class PLogicalFallback(PhysicalOperator):
         import copy
 
         if self._substituted is None or self._substituted[0] is not context:
+            materialized = [
+                list(child.execute(context)) for child in self.children
+            ]
             clone = copy.copy(self.logical)
             clone.children = tuple(
-                BaseTuples(
-                    list(child.execute(context)),
-                    self.logical.children[index].schema(),
-                )
-                for index, child in enumerate(self.children)
+                BaseTuples(rows, self.logical.children[index].schema())
+                for index, rows in enumerate(materialized)
             )
             self._substituted = (context, clone)
+            if context is not None:
+                sink = context.get(EXEC_CTX_KEY)
+                if sink is not None:
+                    sink.bump(
+                        "fallback.materialized_rows",
+                        float(sum(len(rows) for rows in materialized)),
+                    )
         return self._substituted[1]
 
     def _run(self, context: Optional[Context] = None) -> Iterator[NestedTuple]:

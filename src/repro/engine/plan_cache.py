@@ -31,7 +31,13 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Any, Hashable, Iterator, Optional
 
-__all__ = ["CacheStats", "PlanCache", "normalize_query"]
+__all__ = [
+    "CacheStats",
+    "CompiledPlanArtifact",
+    "CompiledSlot",
+    "PlanCache",
+    "normalize_query",
+]
 
 
 def normalize_query(text: str) -> str:
@@ -90,6 +96,78 @@ class _Entry:
     def __init__(self, value: Any, version: int):
         self.value = value
         self.version = version
+
+
+class CompiledSlot:
+    """One compiled batch closure of a plan artifact.
+
+    ``plan`` is the physical operator tree the closure records metrics
+    into (instrumentation attaches nodes to *this* tree, not whatever
+    copy a later preparation produced); ``fn`` is the specialized
+    closure; ``lock`` serializes executions — one artifact may be shared
+    by every prepared query carrying the same fingerprint, and metrics
+    instrumentation is per-plan-object state.
+    """
+
+    __slots__ = ("name", "plan", "fn", "lock")
+
+    def __init__(self, name: str, plan: Any, fn: Any):
+        self.name = name
+        self.plan = plan
+        self.fn = fn
+        self.lock = threading.Lock()
+
+
+class CompiledPlanArtifact:
+    """The compiled-executor artifact cached under one plan fingerprint.
+
+    A prepared query compiles to several physical plans — one per
+    extraction unit (``unit:<n>``) plus one per chosen rewriting
+    (``pattern:<unit>:<index>``); the artifact holds one
+    :class:`CompiledSlot` per such plan, filled lazily as execution
+    reaches it.  PR 5's fingerprint is the key: identical catalog state
+    re-prepares to an identical fingerprint, so the closures are exactly
+    reusable; any catalog-version bump makes the enclosing cache entry
+    stale and the whole artifact is recompiled.
+    """
+
+    __slots__ = ("fingerprint", "version", "_slots", "_lock")
+
+    def __init__(self, fingerprint: str, version: int = 0):
+        self.fingerprint = fingerprint
+        self.version = version
+        self._slots: dict[str, CompiledSlot] = {}
+        self._lock = threading.Lock()
+
+    def slot(
+        self, name: str, plan: Any, compiler: Any
+    ) -> tuple[CompiledSlot, bool]:
+        """The compiled slot for ``name``, compiling ``plan`` through
+        ``compiler`` on first request.  Returns ``(slot, fresh)`` —
+        ``fresh`` is True when this call did the compilation (a
+        ``plan_compile.miss``), False on reuse (a ``plan_compile.hit``).
+        """
+        with self._lock:
+            found = self._slots.get(name)
+            if found is not None:
+                return found, False
+            compiled = CompiledSlot(name, plan, compiler(plan))
+            self._slots[name] = compiled
+            return compiled, True
+
+    def slots(self) -> list[str]:
+        with self._lock:
+            return list(self._slots)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CompiledPlanArtifact {self.fingerprint} "
+            f"slots={len(self)} v{self.version}>"
+        )
 
 
 class PlanCache:
@@ -175,21 +253,23 @@ class PlanCache:
 
     # -- introspection ------------------------------------------------------
 
-    def register_metrics(self, registry) -> None:
+    def register_metrics(self, registry, prefix: str = "plan_cache") -> None:
         """Publish this cache into a
         :class:`~repro.engine.metrics.MetricsRegistry`: a scrape-time
         collector mirrors the lifetime counters (hits / misses /
         evictions / invalidations are maintained under the cache lock
         anyway — no reason to double-count them on the hot path) and
-        refreshes the size / capacity gauges."""
-        registry.counter("plan_cache.hits", "plan cache hits (lifetime)")
-        registry.counter("plan_cache.misses", "plan cache misses (lifetime)")
-        registry.counter("plan_cache.evictions", "capacity-driven LRU drops")
+        refreshes the size / capacity gauges.  ``prefix`` names the
+        metric family, so several caches (the prepared-plan cache, the
+        compiled-artifact cache) coexist on one registry."""
+        registry.counter(f"{prefix}.hits", f"{prefix} hits (lifetime)")
+        registry.counter(f"{prefix}.misses", f"{prefix} misses (lifetime)")
+        registry.counter(f"{prefix}.evictions", "capacity-driven LRU drops")
         registry.counter(
-            "plan_cache.invalidations", "version/staleness-driven drops"
+            f"{prefix}.invalidations", "version/staleness-driven drops"
         )
-        registry.gauge("plan_cache.size", "cached plans right now")
-        registry.gauge("plan_cache.capacity", "plan cache capacity")
+        registry.gauge(f"{prefix}.size", "cached plans right now")
+        registry.gauge(f"{prefix}.capacity", f"{prefix} capacity")
 
         self_ref = weakref.ref(self)
 
@@ -199,12 +279,12 @@ class PlanCache:
                 reg.unregister_collector(collect)
                 return
             stats = cache.stats()
-            reg.counter("plan_cache.hits").set_total(stats.hits)
-            reg.counter("plan_cache.misses").set_total(stats.misses)
-            reg.counter("plan_cache.evictions").set_total(stats.evictions)
-            reg.counter("plan_cache.invalidations").set_total(stats.invalidations)
-            reg.set_gauge("plan_cache.size", stats.size)
-            reg.set_gauge("plan_cache.capacity", stats.capacity)
+            reg.counter(f"{prefix}.hits").set_total(stats.hits)
+            reg.counter(f"{prefix}.misses").set_total(stats.misses)
+            reg.counter(f"{prefix}.evictions").set_total(stats.evictions)
+            reg.counter(f"{prefix}.invalidations").set_total(stats.invalidations)
+            reg.set_gauge(f"{prefix}.size", stats.size)
+            reg.set_gauge(f"{prefix}.capacity", stats.capacity)
 
         registry.register_collector(collect)
 

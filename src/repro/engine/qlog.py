@@ -175,6 +175,9 @@ def build_record(
         return record
     record["fingerprint"] = result.plan_fingerprint
     record["checksum"] = result_checksum(result)
+    executor = getattr(result, "executor", None)
+    if executor is not None:
+        record["executor"] = executor
     record["rows"] = {
         "xml": len(result.xml),
         "values": len(result.values),

@@ -1,19 +1,25 @@
 """Workload generators: synthetic corpora, random patterns, XMark queries."""
 
 from .xmark import generate_xmark
-from .dblp import generate_dblp
+from .dblp import DBLP_QUERIES, generate_dblp
 from .corpora import (
     generate_bib,
     generate_nasa,
     generate_shakespeare,
     generate_swissprot,
 )
-from .random_patterns import GeneratorConfig, generate_pattern, generate_patterns
+from .random_patterns import (
+    GeneratorConfig,
+    generate_pattern,
+    generate_patterns,
+    pattern_to_query,
+)
 from .xmark_queries import XMARK_QUERIES, xmark_query_patterns
 
 __all__ = [
     "generate_xmark",
     "generate_dblp",
+    "DBLP_QUERIES",
     "generate_bib",
     "generate_nasa",
     "generate_shakespeare",
@@ -21,6 +27,7 @@ __all__ = [
     "GeneratorConfig",
     "generate_pattern",
     "generate_patterns",
+    "pattern_to_query",
     "XMARK_QUERIES",
     "xmark_query_patterns",
 ]

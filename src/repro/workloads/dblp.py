@@ -15,7 +15,30 @@ import random
 from ..xmldata import Document, XMLNode, label_document
 from ..xmldata.node import DOCUMENT
 
-__all__ = ["generate_dblp"]
+__all__ = ["DBLP_QUERIES", "generate_dblp"]
+
+#: query id → Q-subset text over the generated document: the flat-and-wide
+#: shape means these are scan/filter heavy with shallow structural joins —
+#: the complement of XMark's deep-path workload
+DBLP_QUERIES: dict[str, str] = {
+    # every article title (pure scan + projection)
+    "d01": "//dblp/article/title/text()",
+    # articles in one journal (value filter)
+    "d02": 'for $a in //dblp/article[journal = "TODS"] return $a/title/text()',
+    # conference papers that cross-reference proceedings (existential branch)
+    "d03": "for $p in //dblp/inproceedings[crossref] return <paper>{ $p/booktitle/text() }</paper>",
+    # thesis schools (rare record type)
+    "d04": "//dblp/phdthesis/school/text()",
+    # proceedings metadata (multi-field construction)
+    "d05": "for $p in //dblp/proceedings return <proc>{ $p/title/text(), $p/isbn/text() }</proc>",
+    # articles published the same year as a proceedings volume (value join)
+    "d06": "for $a in //dblp/article, $p in //dblp/proceedings "
+           "where $a/year = $p/year return <pair>{ $a/title/text() }</pair>",
+    # homepage URLs (www records)
+    "d07": "for $w in //dblp/www return $w/url/text()",
+    # every author anywhere (descendant axis over all record types)
+    "d08": "for $a in //dblp//author return <a>{ $a/text() }</a>",
+}
 
 _AUTHORS = (
     "Serge Abiteboul", "Dan Suciu", "Ioana Manolescu", "Andrei Arion",

@@ -1,0 +1,413 @@
+"""Batch executor tests: Block execution, operator-level iter/batch
+agreement, plan-to-closure compilation, the fingerprint-keyed artifact
+cache and its invalidation protocol, the executor toggles, and the new
+counters (``plan_compile.*``, ``executor.fallback``,
+``fallback.materialized_rows``)."""
+
+import pytest
+
+from repro import Database
+from repro.algebra import (
+    Attr,
+    BaseTuples,
+    Compare,
+    Const,
+    Difference,
+    GroupBy,
+    NestedTuple,
+    Product,
+    Project,
+    Scan,
+    Select,
+    StructuralJoin,
+    Union,
+    ValueJoin,
+)
+from repro.algebra.operators import TemplateAttr, TemplateElement, XMLize
+from repro.cli import main as cli_main, run_command
+from repro.core.uload import (
+    EXECUTOR_ENV_VAR,
+    EXECUTORS,
+    resolve_executor,
+)
+from repro.engine.batch import (
+    Block,
+    PBlockInput,
+    batch_covered,
+    compile_batch,
+)
+from repro.engine.context import ExecutionContext
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.physical import PhysicalOperator, compile_plan
+from repro.engine.qlog import build_record, result_checksum
+from repro.workloads import generate_xmark
+from repro.xmldata import id_of, load
+
+PERSON_QUERY = "for $p in //people/person return $p/name/text()"
+ITEM_QUERY = "//regions//item/name/text()"
+CONSTRUCTOR_QUERY = (
+    "for $p in //people/person return <r>{ $p/name/text() }</r>"
+)
+
+
+def make_db(executor=None, scale=1, views=True):
+    db = Database(metrics=MetricsRegistry(), executor=executor)
+    db.add_document(generate_xmark(scale=scale, seed=0))
+    if views:
+        db.add_view("v_person", "//people/person[id:s]{/name[id:s, val]}")
+        db.add_view("v_item", "//regions//item[id:s]{/name[id:s, val]}")
+    return db
+
+
+def sid_rows(doc, label, name):
+    return BaseTuples(
+        [
+            NestedTuple({f"{name}.ID": id_of(n, "s")})
+            for n in doc.elements()
+            if n.label == label
+        ]
+    )
+
+
+@pytest.fixture()
+def doc():
+    return load(
+        "<a><b><c/><c/><b><c/></b></b><b/><c/><b><x><c/></x></b></a>"
+    )
+
+
+def batch_agreement(plan, context=None):
+    """The compiled batch closure must reproduce the iterator engine's
+    output *in order*, not just as a multiset."""
+    expected = [
+        t.freeze() for t in compile_plan(plan).execute(dict(context or {}))
+    ]
+    physical = compile_plan(plan)
+    assert batch_covered(physical), physical.pretty()
+    block = compile_batch(physical)(dict(context or {}))
+    assert [t.freeze() for t in block.tuples] == expected
+    return expected
+
+
+# -- Block basics -----------------------------------------------------------
+
+
+class TestBlock:
+    def test_columns_are_lazy_and_cached(self, doc):
+        tuples = sid_rows(doc, "b", "x").tuples
+        block = Block(tuples, order="x.ID")
+        column = block.id_column("x.ID")
+        assert len(column) == len(tuples)
+        assert block.id_column("x.ID") is column  # cached
+        values = block.column("x.ID")
+        assert values == [t.get("x.ID") for t in tuples]
+        pres = block.pre_column("x.ID")
+        assert pres == sorted(pres)  # document order in this fixture
+
+    def test_block_input_adapts_closure_to_iterator(self, doc):
+        tuples = sid_rows(doc, "c", "y").tuples
+        template = compile_plan(BaseTuples(tuples))
+        adapter = PBlockInput(lambda ctx: Block(list(tuples)), template)
+        assert list(adapter._run({})) == tuples
+
+
+# -- operator-level agreement ----------------------------------------------
+
+
+class TestOperatorAgreement:
+    @pytest.mark.parametrize("kind", ["j", "s", "o", "nj", "no"])
+    @pytest.mark.parametrize("axis", ["child", "descendant"])
+    def test_structural_join(self, doc, kind, axis):
+        plan = StructuralJoin(
+            sid_rows(doc, "b", "x"),
+            sid_rows(doc, "c", "y"),
+            "x.ID",
+            "y.ID",
+            axis=axis,
+            kind=kind,
+            nest_as="g",
+        )
+        batch_agreement(plan)
+
+    @pytest.mark.parametrize("kind", ["j", "s", "o", "nj", "no"])
+    def test_hash_value_join(self, kind):
+        left = BaseTuples([NestedTuple({"x": i % 4}) for i in range(12)])
+        right = BaseTuples([NestedTuple({"y": i % 3}) for i in range(9)])
+        plan = ValueJoin(
+            left, right, Compare(Attr("x"), "=", Attr("y")),
+            kind=kind, nest_as="g",
+        )
+        batch_agreement(plan)
+
+    @pytest.mark.parametrize("kind", ["j", "s", "o", "nj", "no"])
+    def test_nested_loops_value_join(self, kind):
+        left = BaseTuples([NestedTuple({"x": i}) for i in range(8)])
+        right = BaseTuples([NestedTuple({"y": i}) for i in range(8)])
+        plan = ValueJoin(
+            left, right, Compare(Attr("x"), "<", Attr("y")),
+            kind=kind, nest_as="g",
+        )
+        batch_agreement(plan)
+
+    def test_relational_operators(self):
+        base = BaseTuples(
+            [NestedTuple({"x": i, "y": i % 3}) for i in range(10)]
+        )
+        for plan in (
+            Select(base, Compare(Attr("x"), ">", Const(2))),
+            Project(base, ["y"], dedup=True),
+            Project(base, ["y", "x"], renames={"x": "z"}),
+            Union(base, base),
+            Difference(base, BaseTuples(base.tuples[:4])),
+            Product(base, BaseTuples([NestedTuple({"z": 1})])),
+            GroupBy(base, ["y"], nest_as="g"),
+        ):
+            batch_agreement(plan)
+
+    def test_scan_from_context(self):
+        plan = Scan("rel", ["x"])
+        context = {"rel": [NestedTuple({"x": i}) for i in range(5)]}
+        batch_agreement(plan, context)
+
+    def test_scan_missing_relation_message_matches(self):
+        physical = compile_plan(Scan("ghost", ["x"]))
+        with pytest.raises(KeyError) as iter_err:
+            list(compile_plan(Scan("ghost", ["x"])).execute({}))
+        with pytest.raises(KeyError) as batch_err:
+            compile_batch(physical)({})
+        assert str(batch_err.value) == str(iter_err.value)
+
+    def test_adapted_fallback_operator(self):
+        template = TemplateElement("r", [TemplateAttr("x")])
+        plan = XMLize(
+            BaseTuples([NestedTuple({"x": i}) for i in range(3)]), template
+        )
+        physical = compile_plan(plan)
+        assert "PLogicalFallback" in physical.pretty()
+        rows = batch_agreement(plan)
+        assert len(rows) == 3
+
+
+# -- coverage and fallback --------------------------------------------------
+
+
+class POpaque(PhysicalOperator):
+    """A physical operator the batch compiler has never heard of."""
+
+    def __init__(self, child):
+        self.children = (child,)
+
+    def _run(self, context=None):
+        yield from self.children[0].execute(context)
+
+
+class TestCoverage:
+    def test_uncovered_operator_detected(self):
+        physical = compile_plan(BaseTuples([NestedTuple({"x": 1})]))
+        assert batch_covered(physical)
+        assert not batch_covered(POpaque(physical))
+        with pytest.raises(Exception):
+            compile_batch(POpaque(physical))
+
+    def test_uncovered_plan_falls_back_whole_query(self):
+        db = make_db(executor="batch")
+        ctx = db.execution_context()
+        # a lowering override producing an operator outside the batch
+        # engine's coverage: the affected plan must run, whole, on the
+        # iterator path — counted, not crashed
+        ctx.registry[Scan] = lambda op, lower, _ctx: POpaque(
+            compile_plan(op, context=ExecutionContext())
+        )
+        result = db.query(
+            PERSON_QUERY, stats=True, physical=True, context=ctx
+        )
+        assert result.counters.get("executor.fallback", 0) >= 1
+        reference = make_db(executor="iter").query(
+            PERSON_QUERY, stats=True, physical=True
+        )
+        assert result_checksum(result) == result_checksum(reference)
+
+
+# -- end-to-end equivalence and metrics exactness ---------------------------
+
+
+class TestExecutorEquivalence:
+    @pytest.mark.parametrize("query", [PERSON_QUERY, ITEM_QUERY])
+    def test_results_and_checksums_match(self, query):
+        batch = make_db(executor="batch").query(
+            query, stats=True, physical=True
+        )
+        iter_ = make_db(executor="iter").query(
+            query, stats=True, physical=True
+        )
+        assert batch.executor == "batch" and iter_.executor == "iter"
+        assert result_checksum(batch) == result_checksum(iter_)
+        assert [t.freeze() for t in batch.tuples] == [
+            t.freeze() for t in iter_.tuples
+        ]
+
+    def test_metrics_exact_under_batching(self):
+        batch = make_db(executor="batch").query(PERSON_QUERY, stats=True)
+        iter_ = make_db(executor="iter").query(PERSON_QUERY, stats=True)
+        assert len(batch.metrics) == len(iter_.metrics)
+        for batch_tree, iter_tree in zip(batch.metrics, iter_.metrics):
+            batch_nodes = list(batch_tree.walk())
+            iter_nodes = list(iter_tree.walk())
+            assert [n.label for n in batch_nodes] == [
+                n.label for n in iter_nodes
+            ]
+            assert [n.rows_out for n in batch_nodes] == [
+                n.rows_out for n in iter_nodes
+            ]
+            assert [n.executions for n in batch_nodes] == [
+                n.executions for n in iter_nodes
+            ]
+            assert batch_tree.root.elapsed > 0.0
+
+    def test_fingerprint_identical_across_executors(self):
+        batch_db = make_db(executor="batch")
+        iter_db = make_db(executor="iter")
+        batch_prepared = batch_db.prepare(PERSON_QUERY)
+        iter_prepared = iter_db.prepare(PERSON_QUERY)
+        assert batch_prepared.fingerprint == iter_prepared.fingerprint
+        assert batch_prepared.plan_shape == iter_prepared.plan_shape
+        batch_result = batch_db.execute_prepared(batch_prepared, stats=True)
+        iter_result = iter_db.execute_prepared(iter_prepared, stats=True)
+        assert (
+            batch_result.plan_fingerprint == iter_result.plan_fingerprint
+        )
+
+
+# -- the fingerprint-keyed compiled-plan cache ------------------------------
+
+
+class TestCompiledPlanCache:
+    def test_miss_then_hit(self):
+        db = make_db(executor="batch")
+        prepared = db.prepare(PERSON_QUERY)
+        first = db.execute_prepared(prepared, stats=True)
+        assert first.counters.get("plan_compile.miss", 0) >= 1
+        assert first.counters.get("plan_compile.hit", 0) == 0
+        second = db.execute_prepared(prepared, stats=True)
+        assert second.counters.get("plan_compile.hit", 0) >= 1
+        assert second.counters.get("plan_compile.miss", 0) == 0
+        assert prepared.fingerprint in db.compiled_plans
+
+    def test_artifact_shared_across_preparations(self):
+        db = make_db(executor="batch")
+        db.execute_prepared(db.prepare(PERSON_QUERY), stats=True)
+        result = db.execute_prepared(db.prepare(PERSON_QUERY), stats=True)
+        # identical catalog state → identical fingerprint → compiled
+        # closures are reused, not recompiled
+        assert result.counters.get("plan_compile.hit", 0) >= 1
+        assert result.counters.get("plan_compile.miss", 0) == 0
+
+    @pytest.mark.parametrize(
+        "mutate",
+        [
+            lambda db: db.add_view(
+                "v_extra", "//people/person[id:s]{/emailaddress[id:s, val]}"
+            ),
+            lambda db: db.add_document_xml("<extra/>", "extra.xml"),
+            lambda db: db.override_statistic("scan.v_person", 5.0),
+        ],
+        ids=["view", "document", "statistics"],
+    )
+    def test_catalog_mutation_invalidates_artifact(self, mutate):
+        db = make_db(executor="batch")
+        db.execute_prepared(db.prepare(PERSON_QUERY), stats=True)
+        assert len(db.compiled_plans) == 1
+        version_before = db.catalog_version
+        mutate(db)
+        assert db.catalog_version != version_before
+        result = db.execute_prepared(db.prepare(PERSON_QUERY), stats=True)
+        assert result.counters.get("plan_compile.invalidate", 0) >= 1
+        assert result.counters.get("plan_compile.miss", 0) >= 1
+
+    def test_stale_execution_still_correct(self):
+        db = make_db(executor="batch")
+        prepared = db.prepare(PERSON_QUERY)
+        before = db.execute_prepared(prepared, stats=True)
+        db.override_statistic("scan.v_person", 123.0)
+        after = db.execute_prepared(db.prepare(PERSON_QUERY), stats=True)
+        assert result_checksum(before) == result_checksum(after)
+
+
+# -- fallback materialization bound -----------------------------------------
+
+
+class TestFallbackMaterialization:
+    @pytest.mark.parametrize("executor", EXECUTORS)
+    def test_materialized_rows_counted(self, executor):
+        db = make_db(executor=executor)
+        result = db.query(CONSTRUCTOR_QUERY, stats=True)
+        assert result.counters.get("fallback.materialized_rows", 0) > 0
+
+    def test_same_context_does_not_rematerialize(self):
+        template = TemplateElement("r", [TemplateAttr("x")])
+        plan = XMLize(
+            BaseTuples([NestedTuple({"x": i}) for i in range(4)]), template
+        )
+        ctx = ExecutionContext()
+        physical = compile_plan(plan, context=ctx)
+        data = {}
+        ctx.run(physical, data)
+        first = ctx.counters.get("fallback.materialized_rows", 0)
+        assert first == 4
+        list(physical.execute(data))  # same live context: inputs reused
+        assert ctx.counters.get("fallback.materialized_rows", 0) == first
+
+
+# -- executor selection everywhere ------------------------------------------
+
+
+class TestExecutorSelection:
+    def test_resolve_default_is_batch(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert resolve_executor(None) == "batch"
+
+    def test_resolve_honours_environment(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "iter")
+        assert resolve_executor(None) == "iter"
+        assert Database(metrics=MetricsRegistry()).executor == "iter"
+        # an explicit argument wins over the environment
+        assert resolve_executor("batch") == "batch"
+
+    def test_resolve_rejects_unknown(self):
+        with pytest.raises(ValueError):
+            resolve_executor("warp")
+        with pytest.raises(ValueError):
+            Database(metrics=MetricsRegistry(), executor="warp")
+
+    def test_result_records_requested_executor(self):
+        db = make_db(executor="iter")
+        assert db.query(PERSON_QUERY, stats=True).executor == "iter"
+        db.executor = "batch"
+        assert db.query(PERSON_QUERY, stats=True).executor == "batch"
+
+    def test_qlog_record_carries_executor(self):
+        db = make_db(executor="batch")
+        result = db.query(PERSON_QUERY, stats=True)
+        record = build_record(PERSON_QUERY, result, 0.01, "ok")
+        assert record["executor"] == "batch"
+
+    def test_repl_executor_command(self, capsys):
+        db = make_db(views=False)
+        run_command(db, ".executor")
+        assert "batch" in capsys.readouterr().out
+        run_command(db, ".executor iter")
+        assert db.executor == "iter"
+        run_command(db, ".executor warp")
+        assert "unknown executor" in capsys.readouterr().out
+        assert db.executor == "iter"
+
+    def test_cli_executor_flag(self, tmp_path, capsys):
+        document = tmp_path / "doc.xml"
+        document.write_text("<a><b>1</b><b>2</b></a>")
+        for executor in EXECUTORS:
+            code = cli_main(
+                [str(document), "--query", "//a/b", "--executor", executor]
+            )
+            assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("<b>1</b>") == 2

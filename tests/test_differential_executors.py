@@ -1,0 +1,160 @@
+"""Differential harness: every workload query must produce identical
+observable output — result checksum *and* degradation flags — under the
+iterator and the batch executor, including with chaos fault points armed
+and with circuit breakers forced open.
+
+Each comparison runs two identically seeded databases (one per executor)
+rather than flipping one database: fault injectors and breaker boards are
+stateful, and the contract under test is that the executor choice is the
+*only* difference between the runs."""
+
+import pytest
+
+from repro import Database
+from repro.engine.breaker import OPEN
+from repro.engine.faults import FaultInjector
+from repro.engine.metrics import MetricsRegistry
+from repro.engine.qlog import result_checksum
+from repro.workloads import (
+    DBLP_QUERIES,
+    GeneratorConfig,
+    XMARK_QUERIES,
+    generate_dblp,
+    generate_patterns,
+    generate_xmark,
+    pattern_to_query,
+)
+
+CHAOS_SPECS = [
+    "relation.scan@v_person:corrupt",
+    "relation.scan@v_item:transient:0.3:2",
+    "*:latency:0.2",
+]
+
+
+def make_xmark_db(executor):
+    db = Database(metrics=MetricsRegistry(), executor=executor)
+    db.add_document(generate_xmark(scale=1, seed=0))
+    db.add_view("v_person", "//people/person[id:s]{/name[id:s, val]}")
+    db.add_view("v_person_b", "//people/person[id:s]{/name[id:s, val]}")
+    db.add_view("v_item", "//regions//item[id:s]{/name[id:s, val]}")
+    return db
+
+
+def make_dblp_db(executor):
+    db = Database(metrics=MetricsRegistry(), executor=executor)
+    db.add_document(generate_dblp(scale=2, seed=1))
+    db.add_view("v_article", "//dblp/article[id:s]{/title[id:s, val]}")
+    db.add_view("v_author", "//dblp//author[id:s, val]")
+    return db
+
+
+def run_pair(make_db, query, configure=None):
+    """The same query on two identically seeded databases differing only
+    in executor; returns the (iter, batch) results."""
+    results = []
+    for executor in ("iter", "batch"):
+        db = make_db(executor)
+        if configure is not None:
+            configure(db)
+        try:
+            results.append(
+                db.query(query, stats=True, physical=True)
+            )
+        except Exception as error:
+            results.append(error)
+    return results
+
+
+def assert_equivalent(query, iter_outcome, batch_outcome):
+    if isinstance(iter_outcome, Exception) or isinstance(
+        batch_outcome, Exception
+    ):
+        # both engines must fail, and with the same typed error
+        assert type(iter_outcome) is type(batch_outcome), (
+            query,
+            iter_outcome,
+            batch_outcome,
+        )
+        return
+    assert result_checksum(iter_outcome) == result_checksum(
+        batch_outcome
+    ), query
+    assert iter_outcome.degraded == batch_outcome.degraded, query
+    assert len(iter_outcome.degradation_events) == len(
+        batch_outcome.degradation_events
+    ), query
+
+
+@pytest.mark.parametrize("query_id", sorted(XMARK_QUERIES))
+def test_xmark_query_differential(query_id):
+    query = XMARK_QUERIES[query_id]
+    iter_outcome, batch_outcome = run_pair(make_xmark_db, query)
+    assert_equivalent(query, iter_outcome, batch_outcome)
+
+
+@pytest.mark.parametrize("query_id", sorted(DBLP_QUERIES))
+def test_dblp_query_differential(query_id):
+    query = DBLP_QUERIES[query_id]
+    iter_outcome, batch_outcome = run_pair(make_dblp_db, query)
+    assert_equivalent(query, iter_outcome, batch_outcome)
+
+
+def test_random_pattern_differential():
+    summary_db = Database(metrics=MetricsRegistry())
+    summary_db.add_document(generate_xmark(scale=1, seed=0))
+    config = GeneratorConfig(wildcard_probability=0.0)
+    queries = []
+    for size in (4, 6, 8):
+        for pattern in generate_patterns(
+            summary_db.summary, size=size, return_count=1,
+            count=4, seed=size, config=config,
+        ):
+            queries.append(pattern_to_query(pattern))
+    assert len(queries) == 12
+    for query in queries:
+        iter_outcome, batch_outcome = run_pair(make_xmark_db, query)
+        assert_equivalent(query, iter_outcome, batch_outcome)
+
+
+@pytest.mark.parametrize("specs", CHAOS_SPECS)
+@pytest.mark.parametrize("seed", [0, 7])
+def test_chaos_differential(specs, seed):
+    """Seeded fault injection must fire identically under both engines:
+    children are evaluated in the iterator's consumption order, so the
+    injector RNG draws line up and degradation plays out the same way."""
+
+    def arm(db):
+        db.fault_injector = FaultInjector(specs, seed=seed)
+
+    for query in (
+        "for $p in //people/person return $p/name/text()",
+        "//regions//item/name/text()",
+    ):
+        iter_outcome, batch_outcome = run_pair(
+            make_xmark_db, query, configure=arm
+        )
+        assert_equivalent(query, iter_outcome, batch_outcome)
+
+
+def test_breakers_forced_open_differential():
+    """With every view's breaker forced open, planning routes around the
+    modules entirely — and both engines must land on the same base-store
+    answer."""
+
+    def trip(db):
+        for name in ("v_person", "v_person_b", "v_item"):
+            for _ in range(db.breakers.failure_threshold):
+                db.breakers.record_failure(name, "forced open")
+            assert db.breakers.state(name) == OPEN
+
+    for query in (
+        "for $p in //people/person return $p/name/text()",
+        "//regions//item/name/text()",
+    ):
+        iter_outcome, batch_outcome = run_pair(
+            make_xmark_db, query, configure=trip
+        )
+        assert_equivalent(query, iter_outcome, batch_outcome)
+        assert not isinstance(iter_outcome, Exception)
+        assert not iter_outcome.used_views
