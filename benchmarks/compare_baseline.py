@@ -28,7 +28,17 @@ import json
 import sys
 
 
-def load_medians(path: str) -> dict[str, dict[str, float]]:
+def warn(message: str, warnings: list[str] | None = None) -> None:
+    """Structural warnings go to stderr (results stay parseable on
+    stdout) and are collected so ``--strict`` can fail on them."""
+    print(message, file=sys.stderr)
+    if warnings is not None:
+        warnings.append(message)
+
+
+def load_medians(
+    path: str, warnings: list[str] | None = None
+) -> dict[str, dict[str, float]]:
     """fullname → {median, mean} from either a raw pytest-benchmark JSON
     or an already distilled baseline file."""
     with open(path, encoding="utf-8") as handle:
@@ -42,9 +52,10 @@ def load_medians(path: str) -> dict[str, dict[str, float]]:
             for bench in data["benchmarks"]
         }
     if "baseline" not in data:
-        print(
+        warn(
             f"WARNING   {path} has no 'baseline' key — treating as empty "
-            "(every current benchmark will count as NEW; re-seed to fix)"
+            "(every current benchmark will count as NEW; re-seed to fix)",
+            warnings,
         )
         return {}
     return data["baseline"]
@@ -71,9 +82,15 @@ def seed(current_path: str, baseline_path: str) -> int:
     return 0
 
 
-def compare(current_path: str, baseline_path: str, threshold: float) -> int:
-    current = load_medians(current_path)
-    baseline = load_medians(baseline_path)
+def compare(
+    current_path: str,
+    baseline_path: str,
+    threshold: float,
+    strict: bool = False,
+) -> int:
+    warnings: list[str] = []
+    current = load_medians(current_path, warnings)
+    baseline = load_medians(baseline_path, warnings)
 
     regressions: list[str] = []
     improvements = 0
@@ -83,9 +100,10 @@ def compare(current_path: str, baseline_path: str, threshold: float) -> int:
             print(f"NEW       {name} (median {stats['median'] * 1000:.3f}ms)")
             continue
         if "median" not in base:
-            print(
+            warn(
                 f"WARNING   {name}: baseline entry has no 'median' — "
-                "skipping (re-seed to fix)"
+                "skipping (re-seed to fix)",
+                warnings,
             )
             continue
         ratio = stats["median"] / base["median"] if base["median"] > 0 else 1.0
@@ -99,7 +117,10 @@ def compare(current_path: str, baseline_path: str, threshold: float) -> int:
             improvements += 1
 
     for name in sorted(set(baseline) - set(current)):
-        print(f"MISSING   {name} (in baseline, not in this run — re-seed?)")
+        warn(
+            f"MISSING   {name} (in baseline, not in this run — re-seed?)",
+            warnings,
+        )
 
     shared = len(set(current) & set(baseline))
     print(
@@ -110,6 +131,13 @@ def compare(current_path: str, baseline_path: str, threshold: float) -> int:
         print()
         for line in regressions:
             print(line)
+        return 1
+    if strict and warnings:
+        print(
+            f"--strict: {len(warnings)} structural warning(s) treated as "
+            "failure",
+            file=sys.stderr,
+        )
         return 1
     return 0
 
@@ -129,10 +157,16 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="write the baseline from the current run instead of comparing",
     )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on structural warnings (missing benchmarks, malformed "
+        "entries), not just regressions",
+    )
     args = parser.parse_args(argv)
     if args.seed:
         return seed(args.current, args.baseline)
-    return compare(args.current, args.baseline, args.threshold)
+    return compare(args.current, args.baseline, args.threshold, args.strict)
 
 
 if __name__ == "__main__":

@@ -22,5 +22,6 @@ __version__ = "1.0.0"
 
 from .core.uload import Database  # noqa: E402  (public facade)
 from .core.service import QueryService  # noqa: E402  (concurrent facade)
+from .core.coordinator import ShardedDatabase  # noqa: E402  (cluster mode)
 
-__all__ = ["Database", "QueryService", "__version__"]
+__all__ = ["Database", "QueryService", "ShardedDatabase", "__version__"]

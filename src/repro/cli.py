@@ -6,6 +6,7 @@ Usage::
     python -m repro.cli explain DOCUMENT.xml QUERY [--view name=XAM ...]
     python -m repro.cli serve DOCUMENT.xml [--view ...] [--queries FILE]
                         [--workers N] [--repeat K] [--timeout S] [--qlog PATH]
+                        [--shards N]
     python -m repro.cli record DOCUMENT.xml QLOG [--view ...] [--queries FILE]
     python -m repro.cli replay DOCUMENT.xml QLOG [--view ...] [--json]
 
@@ -70,6 +71,7 @@ import sys
 import threading
 import weakref
 
+from .core.coordinator import resolve_shards
 from .core.httpapi import start_observability_server
 from .core.replay import replay_records
 from .core.service import QueryService, QueryTimeout
@@ -316,6 +318,34 @@ def _load_database(
     return db
 
 
+def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="cluster mode: partition the documents across N store "
+        "partitions behind a scatter-gather coordinator (answers stay "
+        "bit-identical to the single store — same plan fingerprints, "
+        "same result checksums); default honours $REPRO_SHARDS, else 1",
+    )
+
+
+def _shard_database(
+    db: Database, shards: int | None, announce: bool = True
+) -> Database:
+    """Re-house a loaded database behind a scatter-gather coordinator
+    when a shard count > 1 is requested (``--shards`` / $REPRO_SHARDS)."""
+    count = resolve_shards(shards)
+    if count <= 1:
+        return db
+    sharded = db.shard(count)
+    if announce:
+        print(f"-- shards: {count} ({sharded.partitioner!r}, "
+              "scatter-gather coordinator)")
+    return sharded
+
+
 def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -424,6 +454,7 @@ def _serve_main(argv: list[str]) -> int:
         "(replayable with 'repro replay'); default honours $REPRO_QLOG",
     )
     _add_executor_argument(parser)
+    _add_shards_argument(parser)
     args = parser.parse_args(argv)
 
     queries = _read_queries(args.queries)
@@ -439,6 +470,7 @@ def _serve_main(argv: list[str]) -> int:
     if args.chaos:
         db.fault_injector = FaultInjector(args.chaos, seed=args.chaos_seed)
         print(f"-- chaos: {db.fault_injector.render()} (seed {args.chaos_seed})")
+    db = _shard_database(db, args.shards)
     slow_threshold = (
         args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
     )
@@ -498,6 +530,9 @@ def _serve_main(argv: list[str]) -> int:
             if qlog is not None:
                 qlog.close()
                 print(f"-- query log: {qlog.written} record(s) -> {qlog.path}")
+            closer = getattr(db, "close", None)
+            if closer is not None:  # coordinator: stop the scatter pool
+                closer()
     if interrupted:
         return EXIT_INTERRUPT
     return EXIT_ERROR if failed else EXIT_OK
@@ -599,12 +634,14 @@ def _replay_main(argv: list[str]) -> int:
         "--json", action="store_true", help="emit the report as JSON"
     )
     _add_executor_argument(parser)
+    _add_shards_argument(parser)
     args = parser.parse_args(argv)
 
     records = QueryLog.read_all(args.qlog)
     db = _load_database(
         args.document, args.view, announce=False, executor=args.executor
     )
+    db = _shard_database(db, args.shards, announce=not args.json)
     report = replay_records(db, records)
     if args.json:
         import json as _json

@@ -389,6 +389,21 @@ class QueryService:
                 f"faults.injected.{kind}", f"injected {kind} faults (chaos mode)"
             )
         registry.counter(
+            "shard.fanout", "pattern scatters fanned out across shards"
+        )
+        registry.counter(
+            "shard.merge", "per-document result runs merged back together"
+        )
+        registry.counter(
+            "shard.fallback",
+            "patterns whose plan was not shard-distributive "
+            "(gathered re-execution against the full store)",
+        )
+        registry.counter(
+            "shard.degraded",
+            "shards dropped from a scatter (breaker open / deadline missed)",
+        )
+        registry.counter(
             "latency.samples_dropped",
             "latency ring-buffer samples overwritten before readout",
         )

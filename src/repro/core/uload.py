@@ -30,7 +30,7 @@ from __future__ import annotations
 import os
 import threading
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, Optional
+from typing import Callable, Iterable, Iterator, Optional
 
 from ..algebra.model import NestedTuple
 from ..algebra.operators import Operator
@@ -162,6 +162,10 @@ class QueryResult:
     #: — the *requested* mode; a per-plan coverage fallback shows up as an
     #: ``executor.fallback`` counter, never as a different fingerprint)
     executor: Optional[str] = None
+    #: how many store partitions served this query (None = unsharded
+    #: database; the query log stamps this so replay can diff the same
+    #: workload across physical layouts)
+    shard_count: Optional[int] = None
 
     @property
     def used_views(self) -> list[str]:
@@ -410,13 +414,24 @@ class Database:
         return self.add_document(load(source, name))
 
     def add_document(self, doc: Document) -> Document:
-        self.documents.append(doc)
-        self.summary.add_document(doc)
+        self.add_documents([doc])
+        return doc
+
+    def add_documents(self, docs: Iterable[Document]) -> list[Document]:
+        """Bulk-load documents, finalizing the path summary and
+        re-annotating edge statistics once for the whole batch instead of
+        once per document — what makes a :class:`Database` cheap to
+        construct around a store partition (the sharding coordinator
+        builds one per shard)."""
+        docs = list(docs)
+        for doc in docs:
+            self.documents.append(doc)
+            self.summary.add_document(doc)
         self.summary.finalize()
         for existing in self.documents:
             annotate_edges(self.summary, existing)
         self._mutations += 1
-        return doc
+        return docs
 
     def refresh_statistics(self) -> None:
         """Recompute summary annotations over all documents, drop any
@@ -473,6 +488,35 @@ class Database:
 
     def views(self) -> list[str]:
         return [entry.name for entry in self.catalog.views()]
+
+    def shard(self, shard_count: int, **kwargs) -> "Database":
+        """Re-house this database's documents and views across
+        ``shard_count`` store partitions behind a scatter-gather
+        coordinator (:class:`~repro.core.coordinator.ShardedDatabase`).
+
+        The coordinator plans against the same global state, so plan
+        fingerprints stay byte-identical to this database's — replaying a
+        workload recorded here against the sharded layout must diff
+        clean, which is the physical-data-independence test the sharded
+        CI lane runs.  Keyword arguments (``partitioner``,
+        ``shard_timeout``, ``fanout_workers``) pass through to the
+        coordinator.
+        """
+        from .coordinator import ShardedDatabase
+
+        sharded = ShardedDatabase(
+            shard_count,
+            metrics=self.metrics,
+            tracer=self.tracer,
+            executor=self.executor,
+            **kwargs,
+        )
+        sharded.fault_injector = self.fault_injector
+        sharded.add_documents(self.documents)
+        for entry in list(self.catalog):
+            sharded.add_view(entry.name, entry.pattern, kind=entry.kind)
+        sharded.statistics_overrides.update(self.statistics_overrides)
+        return sharded
 
     # -- the per-query execution context ----------------------------------------
 

@@ -97,6 +97,16 @@ class CircuitBreaker:
             self._failures = 0
         return self.state
 
+    def force_open(self, error: Optional[str] = None) -> str:
+        """Trip the breaker open immediately, regardless of the failure
+        count — the chaos lever for rehearsing module loss (a half-open
+        probe can still close it after the recovery window)."""
+        self._failures = max(self._failures, self.failure_threshold)
+        self._opened_at = self._clock()
+        if error is not None:
+            self.last_error = error
+        return self.state
+
     def render(self) -> str:
         state = self.state
         text = f"{state} (failures={self._failures}"
@@ -205,6 +215,18 @@ class BreakerBoard:
             breaker.record_success()
         if self._registry is not None:
             self._registry.inc("breaker.successes", module=name)
+
+    def force_open(self, name: str, error: Optional[str] = None) -> str:
+        """Trip one module's breaker open immediately (creating it if the
+        module never failed before) — the chaos hook the sharded CI lane
+        uses to rehearse losing a shard's access modules."""
+        with self._lock:
+            breaker = self._breakers.get(name)
+            if breaker is None:
+                breaker = self._breakers[name] = CircuitBreaker(
+                    self.failure_threshold, self.recovery_timeout, self._clock
+                )
+            return breaker.force_open(error or "forced open")
 
     def state(self, name: str) -> str:
         with self._lock:

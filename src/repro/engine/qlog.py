@@ -178,6 +178,11 @@ def build_record(
     executor = getattr(result, "executor", None)
     if executor is not None:
         record["executor"] = executor
+    # stamp the physical layout: replaying the same workload across
+    # different shard counts must diff clean (physical data independence)
+    shard_count = getattr(result, "shard_count", None)
+    if shard_count is not None:
+        record["shards"] = shard_count
     record["rows"] = {
         "xml": len(result.xml),
         "values": len(result.values),

@@ -1,0 +1,331 @@
+"""Document partitioning and scatter-gather plan decomposition.
+
+The physical-data-independence thesis (§1.2) says a query's answer must
+not depend on how the data is laid out.  Sharding is the strongest form
+of that claim: split the corpus across N store partitions and the
+answer — every tuple, every duplicate, every position — must stay
+bit-identical to the single-store execution.  This module holds the
+layout-independent half of that machinery:
+
+* **partitioners** — pluggable document → shard assignment.  The default
+  is round-robin by document arrival order; the interface deliberately
+  leaves room for structural-ID-range splits over the pre/post plane
+  (§1.2.1), where a partitioner would route *subtrees* rather than whole
+  documents;
+* **the scatter splitter** — decomposes a rewriting plan into the
+  largest *distributive* subplan (per-tuple operators — scan / select /
+  project / navigate / derived-column / unnest / XML construction —
+  commute with a by-document partition) plus a coordinator-side suffix
+  (regrouping, duplicate elimination, anything that combines tuples
+  across rows) that must see the merged global stream.  Plans with a
+  non-linear spine (joins, products, unions of several relations) do not
+  split and fall back to gathered re-execution;
+* **merge primitives** — reassemble per-document result runs into the
+  exact single-store stream: concatenation in global document order when
+  the relation carries no order descriptor, a k-way heap merge (stable
+  across shards: ties break on global document sequence, then position)
+  when it does.
+
+Everything here is pure — no threads, no store access — so the
+coordinator (:mod:`repro.core.coordinator`) stays the only place with
+scheduling policy.
+"""
+
+from __future__ import annotations
+
+import copy
+import heapq
+from typing import Callable, Iterable, Optional, Protocol, Sequence
+
+from ..algebra.model import NestedTuple
+from ..algebra.operators import (
+    DerivedColumn,
+    Navigate,
+    Operator,
+    Project,
+    Scan,
+    Select,
+    Unnest,
+    XMLize,
+)
+
+__all__ = [
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "HashPartitioner",
+    "ExplicitPartitioner",
+    "ScatterPlan",
+    "split_plan",
+    "GatheredTuples",
+    "evaluate_suffix",
+    "merge_runs",
+    "merge_sorted_runs",
+    "dedup_stream",
+]
+
+
+# -- partitioners ------------------------------------------------------------
+
+
+class Partitioner(Protocol):
+    """Document → shard assignment policy.
+
+    ``assign`` sees the document, its global sequence number (position in
+    the coordinator's document list — the corpus-wide document order),
+    and the shard count; it returns the shard index.  Implementations
+    must be deterministic: replaying a workload against a rebuilt
+    coordinator must land every document on the same shard.
+    """
+
+    def assign(self, doc, seq: int, shard_count: int) -> int: ...
+
+
+class RoundRobinPartitioner:
+    """The default: document *i* lands on shard ``i % n``."""
+
+    def assign(self, doc, seq: int, shard_count: int) -> int:
+        return seq % shard_count
+
+    def __repr__(self) -> str:
+        return "RoundRobinPartitioner()"
+
+
+class HashPartitioner:
+    """Deterministic hash of the document name (stable across processes —
+    Python's ``hash`` is salted, so it is *not* usable here)."""
+
+    def assign(self, doc, seq: int, shard_count: int) -> int:
+        import zlib
+
+        name = getattr(doc, "name", "") or str(seq)
+        return zlib.crc32(name.encode("utf-8")) % shard_count
+
+    def __repr__(self) -> str:
+        return "HashPartitioner()"
+
+
+class ExplicitPartitioner:
+    """A fixed sequence-number → shard map (property tests use this to
+    drive scatter-gather through *every* partitioning of a corpus).
+    Unmapped documents fall back to round-robin."""
+
+    def __init__(self, assignments: Sequence[int]):
+        self.assignments = list(assignments)
+
+    def assign(self, doc, seq: int, shard_count: int) -> int:
+        if seq < len(self.assignments):
+            return self.assignments[seq] % shard_count
+        return seq % shard_count
+
+    def __repr__(self) -> str:
+        return f"ExplicitPartitioner({self.assignments!r})"
+
+
+# -- scatter splitting -------------------------------------------------------
+
+#: operators that commute with a by-document partition of their input:
+#: they produce output tuples from single input tuples, preserving input
+#: order, so evaluating per document and concatenating in document order
+#: equals evaluating over the concatenated relation.  A
+#: duplicate-*eliminating* projection is excluded (dedup sees the whole
+#: stream); everything not listed — regrouping, group-by, nesting, and
+#: all multi-input operators — combines rows and belongs in the
+#: coordinator-side suffix.
+_PER_TUPLE_SAFE = (Select, Navigate, DerivedColumn, Unnest, XMLize)
+
+
+def _distributive(op: Operator) -> bool:
+    if isinstance(op, Project):
+        return not op.dedup
+    return isinstance(op, _PER_TUPLE_SAFE)
+
+
+class ScatterPlan:
+    """How one rewriting plan decomposes across a document partition.
+
+    ``scatterable`` — the plan has a linear spine down to a partitioned
+    scan, so it can run scattered;
+    ``scatter_root`` — the largest distributive subplan: shards evaluate
+    it per document, and the document-order merge of those runs equals
+    its single-store output stream;
+    ``suffix`` — the remaining operators above the scatter root,
+    outermost first.  They see the whole stream (regroup, π⁰, …), so the
+    coordinator applies them to the *merged* runs via
+    :func:`evaluate_suffix` — semantics identical to the single store by
+    construction, since their input stream is;
+    ``reason`` — why the plan cannot scatter (empty when it can).
+    """
+
+    __slots__ = ("scatterable", "scatter_root", "suffix", "reason")
+
+    def __init__(
+        self,
+        scatterable: bool,
+        scatter_root: Optional[Operator] = None,
+        suffix: Sequence[Operator] = (),
+        reason: str = "",
+    ):
+        self.scatterable = scatterable
+        self.scatter_root = scatter_root
+        self.suffix = list(suffix)
+        self.reason = reason
+
+    def __bool__(self) -> bool:
+        return self.scatterable
+
+    def __repr__(self) -> str:
+        if self.scatterable:
+            suffix = ",".join(type(op).__name__ for op in self.suffix) or "-"
+            return f"<scatter {type(self.scatter_root).__name__} suffix={suffix}>"
+        return f"<fallback: {self.reason}>"
+
+
+def split_plan(
+    plan: Operator,
+    segmented: Iterable[str],
+    store_names: Iterable[str] = (),
+) -> ScatterPlan:
+    """Split ``plan`` into a distributive scatter subplan and a
+    coordinator-side suffix.
+
+    The plan must have a **linear spine**: single-child operators all the
+    way down to a ``Scan`` of a relation in ``segmented`` (the relations
+    the coordinator keeps per-document segments of).  A ``missing_ok``
+    scan of a relation absent from the whole store also qualifies — it
+    reads empty on every layout.  Joins, products and unions have
+    multi-child spines and do not split; they fall back to gathered
+    re-execution against the full store.
+
+    The split point is the deepest operator from which everything below
+    is per-tuple: that subtree scatters, the rest becomes the suffix.
+    """
+    segmented = set(segmented)
+    store_names = set(store_names)
+    chain: list[Operator] = [plan]
+    while len(chain[-1].children) == 1:
+        chain.append(chain[-1].children[0])
+    leaf = chain[-1]
+    if leaf.children:
+        return ScatterPlan(
+            False,
+            reason=(
+                f"operator {type(leaf).__name__} combines several inputs "
+                "(non-linear spine)"
+            ),
+        )
+    if not isinstance(leaf, Scan):
+        return ScatterPlan(
+            False,
+            reason=f"leaf {type(leaf).__name__} is not a partitioned scan",
+        )
+    if leaf.name not in segmented and not (
+        leaf.missing_ok and leaf.name not in store_names
+    ):
+        return ScatterPlan(
+            False, reason=f"relation {leaf.name!r} is not document-partitioned"
+        )
+    split = len(chain) - 1
+    while split > 0 and _distributive(chain[split - 1]):
+        split -= 1
+    return ScatterPlan(True, scatter_root=chain[split], suffix=chain[:split])
+
+
+class GatheredTuples(Operator):
+    """A plan leaf standing for an already-gathered tuple stream — what
+    the scatter root is replaced with when the coordinator evaluates a
+    suffix over merged runs."""
+
+    def __init__(self, tuples: list, schema: Sequence[str] = ()):
+        self.children = ()
+        self._tuples = tuples
+        self._schema = list(schema)
+
+    def schema(self) -> list[str]:
+        return list(self._schema)
+
+    def evaluate(self, context=None) -> list:
+        return self._tuples
+
+    def label(self) -> str:
+        return f"Gathered[{len(self._tuples)}]"
+
+
+def evaluate_suffix(
+    suffix: Sequence[Operator],
+    tuples: list,
+    context=None,
+    schema: Sequence[str] = (),
+) -> list:
+    """Apply a coordinator-side suffix (outermost first, as
+    :func:`split_plan` returns it) to a merged tuple stream.  Each
+    operator is shallow-copied with its child replaced by the gathered
+    stream — the originals stay untouched, since prepared plans are
+    shared across executions."""
+    for op in reversed(suffix):
+        clone = copy.copy(op)
+        clone.children = (GatheredTuples(tuples, schema),)
+        tuples = clone.evaluate(context)
+    return tuples
+
+
+# -- merge primitives --------------------------------------------------------
+
+#: one per-document result run: (global document sequence, tuples)
+Run = "tuple[int, list[NestedTuple]]"
+
+
+def merge_runs(runs: Iterable["tuple[int, list[NestedTuple]]"]) -> list[NestedTuple]:
+    """Concatenate per-document runs in global document order.
+
+    This is the merge rule for unordered relations: the single-store
+    relation *is* the document-order concatenation of per-document
+    materializations, so reassembling gathered runs by their global
+    sequence number reproduces it exactly — regardless of which shard
+    produced which run or in what order the gather completed.
+    """
+    out: list[NestedTuple] = []
+    for _seq, tuples in sorted(runs, key=lambda run: run[0]):
+        out.extend(tuples)
+    return out
+
+
+def merge_sorted_runs(
+    runs: Iterable["tuple[int, list[NestedTuple]]"],
+    key: Callable[[NestedTuple], object],
+) -> list[NestedTuple]:
+    """K-way merge of per-document runs each sorted by ``key``.
+
+    Equivalent to a *stable* sort of the document-order concatenation:
+    ties on the sort key preserve global document order (the sequence
+    number) and, within a document, original position.  When the
+    single-store relation is itself sorted by ``key`` (its order
+    descriptor), a stable sort is the identity, so this merge reproduces
+    the single-store stream while reading each run only once.
+    """
+    def stream(seq: int, tuples: list):
+        for position, t in enumerate(tuples):
+            yield ((key(t), seq, position), t)
+
+    streams = [stream(seq, tuples) for seq, tuples in runs]
+    return [t for _rank, t in heapq.merge(*streams, key=lambda pair: pair[0])]
+
+
+def dedup_stream(
+    tuples: Iterable[NestedTuple],
+    seen: Optional[set] = None,
+) -> list[NestedTuple]:
+    """First-occurrence duplicate elimination, the global re-application
+    of a root π⁰ after merging shard-local (per-document) dedups.  Keyed
+    on :meth:`NestedTuple.freeze`, exactly like ``Project(dedup=True)``:
+    dedup is idempotent and order-preserving, so local-then-global equals
+    one global pass over the concatenated input."""
+    if seen is None:
+        seen = set()
+    out: list[NestedTuple] = []
+    for t in tuples:
+        frozen = t.freeze()
+        if frozen in seen:
+            continue
+        seen.add(frozen)
+        out.append(t)
+    return out
