@@ -97,7 +97,15 @@ def compare(
     for name, stats in sorted(current.items()):
         base = baseline.get(name)
         if base is None:
-            print(f"NEW       {name} (median {stats['median'] * 1000:.3f}ms)")
+            # new benchmarks (e.g. a fresh lane's keys) are informational:
+            # stderr keeps the parseable comparison on stdout, and they are
+            # deliberately not collected as warnings, so --strict does not
+            # fail a PR for adding coverage — re-seed to start gating them
+            print(
+                f"NEW       {name} (median {stats['median'] * 1000:.3f}ms; "
+                "informational — re-seed the baseline to gate it)",
+                file=sys.stderr,
+            )
             continue
         if "median" not in base:
             warn(

@@ -50,7 +50,8 @@ Without ``--query``, starts a REPL with commands:
     .quit
 
 Exit codes of the one-shot modes: 0 success, 2 parse failure, 3 typed
-execution fault (storage/plan/timeout), 1 anything else.  Only the typed
+execution fault (storage/plan/timeout), 4 admission rejection (the query
+was shed before running; retry after the hinted delay), 1 anything else.  Only the typed
 :class:`~repro.errors.ReproError` hierarchy is caught and rendered —
 anything else is a genuine bug and surfaces with its full traceback
 instead of being swallowed.  ``serve`` also accepts ``--chaos SPECS`` /
@@ -79,7 +80,7 @@ from .core.uload import EXECUTORS, Database, resolve_executor
 from .core.xam_parser import XAMParseError
 from .engine.faults import FaultInjector
 from .engine.qlog import QueryLog
-from .errors import ReproError
+from .errors import QueryRejected, ReproError
 from .xquery.parser import XQueryParseError
 
 __all__ = ["main", "run_command"]
@@ -90,6 +91,10 @@ EXIT_OK = 0
 EXIT_ERROR = 1
 EXIT_PARSE = 2
 EXIT_FAULT = 3
+#: admission control shed the query (it never ran — retrying after the
+#: hinted delay is safe); distinct from EXIT_FAULT so wrappers can back
+#: off instead of alerting
+EXIT_REJECTED = 4
 #: 128 + SIGINT, the shell convention for "killed by ^C" — what serve and
 #: record return after a graceful (log-flushing) interrupt shutdown
 EXIT_INTERRUPT = 130
@@ -127,6 +132,13 @@ def _describe_error(error: BaseException) -> str:
     """One-line, typed description of a failure (REPL and serve modes)."""
     if isinstance(error, _PARSE_ERRORS):
         return f"parse error: {error}"
+    if isinstance(error, QueryRejected):
+        hint = (
+            f"; retry after ~{error.retry_after:g}s"
+            if error.retry_after
+            else ""
+        )
+        return f"rejected [{error.reason}]: {error}{hint}"
     if isinstance(error, ReproError):
         return f"error [{type(error).__name__}]: {error}"
     return f"error: {type(error).__name__}: {error}"
@@ -135,6 +147,8 @@ def _describe_error(error: BaseException) -> str:
 def _exit_code_for(error: BaseException) -> int:
     if isinstance(error, _PARSE_ERRORS):
         return EXIT_PARSE
+    if isinstance(error, QueryRejected):  # before the ReproError catch-all
+        return EXIT_REJECTED
     if isinstance(error, ReproError):
         return EXIT_FAULT
     return EXIT_ERROR
@@ -146,13 +160,78 @@ _SERVICES: "weakref.WeakKeyDictionary[Database, QueryService]" = (
     weakref.WeakKeyDictionary()
 )
 
+#: per-database service constructor overrides (worker count, admission
+#: knobs) recorded by the shell's argument parsing before the lazily
+#: created service exists
+_SERVICE_SETTINGS: "weakref.WeakKeyDictionary[Database, dict]" = (
+    weakref.WeakKeyDictionary()
+)
+
 
 def _service_for(db: Database) -> QueryService:
     service = _SERVICES.get(db)
     if service is None:
-        service = QueryService(db, cache_capacity=64, max_workers=2)
+        settings = dict(_SERVICE_SETTINGS.get(db) or {})
+        settings.setdefault("cache_capacity", 64)
+        settings.setdefault("max_workers", 2)
+        service = QueryService(db, **settings)
         _SERVICES[db] = service
     return service
+
+
+def _add_admission_arguments(parser: argparse.ArgumentParser) -> None:
+    """The overload-protection knobs, shared by ``serve`` and the shell
+    (env-var fallbacks: $REPRO_QUEUE_CAPACITY, $REPRO_ADAPTIVE_LIMIT,
+    $REPRO_RETRY_BUDGET, $REPRO_RETRY_REFILL)."""
+    parser.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="bound the admission queue at N waiting queries; beyond it "
+        "queries are rejected immediately (typed QueryRejected with a "
+        "retry-after hint) instead of timing out after consuming a slot; "
+        "default honours $REPRO_QUEUE_CAPACITY, else max(64, 16*workers)",
+    )
+    parser.add_argument(
+        "--no-adaptive-limit", action="store_true",
+        help="disable the AIMD concurrency limiter (fixed worker pool); "
+        "default honours $REPRO_ADAPTIVE_LIMIT, else enabled",
+    )
+    parser.add_argument(
+        "--retry-budget", type=float, default=None, metavar="TOKENS",
+        help="capacity of the service-wide retry token bucket (per-query "
+        "retries spend from it; empty bucket converts retries into an "
+        "immediate degraded fallback); default honours "
+        "$REPRO_RETRY_BUDGET, else 256",
+    )
+    parser.add_argument(
+        "--retry-budget-refill", type=float, default=None, metavar="PER_SEC",
+        help="retry-budget refill rate in tokens/second; default honours "
+        "$REPRO_RETRY_REFILL, else 64",
+    )
+
+
+def _admission_settings(args: argparse.Namespace) -> dict:
+    """Service constructor kwargs from parsed admission arguments."""
+    return {
+        "queue_capacity": args.queue_capacity,
+        "adaptive_limit": False if args.no_adaptive_limit else None,
+        "retry_budget": args.retry_budget,
+        "retry_budget_refill": args.retry_budget_refill,
+    }
+
+
+def _add_hedge_arguments(parser: argparse.ArgumentParser) -> None:
+    """Hedged-scatter knobs (only meaningful with --shards > 1)."""
+    parser.add_argument(
+        "--hedge", action="store_true",
+        help="with --shards: re-issue a straggler shard's subplan after "
+        "the hedge delay and take the first result (identical answers, "
+        "shorter tail); default honours $REPRO_HEDGE, else off",
+    )
+    parser.add_argument(
+        "--hedge-delay", type=float, default=None, metavar="SECONDS",
+        help="fixed hedge delay; default honours $REPRO_HEDGE_DELAY, "
+        "else derived from the recent per-shard latency p95",
+    )
 
 
 def _print_result(result) -> None:
@@ -332,17 +411,24 @@ def _add_shards_argument(parser: argparse.ArgumentParser) -> None:
 
 
 def _shard_database(
-    db: Database, shards: int | None, announce: bool = True
+    db: Database,
+    shards: int | None,
+    announce: bool = True,
+    hedge: bool | None = None,
+    hedge_delay: float | None = None,
 ) -> Database:
     """Re-house a loaded database behind a scatter-gather coordinator
-    when a shard count > 1 is requested (``--shards`` / $REPRO_SHARDS)."""
+    when a shard count > 1 is requested (``--shards`` / $REPRO_SHARDS).
+    ``hedge``/``hedge_delay`` thread the hedged-scatter knobs through
+    (None honours $REPRO_HEDGE / $REPRO_HEDGE_DELAY)."""
     count = resolve_shards(shards)
     if count <= 1:
         return db
-    sharded = db.shard(count)
+    sharded = db.shard(count, hedge=hedge, hedge_delay=hedge_delay)
     if announce:
         print(f"-- shards: {count} ({sharded.partitioner!r}, "
-              "scatter-gather coordinator)")
+              "scatter-gather coordinator"
+              + (", hedged scatter" if sharded.hedge else "") + ")")
     return sharded
 
 
@@ -455,6 +541,8 @@ def _serve_main(argv: list[str]) -> int:
     )
     _add_executor_argument(parser)
     _add_shards_argument(parser)
+    _add_admission_arguments(parser)
+    _add_hedge_arguments(parser)
     args = parser.parse_args(argv)
 
     queries = _read_queries(args.queries)
@@ -470,7 +558,11 @@ def _serve_main(argv: list[str]) -> int:
     if args.chaos:
         db.fault_injector = FaultInjector(args.chaos, seed=args.chaos_seed)
         print(f"-- chaos: {db.fault_injector.render()} (seed {args.chaos_seed})")
-    db = _shard_database(db, args.shards)
+    db = _shard_database(
+        db, args.shards,
+        hedge=True if args.hedge else None,
+        hedge_delay=args.hedge_delay,
+    )
     slow_threshold = (
         args.slow_query_ms / 1000.0 if args.slow_query_ms is not None else None
     )
@@ -484,6 +576,7 @@ def _serve_main(argv: list[str]) -> int:
         default_timeout=args.timeout,
         slow_query_threshold=slow_threshold,
         qlog=qlog,  # None → the service honours $REPRO_QLOG itself
+        **_admission_settings(args),
     ) as service:
         observer = None
         if args.metrics_port is not None:
@@ -508,6 +601,8 @@ def _serve_main(argv: list[str]) -> int:
                             _print_result(outcome)
                 print(f"-- plan cache: {service.cache_stats().render()}")
                 print(f"-- latency: {session.latency.render()}")
+                if service.admission.shed:
+                    print(f"-- admission: {service.admission.render()}")
                 if degraded:
                     print(f"-- degraded results: {degraded}")
                 if args.chaos or degraded:
@@ -521,8 +616,11 @@ def _serve_main(argv: list[str]) -> int:
                         print(f"-- sentinel: {sentinel_line}")
         except KeyboardInterrupt:
             # graceful interrupt: fall through to the cleanup below, so
-            # the capture's tail reaches disk and the port unbinds
+            # the capture's tail reaches disk and the port unbinds.
+            # cancel_all stops running queries at their next unit
+            # boundary — a saturated queue must not delay the exit
             interrupted = True
+            service.cancel_all()
             print("-- interrupted; flushing query log", file=sys.stderr)
         finally:
             if observer is not None:
@@ -595,7 +693,12 @@ def _record_main(argv: list[str]) -> int:
                 for _ in range(args.repeat):
                     for query in queries:
                         try:
-                            service.query(query, stats=args.stats)
+                            # capture runs are background-class work:
+                            # under degradation they are shed before any
+                            # interactive query is
+                            service.query(
+                                query, stats=args.stats, priority="background"
+                            )
                         except ReproError as error:
                             failed += 1
                             print(
@@ -635,13 +738,18 @@ def _replay_main(argv: list[str]) -> int:
     )
     _add_executor_argument(parser)
     _add_shards_argument(parser)
+    _add_hedge_arguments(parser)
     args = parser.parse_args(argv)
 
     records = QueryLog.read_all(args.qlog)
     db = _load_database(
         args.document, args.view, announce=False, executor=args.executor
     )
-    db = _shard_database(db, args.shards, announce=not args.json)
+    db = _shard_database(
+        db, args.shards, announce=not args.json,
+        hedge=True if args.hedge else None,
+        hedge_delay=args.hedge_delay,
+    )
     report = replay_records(db, records)
     if args.json:
         import json as _json
@@ -656,12 +764,23 @@ def _run_batch_settled(service: QueryService, session, queries: list[str]) -> li
     """Submit a whole batch, then settle every future: results in
     submission order, exceptions captured per query instead of aborting
     the batch."""
-    futures = [
-        service.submit(q, session=session, timeout=service.default_timeout)
-        for q in queries
-    ]
+    futures: list = []
+    for q in queries:
+        try:
+            futures.append(
+                service.submit(
+                    q, session=session, timeout=service.default_timeout
+                )
+            )
+        except QueryRejected as rejection:
+            # admission shed it synchronously: a settled outcome for this
+            # query, not a reason to abort the rest of the batch
+            futures.append(rejection)
     outcomes: list = []
     for query, future in zip(queries, futures):
+        if isinstance(future, QueryRejected):
+            outcomes.append(future)
+            continue
         try:
             outcomes.append(future.result(service.default_timeout))
         except TimeoutError:
@@ -707,10 +826,21 @@ def main(argv: list[str] | None = None) -> int:
         action="store_true",
         help="with --query: print per-operator metrics after the result",
     )
+    parser.add_argument(
+        "--workers", type=int, default=2,
+        help="worker threads of the shell's query service (default 2)",
+    )
     _add_executor_argument(parser)
+    _add_admission_arguments(parser)
     args = parser.parse_args(argv)
 
     db = _load_database(args.document, args.view, executor=args.executor)
+    # the shell's QueryService is created lazily by run_command; record
+    # its constructor knobs now so the first query picks them up
+    _SERVICE_SETTINGS[db] = {
+        "max_workers": args.workers,
+        **_admission_settings(args),
+    }
 
     if args.query:
         try:

@@ -50,14 +50,18 @@ holding documents fails does the query itself fail.
 
 from __future__ import annotations
 
+import math
 import os
 import time
-from concurrent.futures import ThreadPoolExecutor
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeout
+from concurrent.futures import wait as futures_wait
 from typing import Iterable, Optional
 
 from ..algebra.operators import Scan
 from ..engine import faults
+from ..engine.admission import guard_exit, resolve_hedge, resolve_hedge_delay
 from ..engine.context import EXEC_CTX_KEY, ExecutionContext
 from ..engine.metrics import MetricsRegistry
 from ..engine.orderdesc import sort_key_for
@@ -106,6 +110,24 @@ def resolve_shards(value: "int | str | None") -> int:
     return count
 
 
+def _close_sharded_at_exit(db: "ShardedDatabase") -> None:
+    """Exit-guard hook (see :func:`~repro.engine.admission.guard_exit`):
+    unbound on purpose, so the guard never keeps the database alive."""
+    db.close()
+
+
+def _absorb(future: Future) -> None:
+    """Detach a losing hedge attempt: once it settles, retrieve its
+    exception (if any) so the failure of a task nobody is waiting on
+    never surfaces anywhere."""
+
+    def _drain(f: Future) -> None:
+        if not f.cancelled():
+            f.exception()
+
+    future.add_done_callback(_drain)
+
+
 class ShardedDatabase(Database):
     """A :class:`Database` whose documents live in N store partitions.
 
@@ -124,6 +146,8 @@ class ShardedDatabase(Database):
         executor: Optional[str] = None,
         shard_timeout: Optional[float] = None,
         fanout_workers: Optional[int] = None,
+        hedge: Optional[bool] = None,
+        hedge_delay: Optional[float] = None,
     ) -> None:
         super().__init__(metrics=metrics, tracer=tracer, executor=executor)
         shard_count = resolve_shards(shard_count)
@@ -147,11 +171,29 @@ class ShardedDatabase(Database):
         #: per-shard gather deadline in seconds (None = wait forever); a
         #: shard missing it is dropped from the result (degraded partial)
         self.shard_timeout = shard_timeout
+        #: hedged scatter (opt-in; ``$REPRO_HEDGE`` / ``--hedge``): when a
+        #: shard's primary task outlives the hedge delay, the same
+        #: idempotent subplan is re-issued and the first completion wins —
+        #: one straggler shard no longer pins every query to the scatter
+        #: deadline.  ``hedge_delay`` pins the delay; otherwise it is
+        #: derived from the recent per-shard latency p95.
+        self.hedge = resolve_hedge(hedge)
+        self.hedge_delay = resolve_hedge_delay(hedge_delay)
         workers = fanout_workers or min(shard_count, (os.cpu_count() or 4))
+        if self.hedge and fanout_workers is None:
+            # a hedge re-issue must not queue behind the very straggler
+            # it is meant to outrun — keep headroom for one in flight
+            workers += 1
         self._pool = ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-shard"
         )
+        #: recent shard-task latencies feeding the derived hedge delay
+        #: (deque appends are atomic — no lock on the hot path)
+        self._shard_latencies: deque[float] = deque(maxlen=128)
         self._register_shard_metrics()
+        # the scatter pool's threads are non-daemon: cancel queued tasks
+        # at interpreter exit so shutdown joins stay prompt
+        guard_exit(self, _close_sharded_at_exit)
 
     def _register_shard_metrics(self) -> None:
         self.metrics.counter(
@@ -179,6 +221,16 @@ class ShardedDatabase(Database):
         )
         self.metrics.gauge("shard.count", "store partitions behind this database")
         self.metrics.set_gauge("shard.count", float(self.shard_count))
+        self.metrics.counter(
+            "hedge.launched", "hedge subplans issued against straggler shards"
+        )
+        self.metrics.counter(
+            "hedge.wins", "scatters resolved by the hedge finishing first"
+        )
+        self.metrics.counter(
+            "hedge.primary_wins",
+            "scatters where the original shard task beat its hedge",
+        )
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -384,12 +436,15 @@ class ShardedDatabase(Database):
             else None
         )
         for index, future in futures.items():
+            remaining = (
+                None
+                if deadline is None
+                else max(deadline - time.monotonic(), 0.0)
+            )
             try:
-                if deadline is None:
-                    shard_runs = future.result()
-                else:
-                    remaining = max(deadline - time.monotonic(), 0.0)
-                    shard_runs = future.result(timeout=remaining)
+                shard_runs = self._await_shard(
+                    index, future, resolution, decision, ctx, remaining
+                )
             except FutureTimeout:
                 future.cancel()
                 dropped.append(
@@ -407,6 +462,96 @@ class ShardedDatabase(Database):
                 continue
             runs.extend(shard_runs)
         return runs, dropped
+
+    # -- hedged scatter -------------------------------------------------------
+
+    def _hedge_delay_now(self) -> Optional[float]:
+        """The wait before a straggler shard's subplan is re-issued; None
+        disables hedging for this gather (feature off, or not enough
+        latency history yet to call anything a straggler)."""
+        if not self.hedge:
+            return None
+        if self.hedge_delay is not None:
+            return self.hedge_delay
+        samples = list(self._shard_latencies)
+        if len(samples) < 8:
+            return None
+        ordered = sorted(samples)
+        rank = math.ceil(0.95 * len(ordered))
+        p95 = ordered[min(len(ordered) - 1, max(0, rank - 1))]
+        # 2× the p95 with a 1ms floor: only genuine tail outliers hedge,
+        # and a microsecond-fast corpus never busy-loops re-issues
+        return max(0.001, 2.0 * p95)
+
+    def _await_shard(
+        self,
+        index: int,
+        primary: Future,
+        resolution: PatternResolution,
+        decision: ScatterPlan,
+        ctx: ExecutionContext,
+        remaining: Optional[float],
+    ) -> list:
+        """Gather one shard's runs, re-issuing the (idempotent,
+        deterministic) subplan after the hedge delay and taking whichever
+        task finishes first.  The loser is cancelled; both producing the
+        same runs is guaranteed by determinism, so hedging can change
+        *latency*, never answers.  Raises :class:`FutureTimeout` when the
+        scatter deadline (``remaining``) expires either way."""
+        delay = self._hedge_delay_now()
+        if delay is None or primary.done():
+            if remaining is None:
+                return primary.result()
+            return primary.result(timeout=remaining)
+        first_wait = delay if remaining is None else min(delay, remaining)
+        try:
+            return primary.result(timeout=first_wait)
+        except FutureTimeout:
+            if remaining is not None and first_wait >= remaining:
+                raise  # the deadline expired before the hedge could fire
+        hedge = self._pool.submit(
+            self._shard_task, index, resolution, decision, ctx
+        )
+        ctx.bump("hedge.launched")
+        ctx.event("hedge.fired", shard=index, delay=round(delay, 6))
+        race_deadline = (
+            None
+            if remaining is None
+            else time.monotonic() + (remaining - first_wait)
+        )
+        contenders: set[Future] = {primary, hedge}
+        errors: list[BaseException] = []
+        while contenders:
+            timeout = (
+                None
+                if race_deadline is None
+                else max(0.0, race_deadline - time.monotonic())
+            )
+            done, contenders = futures_wait(
+                contenders, timeout=timeout, return_when=FIRST_COMPLETED
+            )
+            if not done:
+                hedge.cancel()
+                _absorb(hedge)
+                raise FutureTimeout()
+            for future in done:
+                try:
+                    runs = future.result()
+                except Exception as error:
+                    errors.append(error)
+                    continue
+                loser = hedge if future is primary else primary
+                loser.cancel()
+                _absorb(loser)
+                winner = "primary" if future is primary else "hedge"
+                ctx.bump(
+                    "hedge.primary_wins" if future is primary else "hedge.wins"
+                )
+                ctx.event("hedge.resolved", shard=index, winner=winner)
+                return runs
+        # both attempts failed: surface the first failure observed (both
+        # raced the same shard state, so they are typically identical)
+        raise errors[0]
 
     def _shard_task(
         self,
@@ -464,10 +609,10 @@ class ShardedDatabase(Database):
                 shard.breakers.record_failure(name, str(error))
             raise
         finally:
+            elapsed = time.perf_counter() - start
+            self._shard_latencies.append(elapsed)
             self.metrics.observe(
-                "shard.latency.seconds",
-                time.perf_counter() - start,
-                shard=str(shard_index),
+                "shard.latency.seconds", elapsed, shard=str(shard_index)
             )
 
     def _segment_context(self, seq: int, ctx: ExecutionContext) -> FaultCheckedContext:

@@ -7,7 +7,13 @@ pool; embedders call :func:`start_observability_server` directly.  Routes:
 ``/metrics``        Prometheus text exposition (format 0.0.4) of the
                     service's :class:`~repro.engine.metrics.MetricsRegistry`
 ``/metrics.json``   the same registry as a JSON snapshot
-``/health``         breaker-board states (JSON; ``?format=text`` renders)
+``/health``         breaker-board states plus live/ready flags (JSON;
+                    ``?format=text`` renders)
+``/health/live``    liveness: 200 while the process serves requests at all
+``/health/ready``   readiness: 200 when admission control is keeping up,
+                    503 under sustained shed (load balancers route away
+                    without killing the instance — the distinction the
+                    liveness/readiness split exists for)
 ``/traces``         ids of the retained traces, oldest first (JSON)
 ``/trace/<id>``     one span tree (JSON; ``?format=text`` renders the tree)
 ``/slow``           the slow-query log (JSON; ``?format=text`` renders)
@@ -80,10 +86,27 @@ class _Handler(BaseHTTPRequestHandler):
             self._send_json(service.metrics.snapshot())
         elif path == "/health":
             states = service.db.breakers.states()
+            ready = bool(service.ready()) if hasattr(service, "ready") else True
             if self._wants_text():
-                self._send(service.health() + "\n", "text/plain; charset=utf-8")
+                body = (
+                    service.health()
+                    + f"\nlive: yes\nready: {'yes' if ready else 'NO'}\n"
+                )
+                self._send(body, "text/plain; charset=utf-8")
             else:
-                self._send_json({"modules": states})
+                self._send_json(
+                    {"modules": states, "live": True, "ready": ready}
+                )
+        elif path == "/health/live":
+            # liveness is "the serving loop answers" — reaching this
+            # handler at all is the proof; overload never fails it
+            self._send_json({"live": True})
+        elif path == "/health/ready":
+            ready = bool(service.ready()) if hasattr(service, "ready") else True
+            payload = {"ready": ready}
+            if not ready:
+                payload["admission"] = service.admission.render()
+            self._send_json(payload, status=200 if ready else 503)
         elif path == "/traces":
             tracer = service.db.tracer
             self._send_json(
@@ -154,6 +177,7 @@ class _Handler(BaseHTTPRequestHandler):
                 {
                     "routes": [
                         "/metrics", "/metrics.json", "/health",
+                        "/health/live", "/health/ready",
                         "/traces", "/trace/<id>", "/slow",
                         "/qlog", "/regressions",
                     ]

@@ -42,19 +42,29 @@ import math
 import random
 import threading
 import time
+import weakref
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..engine.admission import (
+    AdaptiveConcurrencyLimiter,
+    AdmissionController,
+    TokenBucket,
+    guard_exit,
+    resolve_adaptive_limit,
+    resolve_queue_capacity,
+    resolve_retry_budget,
+)
 from ..engine.context import ExecutionContext
 from ..engine.metrics import MetricsRegistry
 from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
 from ..engine.qlog import QueryLog, build_record
 from ..engine.sentinel import PlanRegressionSentinel, SentinelConfig
 from ..engine.tracing import SlowQueryLog
-from ..errors import ReproError, TransientStorageFault
+from ..errors import QueryRejected, ReproError, TransientStorageFault
 from .uload import (
     Database,
     ExplainReport,
@@ -69,6 +79,7 @@ __all__ = [
     "QuerySession",
     "QueryTimeout",
     "QueryCancelled",
+    "QueryRejected",
     "LatencyRecorder",
     "RetryPolicy",
 ]
@@ -219,7 +230,7 @@ class LatencyRecorder:
         return " ".join(parts)
 
 
-@dataclass
+@dataclass(eq=False)  # identity semantics: entries live in the pending set
 class _PendingQuery:
     """Book-keeping for one in-flight query: the cooperative stop flag the
     execution polls at unit boundaries."""
@@ -258,6 +269,16 @@ class QuerySession:
         return f"<QuerySession {self.name} {self.latency.render()}>"
 
 
+def _shutdown_service_at_exit(service: "QueryService") -> None:
+    """Exit-guard hook (see :func:`~repro.engine.admission.guard_exit`):
+    set every cooperative stop flag and cancel queued futures so the
+    worker pool's interpreter-exit join cannot hang on a saturated
+    queue.  Unbound on purpose — the guard must not keep services
+    alive."""
+    service.cancel_all()
+    service.shutdown(wait=False, cancel_pending=True)
+
+
 class QueryService:
     """Thread-safe query front-end over one :class:`Database`."""
 
@@ -275,9 +296,17 @@ class QueryService:
         qlog: "QueryLog | None | bool" = None,
         sentinel_config: Optional[SentinelConfig] = None,
         auto_refresh_statistics: bool = True,
+        queue_capacity: Optional[int] = None,
+        adaptive_limit: Optional[bool] = None,
+        min_workers: int = 1,
+        target_latency: Optional[float] = None,
+        retry_budget: Optional[float] = None,
+        retry_budget_refill: Optional[float] = None,
+        background_share: float = 0.5,
     ):
         self.db = db
         self.cache = PlanCache(cache_capacity)
+        self.max_workers = max_workers
         self.default_timeout = default_timeout
         self.retry_policy = retry_policy or RetryPolicy()
         self._retry_rng = random.Random(retry_seed)
@@ -285,11 +314,44 @@ class QueryService:
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-query"
         )
+        #: the overload-protection spine (shed-before-timeout invariant):
+        #: a bounded admission queue in front of the pool, an AIMD
+        #: concurrency limiter inside it, and a shared retry budget
+        #: bounding PR 3's per-query retries.  Every clock is
+        #: ``ExecutionContext.clock`` so admission deadlines, queue waits
+        #: and query deadlines are all on the same timeline.
+        self.limiter: Optional[AdaptiveConcurrencyLimiter] = (
+            AdaptiveConcurrencyLimiter(
+                max_limit=max_workers,
+                min_limit=max(1, min(min_workers, max_workers)),
+                target_latency=target_latency,
+                clock=ExecutionContext.clock,
+            )
+            if resolve_adaptive_limit(adaptive_limit)
+            else None
+        )
+        self.admission = AdmissionController(
+            queue_capacity=resolve_queue_capacity(queue_capacity, max_workers),
+            limiter=self.limiter,
+            background_share=background_share,
+            clock=ExecutionContext.clock,
+        )
+        budget_capacity, budget_refill = resolve_retry_budget(
+            retry_budget, retry_budget_refill
+        )
+        self.retry_budget = TokenBucket(
+            budget_capacity, budget_refill, clock=ExecutionContext.clock
+        )
         self._mutate_lock = threading.RLock()
         self._sessions: dict[str, QuerySession] = {}
         self._session_lock = threading.Lock()
         self._session_counter = 0
         self._closed = False
+        #: stop flags of every admitted-but-unfinished query, so
+        #: ``cancel_all`` (and the exit guard) can ask running work to
+        #: stop at its next unit boundary
+        self._pending: set[_PendingQuery] = set()
+        self._pending_lock = threading.Lock()
         #: the database's process-wide metrics registry — the one sink the
         #: plan cache, breakers, fault injections, retries and latency
         #: histogram all land in (and ``/metrics`` reads from)
@@ -336,6 +398,10 @@ class QueryService:
         self.db.compiled_plans.register_metrics(
             self.metrics, prefix="compiled_plans"
         )
+        self._register_admission_collector()
+        # non-daemon pool threads are joined at interpreter exit; the
+        # guard cancels saturated queues first so SIGTERM exits promptly
+        guard_exit(self, _shutdown_service_at_exit)
 
     def _register_metric_families(self) -> None:
         """Pre-register every metric family the service can emit, so a
@@ -428,6 +494,85 @@ class QueryService:
             "planner.stats_refresh",
             "statistics refreshes triggered by repeated misestimates",
         )
+        registry.counter(
+            "admission.admitted", "queries admitted past the bounded queue"
+        )
+        registry.counter(
+            "admission.shed",
+            "queries rejected by admission control, by priority and reason",
+            labelnames=("priority", "reason"),
+        )
+        registry.histogram(
+            "admission.queue_wait.seconds",
+            "measured wait between admission and worker pickup",
+        )
+        registry.counter(
+            "retry_budget.spent", "retry-budget tokens spent on backoff retries"
+        )
+        registry.counter(
+            "retry_budget.exhausted",
+            "retries denied because the shared budget was empty",
+        )
+        registry.counter(
+            "retry_budget.degraded_fallbacks",
+            "budget-exhausted retries converted to degraded fallback "
+            "(faulting module force-opened, query rerouted immediately)",
+        )
+        registry.counter(
+            "hedge.launched", "hedge subplans issued against straggler shards"
+        )
+        registry.counter(
+            "hedge.wins", "scatters resolved by the hedge finishing first"
+        )
+        registry.counter(
+            "hedge.primary_wins",
+            "scatters where the original shard task beat its hedge",
+        )
+
+    def _register_admission_collector(self) -> None:
+        """Scrape-time gauges for the overload-protection state (pull
+        model, weakly referenced — the plan-cache collector idiom)."""
+        registry = self.metrics
+        registry.gauge(
+            "admission.queue_depth", "admitted queries waiting for a worker"
+        )
+        registry.gauge(
+            "admission.limit", "current adaptive concurrency limit"
+        )
+        registry.gauge(
+            "admission.inflight", "queries holding a concurrency slot"
+        )
+        registry.gauge(
+            "admission.ready", "readiness (1 = ready, 0 = sustained shed)"
+        )
+        registry.gauge(
+            "retry_budget.tokens", "retry-budget tokens currently available"
+        )
+
+        self_ref = weakref.ref(self)
+
+        def collect(reg) -> None:
+            service = self_ref()
+            if service is None:  # don't pin dead services to the registry
+                reg.unregister_collector(collect)
+                return
+            reg.set_gauge("admission.queue_depth", service.admission.depth)
+            limiter = service.limiter
+            reg.set_gauge(
+                "admission.limit",
+                limiter.limit if limiter is not None else service.max_workers,
+            )
+            reg.set_gauge(
+                "admission.inflight",
+                limiter.inflight if limiter is not None else 0,
+            )
+            reg.set_gauge("admission.ready", 1.0 if service.ready() else 0.0)
+            reg.set_gauge("retry_budget.tokens", service.retry_budget.tokens)
+            reg.counter("admission.admitted").set_total(
+                service.admission.admitted
+            )
+
+        registry.register_collector(collect)
 
     # -- sessions -----------------------------------------------------------
 
@@ -480,6 +625,53 @@ class QueryService:
 
     # -- querying -----------------------------------------------------------
 
+    def _shed(
+        self,
+        query: str,
+        reason: str,
+        priority: str,
+        wait_estimate: float,
+        queue_depth: int,
+    ) -> "QueryRejected":
+        """Account one shed query — counters, a (short) trace, a qlog
+        record stamped with the admission outcome — and build the typed
+        rejection for the caller to raise."""
+        self.metrics.inc("admission.shed", priority=priority, reason=reason)
+        retry_after = round(wait_estimate, 6) if wait_estimate else None
+        admission = {
+            "outcome": "shed",
+            "reason": reason,
+            "priority": priority,
+            "queue_depth": queue_depth,
+        }
+        if retry_after is not None:
+            admission["retry_after"] = retry_after
+        tracer = self.db.tracer
+        if tracer is not None:
+            trace = tracer.start_trace("admission.shed")
+            trace.event("admission.shed", query=query, **admission)
+            trace.finish("shed")
+        if self.qlog is not None:
+            self.qlog.record(
+                build_record(
+                    normalize_query(query),
+                    None,
+                    0.0,
+                    "rejected",
+                    error="QueryRejected",
+                    admission=admission,
+                )
+            )
+        hint = (
+            f" (retry after ~{retry_after:g}s)" if retry_after else ""
+        )
+        return QueryRejected(
+            f"admission control shed this query ({reason}){hint}: {query!r}",
+            reason=reason,
+            priority=priority,
+            retry_after=retry_after,
+        )
+
     def _execute(
         self,
         query: str,
@@ -489,12 +681,63 @@ class QueryService:
         session: Optional[QuerySession],
         pending: _PendingQuery,
         deadline: Optional[float],
+        queued_at: float,
+        priority: str,
+    ) -> QueryResult:
+        wait = self.admission.started(queued_at)
+        self.metrics.observe("admission.queue_wait.seconds", wait)
+        # shed-before-timeout also applies *after* admission: a deadline
+        # that expired while the query sat queued (or while waiting for a
+        # shrunken limiter) must not burn an execution slot
+        if deadline is not None and ExecutionContext.clock() >= deadline:
+            self.admission.note_shed()
+            raise self._shed(
+                query, "queued_deadline", priority,
+                self.admission.wait_estimate, self.admission.depth,
+            )
+        if self.limiter is not None:
+            slot_timeout = (
+                None
+                if deadline is None
+                else max(0.0, deadline - ExecutionContext.clock())
+            )
+            if not self.limiter.acquire(timeout=slot_timeout):
+                self.admission.note_shed()
+                raise self._shed(
+                    query, "limiter_deadline", priority,
+                    self.admission.wait_estimate, self.admission.depth,
+                )
+        try:
+            return self._execute_admitted(
+                query, prefer_views, physical, stats, session, pending,
+                deadline, wait, priority,
+            )
+        finally:
+            if self.limiter is not None:
+                self.limiter.release()
+
+    def _execute_admitted(
+        self,
+        query: str,
+        prefer_views: bool,
+        physical: bool,
+        stats: bool,
+        session: Optional[QuerySession],
+        pending: _PendingQuery,
+        deadline: Optional[float],
+        queue_wait: float,
+        priority: str,
     ) -> QueryResult:
         started = ExecutionContext.clock()
         outcome = "error"
         result: Optional[QueryResult] = None
         error_type: Optional[str] = None
         ctx = self.db.execution_context()
+        ctx.event(
+            "admission.dequeued",
+            queue_wait=round(queue_wait, 6),
+            priority=priority,
+        )
         try:
             result = self._execute_with_retries(
                 query, prefer_views, physical, stats, pending, deadline, ctx
@@ -522,6 +765,11 @@ class QueryService:
                 self.latency.record(elapsed, outcome=outcome)
                 if session is not None:
                     session.latency.record(elapsed, outcome=outcome)
+                if self.limiter is not None:
+                    # execution latency (post-queue) drives AIMD: queue
+                    # wait is the symptom the limiter exists to shrink,
+                    # not a signal it should chase
+                    self.limiter.observe(elapsed)
             if self.qlog is not None:
                 self.qlog.record(
                     build_record(
@@ -534,6 +782,11 @@ class QueryService:
                             "prefer_views": prefer_views,
                             "physical": physical,
                             "stats": stats,
+                        },
+                        admission={
+                            "outcome": "ok",
+                            "priority": priority,
+                            "queue_wait": round(queue_wait, 6),
                         },
                     )
                 )
@@ -560,6 +813,7 @@ class QueryService:
         policy = self.retry_policy
         prepared, key = self._lookup(query, prefer_views, physical, ctx)
         retries = 0
+        forced_open: set[str] = set()
         while True:
             try:
                 result = self.db.execute_prepared(
@@ -585,6 +839,30 @@ class QueryService:
                 ):
                     ctx.bump("retry.exhausted")
                     raise
+                if not self.retry_budget.try_spend():
+                    # the service-wide budget is empty: a fault storm is
+                    # in progress and backoff-retrying would amplify it.
+                    # Convert to an immediate degraded fallback — force
+                    # the faulting module's breaker open so re-execution
+                    # reroutes onto another access path right now,
+                    # without sleeping.
+                    ctx.bump("retry_budget.exhausted")
+                    xam = getattr(fault, "xam", None)
+                    if xam and xam not in forced_open:
+                        forced_open.add(xam)
+                        self.db.breakers.force_open(xam, str(fault))
+                        ctx.bump("retry_budget.degraded_fallbacks")
+                        ctx.event(
+                            "retry_budget.degraded_fallback",
+                            xam=xam,
+                            fault=type(fault).__name__,
+                        )
+                        continue
+                    # no module to route around (or already forced):
+                    # nothing cheaper than failing remains
+                    ctx.bump("retry.exhausted")
+                    raise
+                ctx.bump("retry_budget.spent")
                 with ctx.span(
                     "retry", attempt=retries, fault=type(fault).__name__
                 ):
@@ -605,22 +883,60 @@ class QueryService:
         stats: bool = False,
         session: Optional[QuerySession] = None,
         timeout: Optional[float] = None,
+        priority: str = "interactive",
     ) -> Future:
         """Enqueue a query on the worker pool; returns its Future.  The
         future's ``cancel_query()`` attribute sets the cooperative stop
         flag of a run already in progress.  ``timeout`` (seconds from now)
-        sets the deadline transient-fault retries must not cross."""
+        sets the deadline transient-fault retries must not cross.
+
+        Admission control runs *here*, synchronously: a query the bounded
+        queue cannot hold, whose remaining deadline cannot cover the
+        observed queue wait, or whose ``priority`` class
+        (``"background"`` is shed first) is being shed under degradation,
+        raises :class:`~repro.errors.QueryRejected` before any work is
+        enqueued — shed-before-timeout, never a slot burned on a
+        guaranteed-late answer."""
         if self._closed:
             raise RuntimeError("query service is shut down")
-        pending = _PendingQuery(stop=threading.Event())
         deadline = (
             None if timeout is None else ExecutionContext.clock() + timeout
         )
-        future = self._executor.submit(
-            self._execute,
-            query, prefer_views, physical, stats, session, pending, deadline,
-        )
+        decision = self.admission.try_admit(priority, deadline)
+        if not decision.admitted:
+            raise self._shed(
+                query, decision.reason, priority,
+                decision.wait_estimate, decision.queue_depth,
+            )
+        # ``admission.admitted`` is mirrored from the controller's
+        # lifetime total by the scrape-time collector — no inline bump,
+        # one source of truth
+        pending = _PendingQuery(stop=threading.Event())
+        with self._pending_lock:
+            self._pending.add(pending)
+        queued_at = ExecutionContext.clock()
+        try:
+            future = self._executor.submit(
+                self._execute,
+                query, prefer_views, physical, stats, session, pending,
+                deadline, queued_at, priority,
+            )
+        except BaseException:
+            self.admission.cancelled()
+            with self._pending_lock:
+                self._pending.discard(pending)
+            raise
         future.cancel_query = pending.stop.set  # type: ignore[attr-defined]
+
+        def _settle(f: Future, _pending=pending) -> None:
+            with self._pending_lock:
+                self._pending.discard(_pending)
+            if f.cancelled():
+                # cancelled while still queued: no worker ever called
+                # admission.started, unwind the depth accounting
+                self.admission.cancelled()
+
+        future.add_done_callback(_settle)
         return future
 
     def query(
@@ -631,19 +947,22 @@ class QueryService:
         stats: bool = False,
         session: Optional[QuerySession] = None,
         timeout: Optional[float] = None,
+        priority: str = "interactive",
     ) -> QueryResult:
         """Run one query through the pool and wait for its result.
 
         ``timeout`` (seconds; default :attr:`default_timeout`) bounds the
         wait: on expiry the query is cancelled — immediately if still
         queued, at its next unit boundary if running — and
-        :class:`QueryTimeout` is raised.
+        :class:`QueryTimeout` is raised.  Admission control may raise
+        :class:`~repro.errors.QueryRejected` before anything runs.
         """
         timeout = self.default_timeout if timeout is None else timeout
         started = ExecutionContext.clock()
         future = self.submit(
             query, prefer_views=prefer_views, physical=physical,
             stats=stats, session=session, timeout=timeout,
+            priority=priority,
         )
         try:
             return future.result(timeout)
@@ -665,12 +984,14 @@ class QueryService:
         prefer_views: bool = True,
         session: Optional[QuerySession] = None,
         timeout: Optional[float] = None,
+        priority: str = "interactive",
     ) -> list[QueryResult]:
         """Run many queries concurrently, returning results in submission
         order (the batch CLI verb's engine)."""
         futures = [
             self.submit(
-                q, prefer_views=prefer_views, session=session, timeout=timeout
+                q, prefer_views=prefer_views, session=session,
+                timeout=timeout, priority=priority,
             )
             for q in queries
         ]
@@ -714,6 +1035,24 @@ class QueryService:
         """Access-module health (the database's circuit-breaker board)."""
         return self.db.health()
 
+    def ready(self) -> bool:
+        """Readiness (vs. liveness): False while admission control is
+        shedding a sustained fraction of recent traffic — the signal
+        ``/health/ready`` turns into a 503 so load balancers route
+        around an overloaded instance that is still alive."""
+        return not self._closed and self.admission.ready()
+
+    def cancel_all(self) -> int:
+        """Set the cooperative stop flag of every admitted-but-unfinished
+        query (running work stops at its next unit boundary; queued work
+        sees the flag at pickup).  Returns the number of queries asked to
+        stop — the prompt-exit lever ``SIGTERM`` handling relies on."""
+        with self._pending_lock:
+            pending = list(self._pending)
+        for entry in pending:
+            entry.stop.set()
+        return len(pending)
+
     # -- mutations (serialized writers; eager invalidation) -----------------
 
     def add_view(self, name: str, pattern: "Pattern | str", kind: str = "view"):
@@ -753,9 +1092,15 @@ class QueryService:
         for running ones to drain.  An owned query log (one the service
         created itself) is flushed and closed; an injected one is left to
         its owner."""
+        already_closed = self._closed
         self._closed = True
+        if cancel_pending and not wait:
+            # a non-waiting cancel shutdown (the SIGTERM / atexit path)
+            # also stops *running* queries at their next unit boundary —
+            # the pool's interpreter-exit join must not outlive them
+            self.cancel_all()
         self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
-        if self._owns_qlog and self.qlog is not None:
+        if self._owns_qlog and self.qlog is not None and not already_closed:
             self.qlog.close()
 
     def __enter__(self) -> "QueryService":

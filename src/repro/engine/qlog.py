@@ -154,12 +154,17 @@ def build_record(
     outcome: str,
     error: Optional[str] = None,
     flags: Optional[dict] = None,
+    admission: Optional[dict] = None,
 ) -> dict[str, Any]:
     """One query-log record (a JSON-able dict).
 
     ``result`` is None for failed / cancelled queries — the record still
     captures the query text, outcome, error type and latency, so the log
-    is a complete workload trace, not just the happy path.
+    is a complete workload trace, not just the happy path.  ``admission``
+    stamps the admission-control outcome (priority class, measured queue
+    wait, or the shed reason for ``outcome="rejected"`` records), so a
+    log of an overloaded serve distinguishes "shed at the door" from
+    "executed after queuing".
     """
     record: dict[str, Any] = {
         "ts": time.time(),
@@ -169,6 +174,8 @@ def build_record(
     }
     if flags:
         record["flags"] = dict(flags)
+    if admission:
+        record["admission"] = dict(admission)
     if error is not None:
         record["error"] = error
     if result is None:

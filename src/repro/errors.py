@@ -26,6 +26,7 @@ __all__ = [
     "PlanExecutionError",
     "NoUsableAccessPath",
     "DuplicateViewError",
+    "QueryRejected",
 ]
 
 
@@ -106,6 +107,37 @@ class NoUsableAccessPath(ReproError):
     """Every access path for a pattern is circuit-broken or failed and no
     base-store fallback exists.  (With in-memory documents the base store
     always exists, so this is reserved for configurations that drop it.)"""
+
+
+class QueryRejected(ReproError):
+    """The admission controller shed this query instead of running it.
+
+    Raised *before* any work happens: the queue is full, the query's
+    remaining deadline cannot cover the observed queue wait (running it
+    would only burn a worker slot to produce a timeout), or the adaptive
+    limiter is degraded and the query's priority class is shed first.
+    Distinct from :class:`~repro.core.service.QueryTimeout` — a rejected
+    query consumed no capacity and is immediately safe to retry elsewhere
+    or after :attr:`retry_after` seconds.
+
+    ``reason`` is a stable machine-readable tag (``queue_full``,
+    ``deadline``, ``background_shed``, ``queued_deadline``,
+    ``limiter_deadline``); ``priority`` names the admission class the
+    query was submitted under.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        reason: str = "queue_full",
+        priority: str = "interactive",
+        retry_after: Optional[float] = None,
+    ):
+        super().__init__(message)
+        self.reason = reason
+        self.priority = priority
+        self.retry_after = retry_after
 
 
 class DuplicateViewError(ReproError, ValueError):

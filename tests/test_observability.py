@@ -576,10 +576,30 @@ class TestHTTPEndpoint:
 
     def test_health_and_slow_routes(self, service, server):
         status, _, body = fetch(server.url + "/health")
-        assert status == 200 and json.loads(body) == {"modules": {}}
+        assert status == 200
+        assert json.loads(body) == {
+            "modules": {}, "live": True, "ready": True,
+        }
         status, _, body = fetch(server.url + "/slow")
         assert status == 200
         assert json.loads(body)["captured"] == 0
+
+    def test_liveness_and_readiness_split(self, service, server):
+        status, _, body = fetch(server.url + "/health/live")
+        assert status == 200 and json.loads(body) == {"live": True}
+        status, _, body = fetch(server.url + "/health/ready")
+        assert status == 200 and json.loads(body) == {"ready": True}
+        # sustained shed flips readiness (503 + admission detail) while
+        # liveness keeps answering 200 — the split's whole point
+        for _ in range(8):
+            service.admission.note_shed()
+        with pytest.raises(urllib.error.HTTPError) as not_ready:
+            fetch(server.url + "/health/ready")
+        payload = json.loads(not_ready.value.read().decode("utf-8"))
+        assert not_ready.value.code == 503 and payload["ready"] is False
+        assert "admission" in payload
+        status, _, _ = fetch(server.url + "/health/live")
+        assert status == 200
 
     def test_concurrent_scrapes_during_queries(self, service, server):
         errors = []

@@ -2,15 +2,21 @@
 mutation kind, timeouts/cancellation, and the multi-threaded smoke test
 over XMark the ISSUE asks for."""
 
+import os
 import random
+import signal
+import subprocess
+import sys
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
 from repro import Database, QueryService
 from repro.core.service import QueryTimeout
 from repro.core.uload import QueryCancelled
+from repro.errors import QueryRejected, TransientStorageFault
 from repro.workloads import generate_xmark
 
 from tests.conftest import BIB_XML
@@ -149,6 +155,191 @@ class TestTimeoutAndCancellation:
         svc.shutdown()
         with pytest.raises(RuntimeError):
             svc.query(PERSON_QUERY)
+
+
+class TestAdmissionControl:
+    """Overload protection at the service boundary: bounded-queue sheds,
+    the queued-then-shed cancellation race, retry-budget exhaustion
+    converting to degraded fallback, and a cancellation landing while a
+    breaker is half-open (the probe must stay un-judged)."""
+
+    def test_queue_full_sheds_with_typed_rejection(self, xmark_db):
+        release = threading.Event()
+        original = xmark_db.prepare
+
+        def gated_prepare(*args, **kwargs):
+            release.wait(10)
+            return original(*args, **kwargs)
+
+        xmark_db.prepare = gated_prepare
+        svc = QueryService(xmark_db, max_workers=1, queue_capacity=1)
+        try:
+            blocker = svc.submit(PERSON_QUERY, timeout=30)
+            time.sleep(0.05)  # the worker picks it up: queue depth 0
+            queued = svc.submit(AUCTION_QUERY, timeout=30)  # depth 1 = cap
+            with pytest.raises(QueryRejected) as rejection:
+                svc.submit(ITEM_QUERY, timeout=30)
+            assert rejection.value.reason == "queue_full"
+            assert rejection.value.priority == "interactive"
+            assert svc.admission.shed == 1
+            release.set()
+            blocker.result(timeout=30)
+            queued.result(timeout=30)
+        finally:
+            release.set()
+            xmark_db.prepare = original
+            svc.shutdown()
+
+    def test_queued_then_shed_race(self, xmark_db):
+        """A query admitted while healthy whose deadline expires in the
+        queue is shed by the worker that dequeues it — never executed,
+        never a wrong answer, a typed rejection instead."""
+        release = threading.Event()
+        original = xmark_db.prepare
+
+        def gated_prepare(*args, **kwargs):
+            release.wait(10)
+            return original(*args, **kwargs)
+
+        xmark_db.prepare = gated_prepare
+        svc = QueryService(xmark_db, max_workers=1)
+        try:
+            blocker = svc.submit(PERSON_QUERY, timeout=30)
+            time.sleep(0.05)  # worker is now parked inside the blocker
+            queued = svc.submit(AUCTION_QUERY, timeout=0.05)
+            time.sleep(0.1)  # the queued deadline expires while waiting
+            release.set()
+            blocker.result(timeout=30)
+            with pytest.raises(QueryRejected) as rejection:
+                queued.result(timeout=30)
+            assert rejection.value.reason == "queued_deadline"
+        finally:
+            release.set()
+            xmark_db.prepare = original
+            svc.shutdown()
+
+    def test_retry_budget_exhaustion_degrades_immediately(self, xmark_db):
+        """With the service-wide retry budget empty, a transient fault is
+        not backoff-retried: the faulting module's breaker is forced open
+        and the query re-executes degraded, without sleeping."""
+        original = xmark_db.execute_prepared
+        calls = {"count": 0}
+
+        def flaky(prepared, **kwargs):
+            calls["count"] += 1
+            if calls["count"] == 1:
+                raise TransientStorageFault(
+                    "injected read fault", xam="v_person"
+                )
+            return original(prepared, **kwargs)
+
+        xmark_db.execute_prepared = flaky
+        svc = QueryService(
+            xmark_db, max_workers=1, retry_budget=1, retry_budget_refill=0
+        )
+        try:
+            assert svc.retry_budget.try_spend()  # drain the only token
+            result = svc.query(PERSON_QUERY, timeout=30)
+            assert calls["count"] == 2  # fault, then immediate re-run
+            assert result.counters["retry_budget.exhausted"] == 1.0
+            assert result.counters["retry_budget.degraded_fallbacks"] == 1.0
+            assert xmark_db.breakers.state("v_person") == "open"
+        finally:
+            xmark_db.execute_prepared = original
+            svc.shutdown()
+
+    def test_cancelled_while_breaker_half_open(self, xmark_db):
+        """A query cancelled mid-probe must leave a half-open breaker
+        half-open: the cancelled run judged nothing, so the next query is
+        still the recovery probe (and its success closes the breaker)."""
+        board = xmark_db.breakers
+        board.force_open("v_person", "probe rehearsal")
+        board.breaker("v_person").recovery_timeout = 0.0
+        assert board.state("v_person") == "half-open"
+
+        stop_set = threading.Event()
+        original = xmark_db.prepare
+
+        def gated_prepare(*args, **kwargs):
+            stop_set.wait(10)  # hold the worker until the cancel landed
+            return original(*args, **kwargs)
+
+        xmark_db.prepare = gated_prepare
+        svc = QueryService(xmark_db, max_workers=1)
+        try:
+            future = svc.submit(PERSON_QUERY, timeout=30)
+            future.cancel_query()  # cooperative stop before execution
+            stop_set.set()
+            with pytest.raises(QueryCancelled):
+                future.result(timeout=30)
+            assert board.state("v_person") == "half-open"
+            xmark_db.prepare = original
+            result = svc.query(PERSON_QUERY, timeout=30)
+            assert "v_person" in result.used_views
+            assert board.state("v_person") == "closed"
+        finally:
+            xmark_db.prepare = original
+            stop_set.set()
+            svc.shutdown()
+
+    def test_background_shed_before_interactive_when_degraded(self, xmark_db):
+        svc = QueryService(
+            xmark_db, max_workers=2, target_latency=0.001
+        )
+        try:
+            # feed the limiter a window of terrible latencies: degraded
+            for _ in range(svc.limiter.window):
+                svc.limiter.observe(1.0)
+            assert svc.limiter.degraded
+            with pytest.raises(QueryRejected) as rejection:
+                svc.query(PERSON_QUERY, priority="background", timeout=30)
+            assert rejection.value.reason == "background_shed"
+            interactive = svc.query(PERSON_QUERY, timeout=30)
+            assert interactive.values
+        finally:
+            svc.shutdown()
+
+
+class TestSigtermUnderSaturation:
+    """SIGTERM during a saturated serve exits promptly with code 130 —
+    the atexit guard cancels the queued futures so the worker pool's
+    interpreter-exit join cannot hang (satellite regression test)."""
+
+    def test_sigterm_exits_130_promptly(self, tmp_path):
+        document = tmp_path / "bib.xml"
+        document.write_text(BIB_XML, encoding="utf-8")
+        queries = tmp_path / "queries.txt"
+        queries.write_text("//book/title/text()\n" * 50, encoding="utf-8")
+        repo_root = Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            str(repo_root / "src") + os.pathsep + env.get("PYTHONPATH", "")
+        )
+        process = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve", str(document),
+                "--queries", str(queries), "--repeat", "2000",
+                "--workers", "1", "--queue-capacity", "4",
+            ],
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=str(repo_root),
+        )
+        try:
+            time.sleep(1.5)  # let the flood saturate the queue
+            assert process.poll() is None, "serve finished before SIGTERM"
+            process.send_signal(signal.SIGTERM)
+            try:
+                process.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                process.kill()
+                pytest.fail("serve did not exit within 10s of SIGTERM")
+            assert process.returncode == 130
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=10)
 
 
 class TestSessions:

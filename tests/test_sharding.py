@@ -360,6 +360,66 @@ class TestPartialDegradation:
             assert not shard.breakers.allows("v_names")
 
 
+# -- hedged scatter: winner-vs-loser identity ---------------------------------
+
+
+class TestHedgedScatter:
+    def _counter(self, db, name):
+        snap = db.metrics.snapshot()
+        series = snap.get(name, {}).get("series", [])
+        return sum(entry["value"] for entry in series)
+
+    def test_hedge_winner_matches_loser_identity(self, tmp_path, monkeypatch):
+        """Race a hedge against a stalled primary on every scatter, record
+        the winners, and replay the capture against a non-hedged layout:
+        whichever attempt won, fingerprints and checksums must be
+        identical — hedging may change latency, never answers."""
+        import threading
+        import time as time_module
+
+        path = str(tmp_path / "hedged.jsonl")
+        qlog = QueryLog(path)
+        with build_db(
+            4, fanout_workers=6, hedge=True, hedge_delay=0.01
+        ) as hedged:
+            original = hedged._shard_task
+            seen: set = set()
+            lock = threading.Lock()
+
+            def straggler(shard_index, resolution, decision, ctx):
+                # the first attempt on shard 1 of each scatter stalls;
+                # the hedge re-issue (same ctx, same shard) runs clean
+                stall = False
+                if shard_index == 1:
+                    key = (id(ctx), shard_index)
+                    with lock:
+                        if key not in seen:
+                            seen.add(key)
+                            stall = True
+                if stall:
+                    time_module.sleep(0.2)
+                return original(shard_index, resolution, decision, ctx)
+
+            monkeypatch.setattr(hedged, "_shard_task", straggler)
+            with QueryService(hedged, cache_capacity=8, qlog=qlog) as svc:
+                for query in BATTERY:
+                    svc.query(query, timeout=30)
+            assert self._counter(hedged, "hedge.launched") >= 1
+            assert self._counter(hedged, "hedge.wins") >= 1
+        qlog.close()
+
+        records = QueryLog.read_all(path)
+        assert len(records) == len(BATTERY)
+        with build_db(4) as plain:  # same layout, no hedging
+            report = replay_records(plain, records)
+            assert report.ok and report.matches == len(records)
+
+    def test_hedge_disabled_by_default(self):
+        with build_db(2) as sharded:
+            assert sharded.hedge is False
+            assert sharded._hedge_delay_now() is None
+
+
 # -- capture / replay across layouts -----------------------------------------
 
 
