@@ -9,6 +9,8 @@ Usage::
                         [--shards N]
     python -m repro.cli record DOCUMENT.xml QLOG [--view ...] [--queries FILE]
     python -m repro.cli replay DOCUMENT.xml QLOG [--view ...] [--json]
+    python -m repro.cli optimize DOCUMENT.xml QLOG [--view ...]
+                        [--audit-dir DIR] [--runs N] [--min-margin F]
 
 The ``explain`` form prints the full plan lifecycle of one query — the
 logical plan, the chosen access paths with their rewritten plans, and the
@@ -30,6 +32,15 @@ database and diffs fingerprints and checksums, exiting non-zero on any
 divergence — the plan-regression gate CI runs on every push.  ``serve``,
 ``record`` and the log-capturing paths all flush and close the capture
 on SIGINT/SIGTERM before exiting with code 130.
+
+The ``optimize`` form runs the offline plan tournament
+(:mod:`repro.core.tournament`) over such a capture: every S-equivalent
+rewriting of each distinct query is enumerated without the online
+enumeration cap, checksum-validated against the recording under both
+executors (exit 1 on any divergence — that is a rewriting bug, not a
+tuning detail), benchmarked with trimmed-mean timed runs, and winners
+are promoted as pinned plans (``pins.json`` in the audit directory;
+``serve --pins`` installs them).
 
 Without ``--query``, starts a REPL with commands:
 
@@ -539,6 +550,13 @@ def _serve_main(argv: list[str]) -> int:
         help="capture every executed query to a JSONL workload log "
         "(replayable with 'repro replay'); default honours $REPRO_QLOG",
     )
+    parser.add_argument(
+        "--pins",
+        metavar="PATH",
+        default=None,
+        help="install tournament-promoted pinned plans from a pins.json "
+        "written by 'repro optimize' before serving",
+    )
     _add_executor_argument(parser)
     _add_shards_argument(parser)
     _add_admission_arguments(parser)
@@ -584,6 +602,9 @@ def _serve_main(argv: list[str]) -> int:
             print(f"-- metrics: {observer.url}/metrics")
         if qlog is not None:
             print(f"-- query log: {qlog.path}")
+        if args.pins:
+            installed = service.load_pins(args.pins)
+            print(f"-- pinned plans: {installed} installed from {args.pins}")
         try:
             with _graceful_signals():
                 session = service.session("serve")
@@ -760,6 +781,85 @@ def _replay_main(argv: list[str]) -> int:
     return EXIT_OK if report.ok else EXIT_ERROR
 
 
+def _optimize_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro optimize",
+        description="plan tournament over a recorded workload: enumerate "
+        "every S-equivalent rewriting of each distinct query, validate "
+        "each candidate's result checksum against the recording under "
+        "both executors (any divergence is a rewriting bug and fails the "
+        "run), benchmark the survivors, and promote winners as pinned "
+        "plans with a full per-query audit trail",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument(
+        "qlog", metavar="QLOG", help="JSONL capture written by 'repro record'"
+    )
+    parser.add_argument(
+        "--view", action="append", default=[], metavar="NAME=XAM",
+        help="materialize a view before optimizing (repeatable; must match "
+        "the recording environment for clean validation)",
+    )
+    parser.add_argument(
+        "--audit-dir", metavar="DIR", default=None,
+        help="write the per-query audit trail (candidates, verdicts, "
+        "timings, winner, pins.json) under this directory",
+    )
+    parser.add_argument(
+        "--runs", type=int, default=5,
+        help="timed benchmark laps per validated candidate (default 5; "
+        "the score is the trimmed mean)",
+    )
+    parser.add_argument(
+        "--min-margin", type=float, default=0.05,
+        help="fractional latency improvement over the cost model's pick "
+        "required to promote a pin (default 0.05 = 5%%)",
+    )
+    parser.add_argument(
+        "--max-candidates", type=int, default=32,
+        help="cap on whole-query candidate combinations (default 32; "
+        "the default pick is always included)",
+    )
+    parser.add_argument(
+        "--no-pin", action="store_true",
+        help="validation-only mode: run the tournament but promote nothing",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_executor_argument(parser)
+    args = parser.parse_args(argv)
+
+    from .core.replay import load_records
+    from .core.tournament import run_tournament
+
+    records = load_records(args.qlog)
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor
+    )
+    report = run_tournament(
+        db,
+        records,
+        runs=args.runs,
+        min_margin=args.min_margin,
+        max_candidates=args.max_candidates,
+        audit_dir=args.audit_dir,
+        pin=not args.no_pin,
+    )
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(report.as_dict(), indent=2))
+    else:
+        print(report.render())
+        if args.audit_dir:
+            print(f"-- audit trail: {args.audit_dir}")
+        if report.promotions and not args.no_pin and args.audit_dir:
+            print(f"-- pins: {args.audit_dir}/pins.json "
+                  f"(serve with --pins to apply)")
+    return EXIT_OK if report.ok else EXIT_ERROR
+
+
 def _run_batch_settled(service: QueryService, session, queries: list[str]) -> list:
     """Submit a whole batch, then settle every future: results in
     submission order, exceptions captured per query instead of aborting
@@ -809,6 +909,8 @@ def main(argv: list[str] | None = None) -> int:
         return _record_main(argv[1:])
     if argv and argv[0] == "replay":
         return _replay_main(argv[1:])
+    if argv and argv[0] == "optimize":
+        return _optimize_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="XAM-based XML database shell"
     )

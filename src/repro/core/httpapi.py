@@ -21,6 +21,8 @@ pool; embedders call :func:`start_observability_server` directly.  Routes:
                     ``?format=text`` renders one line per query)
 ``/regressions``    the plan-regression sentinel: flip/misestimate counts
                     and the finding ring (JSON; ``?format=text`` renders)
+``/pins``           tournament-promoted pinned plans with store counters
+                    (JSON; ``?format=text`` renders one line per pin)
 ==================  =========================================================
 
 Read-only by design: the endpoint exposes measurements, never mutations,
@@ -172,6 +174,18 @@ class _Handler(BaseHTTPRequestHandler):
                 )
             else:
                 self._send_json(service.sentinel.as_dict())
+        elif path == "/pins":
+            store = service.db.plan_pins
+            if self._wants_text():
+                self._send(store.render() + "\n", "text/plain; charset=utf-8")
+            else:
+                self._send_json(
+                    {
+                        "catalog_version": service.db.catalog_version,
+                        "stats": store.stats().as_dict(),
+                        "pins": [pin.as_dict() for pin in store.entries()],
+                    }
+                )
         elif path == "/":
             self._send_json(
                 {
@@ -179,7 +193,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "/metrics", "/metrics.json", "/health",
                         "/health/live", "/health/ready",
                         "/traces", "/trace/<id>", "/slow",
-                        "/qlog", "/regressions",
+                        "/qlog", "/regressions", "/pins",
                     ]
                 }
             )

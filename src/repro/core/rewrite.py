@@ -267,15 +267,24 @@ def rewrite_pattern(
     query: Pattern,
     catalog: Catalog,
     summary: PathSummary,
-    max_results: int = 10,
+    max_results: Optional[int] = 10,
     max_union: int = 3,
 ) -> list[Rewriting]:
-    """All (up to ``max_results``) non-redundant S-equivalent rewritings of
-    the query pattern over the catalog's views, smallest plans first.
+    """All (up to ``max_results``; ``None`` = unbounded) non-redundant
+    S-equivalent rewritings of the query pattern over the catalog's views,
+    smallest plans first.
 
     Covers single-view plans (with compensating selections and content
     navigation), two-view join plans (node-equality, structural, and
     derived-parent glue) and union plans of up to ``max_union`` members.
+
+    Enumeration always runs to completion; ``max_results`` truncates only
+    *after* the final sort.  (Truncating mid-enumeration would make the
+    returned set depend on catalog registration order: a cheaper rewriting
+    enumerated past the cutoff would be invisible to
+    :func:`~repro.core.statistics.rank_rewritings` — the ranking layer
+    must see the full candidate set, which is why the database prepares
+    with ``max_results=None``.)
     """
     if not is_satisfiable(query, summary):
         return []
@@ -310,10 +319,6 @@ def rewrite_pattern(
                 consider(
                     _validate_uses(query, query_returns, uses, glues, summary)
                 )
-            if len(rewritings) >= max_results:
-                break
-        if len(rewritings) >= max_results:
-            break
 
     # 3. union plans
     for rewriting in _union_plans(
@@ -322,6 +327,8 @@ def rewrite_pattern(
         consider(rewriting)
 
     rewritings.sort(key=lambda r: (r.plan.operator_count(), r.views))
+    if max_results is None:
+        return rewritings
     return rewritings[:max_results]
 
 

@@ -60,7 +60,13 @@ from ..engine.admission import (
 )
 from ..engine.context import ExecutionContext
 from ..engine.metrics import MetricsRegistry
-from ..engine.plan_cache import CacheStats, PlanCache, normalize_query
+from ..engine.plan_cache import (
+    CacheStats,
+    PinnedPlan,
+    PlanCache,
+    PlanPinStore,
+    normalize_query,
+)
 from ..engine.qlog import QueryLog, build_record
 from ..engine.sentinel import PlanRegressionSentinel, SentinelConfig
 from ..engine.tracing import SlowQueryLog
@@ -398,6 +404,7 @@ class QueryService:
         self.db.compiled_plans.register_metrics(
             self.metrics, prefix="compiled_plans"
         )
+        self.db.plan_pins.register_metrics(self.metrics)
         self._register_admission_collector()
         # non-daemon pool threads are joined at interpreter exit; the
         # guard cancels saturated queues first so SIGTERM exits promptly
@@ -414,6 +421,18 @@ class QueryService:
         registry.counter(
             "plan_cache.invalidated",
             "plan cache entries dropped on version-mismatch lookups",
+        )
+        registry.counter(
+            "plan_pin.hit", "patterns whose access path a pinned plan applied"
+        )
+        registry.counter(
+            "plan_pin.unmatched",
+            "pinned choices whose signature matched nothing "
+            "(fell back to cost-model ranking)",
+        )
+        registry.counter(
+            "plan_pin.invalidate",
+            "pinned plans dropped on catalog-version bumps",
         )
         registry.counter(
             "plan_compile.hit", "compiled batch artifacts reused from cache"
@@ -1078,12 +1097,55 @@ class QueryService:
             self._purge_stale_plans()
 
     def _purge_stale_plans(self) -> None:
-        """Eagerly drop prepared plans *and* compiled batch artifacts made
-        stale by a mutation (the lazy version check would catch them on
-        the next lookup anyway)."""
+        """Eagerly drop prepared plans, compiled batch artifacts *and*
+        pinned plans made stale by a mutation (the lazy version check
+        would catch them on the next lookup anyway)."""
         version = self.db.catalog_version
         self.cache.purge_stale(version)
         self.db.compiled_plans.purge_stale(version)
+        self.db.plan_pins.purge_stale(version)
+
+    # -- pinned plans --------------------------------------------------------
+
+    def pin_plan(self, pin: PinnedPlan) -> None:
+        """Install a tournament-promoted pin and evict any cached prepared
+        plans for that query, so the very next execution re-prepares under
+        the pin (a cached entry would otherwise keep serving the cost
+        model's pick until a version bump)."""
+        with self._mutate_lock:
+            self.db.plan_pins.pin(pin)
+            for key in self.cache.keys():
+                if key[0] == pin.query:
+                    self.cache.remove(key)
+
+    def unpin(self, query: str) -> bool:
+        """Drop the pin for a query (normalized form or raw text).
+        Returns True when a pin existed."""
+        with self._mutate_lock:
+            dropped = self.db.plan_pins.drop(normalize_query(query))
+            if dropped:
+                for key in self.cache.keys():
+                    if key[0] == normalize_query(query):
+                        self.cache.remove(key)
+            return dropped
+
+    def pins(self) -> list[PinnedPlan]:
+        """The currently installed pinned plans."""
+        return self.db.plan_pins.entries()
+
+    def load_pins(self, path: str) -> int:
+        """Install pins persisted by a tournament run (``pins.json`` in
+        its audit directory), re-stamped to the *current* catalog version
+        — version numbers are process-local, so the stamp in the file only
+        meant something to the process that wrote it.  Later mutations
+        still invalidate the loaded pins through the version bump.
+        Returns the number installed."""
+        loaded = PlanPinStore.load(path)
+        version = self.db.catalog_version
+        with self._mutate_lock:
+            for pin in loaded:
+                self.pin_plan(pin.restamped(version))
+        return len(loaded)
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -213,20 +213,27 @@ def rank_rewritings(
 
     The volume of each rewriting is the summed size of the views it reads,
     answered by a statistics provider (actual sizes when a store is at
-    hand, summary estimates otherwise).  Ties break on plan size.
-    ``statistics`` lets callers share one
+    hand, summary estimates otherwise).  A view with *unknown* statistics
+    is not priced at infinity — that would rank a tiny fresh view behind a
+    full base scan — instead the cost key is
+    ``(unknown view count, known volume, operator count)``: rewritings
+    touching fewer statistics-less views win, known volume breaks the tie,
+    plan size breaks the rest.  ``statistics`` lets callers share one
     :class:`~repro.engine.context.ExecutionContext` provider across
     ranking, compilation and EXPLAIN.
     """
     if statistics is None:
         statistics = CatalogStatistics(catalog, summary, store)
 
-    def view_size(name: str) -> float:
-        size = statistics.relation_size(name)
-        return float("inf") if size is None else size
-
-    def cost(rewriting: Rewriting) -> tuple[float, int]:
-        volume = sum(view_size(name) for name in rewriting.views)
-        return (volume, rewriting.plan.operator_count())
+    def cost(rewriting: Rewriting) -> tuple[int, float, int]:
+        unknown = 0
+        volume = 0.0
+        for name in rewriting.views:
+            size = statistics.relation_size(name)
+            if size is None:
+                unknown += 1
+            else:
+                volume += size
+        return (unknown, volume, rewriting.plan.operator_count())
 
     return sorted(rewritings, key=cost)

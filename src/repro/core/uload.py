@@ -40,8 +40,16 @@ from ..engine.breaker import OPEN, BreakerBoard
 from ..engine.context import EXEC_CTX_KEY, ExecutionContext, PlanMetrics
 from ..engine.metrics import MetricsRegistry, get_registry
 from ..engine.physical import PScan
-from ..engine.plan_cache import CompiledPlanArtifact, CompiledSlot, PlanCache
-from ..engine.qlog import fingerprint_plan
+from ..engine.plan_cache import (
+    CompiledPlanArtifact,
+    CompiledSlot,
+    PinnedChoice,
+    PinnedPlan,
+    PlanCache,
+    PlanPinStore,
+    normalize_query,
+)
+from ..engine.qlog import fingerprint_plan, rewriting_signature
 from ..engine.storage import Store
 from ..engine.tracing import Tracer
 from ..errors import (
@@ -122,6 +130,9 @@ class PatternResolution:
     estimated_cardinality: Optional[float] = None
     #: tuples the chosen access path actually produced (None = not executed)
     actual_cardinality: Optional[int] = None
+    #: True when this access path came from a tournament-promoted pin
+    #: instead of cost-model ranking
+    pinned: bool = False
 
     def __repr__(self) -> str:
         if self.rewriting is not None:
@@ -166,6 +177,9 @@ class QueryResult:
     #: database; the query log stamps this so replay can diff the same
     #: workload across physical layouts)
     shard_count: Optional[int] = None
+    #: True when the plan came from a tournament-promoted pinned plan
+    #: (every pattern's access path applied from the pin, none missed)
+    pinned: bool = False
 
     @property
     def used_views(self) -> list[str]:
@@ -224,6 +238,10 @@ class PreparedQuery:
     #: explaining *what* flipped when two fingerprints differ
     plan_shape: str = ""
     executions: int = 0
+    #: True when every pattern's access path was applied from a pinned
+    #: plan (a pin whose signatures no longer all match leaves this False
+    #: — those patterns fell back to cost-model ranking)
+    pinned: bool = False
     lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
 
@@ -393,6 +411,12 @@ class Database:
         #: view/document/statistics mutation invalidates them exactly as
         #: it invalidates prepared plans
         self.compiled_plans = PlanCache(capacity=64)
+        #: tournament-promoted plan pins
+        #: (:class:`~repro.engine.plan_cache.PlanPinStore`): per normalized
+        #: query, the benchmark-validated access-path choices that bypass
+        #: ``rank_rewritings`` at prepare time.  Not an LRU — pins survive
+        #: any cache pressure and die only on catalog-version bumps.
+        self.plan_pins = PlanPinStore()
 
     @property
     def catalog_version(self) -> int:
@@ -554,24 +578,54 @@ class Database:
         query: str | Expr,
         prefer_views: bool = True,
         context: Optional[ExecutionContext] = None,
+        pin: Optional[PinnedPlan] = None,
+        consult_pins: bool = True,
     ) -> PreparedQuery:
         """Run the data-independent half of the pipeline once: parse,
         translate, extract maximal patterns, search and rank rewritings,
         and assemble the per-unit logical plans.  The result can be
         executed any number of times (and is what the plan cache stores).
+
+        A tournament-promoted **pinned plan** for this query (looked up in
+        :attr:`plan_pins` unless ``consult_pins`` is False, or passed
+        explicitly as ``pin`` — the tournament's way of preparing a
+        specific candidate) bypasses cost-model ranking: each pinned
+        choice names its access path by rewriting signature and is
+        re-found among the enumerated candidates.  A choice whose
+        signature no longer matches anything (or whose views sit behind an
+        open breaker) falls back to normal ranking for that pattern —
+        correctness never depends on the pin, only plan choice does.
         """
         ctx = context or self.execution_context()
+        if pin is None and consult_pins and isinstance(query, str):
+            pin, outcome = self.plan_pins.lookup(
+                normalize_query(query), self.catalog_version
+            )
+            if outcome == "stale":
+                ctx.bump("plan_pin.invalidate")
+                ctx.event("plan_pin.invalidate", query=normalize_query(query))
         with ctx.span("parse"):
             expr = parse_query(query) if isinstance(query, str) else query
         with ctx.span("extract") as extract_span:
             extraction = extract(expr)
             if extract_span is not None:
                 extract_span.attributes["units"] = len(extraction.units)
+        pin_state = {"applied": 0, "missed": 0}
         units: list[PreparedUnit] = []
-        for unit in extraction.units:
+        for unit_index, unit in enumerate(extraction.units):
             resolutions = [
-                self._resolve_pattern(pattern, prefer_views, ctx)
-                for pattern in unit.patterns
+                self._resolve_pattern(
+                    pattern,
+                    prefer_views,
+                    ctx,
+                    pinned=(
+                        pin.choice(unit_index, pattern_index)
+                        if pin is not None
+                        else None
+                    ),
+                    pin_state=pin_state,
+                )
+                for pattern_index, pattern in enumerate(unit.patterns)
             ]
             with ctx.span("assemble"):
                 logical = assemble_plan(unit)
@@ -597,6 +651,11 @@ class Database:
             units=units,
             fingerprint=fingerprint,
             plan_shape=plan_shape,
+            pinned=(
+                pin is not None
+                and pin_state["applied"] > 0
+                and pin_state["missed"] == 0
+            ),
         )
 
     def execute_prepared(
@@ -636,6 +695,7 @@ class Database:
         result.trace_id = ctx.trace_id
         result.plan_fingerprint = prepared.fingerprint or None
         result.executor = getattr(ctx, "executor", None)
+        result.pinned = prepared.pinned
         ctx.end_trace("degraded" if result.degraded else "ok")
         return result
 
@@ -810,14 +870,34 @@ class Database:
         pattern: Pattern,
         prefer_views: bool,
         ctx: Optional[ExecutionContext] = None,
+        pinned: Optional[PinnedChoice] = None,
+        pin_state: Optional[dict] = None,
     ) -> PatternResolution:
         ctx = ctx or self.execution_context()
         estimate = ctx.statistics.pattern_cardinality(pattern)
+        if pinned is not None:
+            resolution = self._resolve_pinned(pattern, pinned, ctx, estimate)
+            if resolution is not None:
+                if pin_state is not None:
+                    pin_state["applied"] += 1
+                ctx.bump("plan_pin.hit")
+                return resolution
+            # The pinned rewriting no longer exists at this catalog state
+            # (or its views are breaker-unavailable).  Safe fallback:
+            # count the miss and let cost-model ranking decide below.
+            if pin_state is not None:
+                pin_state["missed"] += 1
+            ctx.bump("plan_pin.unmatched")
+            ctx.event("plan_pin.unmatched", pattern=pattern.to_text())
         if prefer_views and len(self.catalog.views()) > 0:
             with ctx.span(
                 "rewrite-search", pattern=pattern.to_text()
             ) as search_span:
-                rewritings = rewrite_pattern(pattern, self.catalog, self.summary)
+                # enumerate *fully* — truncating before ranking would hide
+                # the cheapest candidate from the cost model
+                rewritings = rewrite_pattern(
+                    pattern, self.catalog, self.summary, max_results=None
+                )
                 # open-circuit modules are out of the race at planning
                 # time; half-open ones stay in (the probe that may close
                 # them)
@@ -841,6 +921,39 @@ class Database:
                     pattern, "rewriting", best, estimated_cardinality=estimate
                 )
         return PatternResolution(pattern, "base", estimated_cardinality=estimate)
+
+    def _resolve_pinned(
+        self,
+        pattern: Pattern,
+        pinned: PinnedChoice,
+        ctx: ExecutionContext,
+        estimate: Optional[float],
+    ) -> Optional[PatternResolution]:
+        """Apply one pinned access-path choice, or None when it cannot be
+        honored (signature matches nothing at this catalog state, or the
+        pinned views sit behind an open breaker).  Pins only ever select
+        among S-equivalent candidates, so an unmatched pin degrades plan
+        *choice*, never answer correctness."""
+        if pinned.access == "base":
+            return PatternResolution(
+                pattern, "base", estimated_cardinality=estimate, pinned=True
+            )
+        unavailable = self.breakers.unavailable_names()
+        with ctx.span("pin-match", pattern=pattern.to_text()):
+            for rewriting in rewrite_pattern(
+                pattern, self.catalog, self.summary, max_results=None
+            ):
+                if unavailable & set(rewriting.views):
+                    continue
+                if rewriting_signature(rewriting) == pinned.signature:
+                    return PatternResolution(
+                        pattern,
+                        "rewriting",
+                        rewriting,
+                        estimated_cardinality=estimate,
+                        pinned=True,
+                    )
+        return None
 
     def _prepared_pattern_tuples(
         self,
@@ -1019,7 +1132,9 @@ class Database:
         exclusions = failed | self.breakers.unavailable_names()
         candidates = [
             r
-            for r in rewrite_pattern(pattern, self.catalog, self.summary)
+            for r in rewrite_pattern(
+                pattern, self.catalog, self.summary, max_results=None
+            )
             if not exclusions & set(r.views)
         ]
         if not candidates:

@@ -25,17 +25,22 @@ the same lock and exposed as an immutable :class:`CacheStats` snapshot.
 
 from __future__ import annotations
 
+import json
 import threading
 import weakref
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from typing import Any, Hashable, Iterator, Optional
 
 __all__ = [
     "CacheStats",
     "CompiledPlanArtifact",
     "CompiledSlot",
+    "PinStats",
+    "PinnedChoice",
+    "PinnedPlan",
     "PlanCache",
+    "PlanPinStore",
     "normalize_query",
 ]
 
@@ -317,3 +322,290 @@ class PlanCache:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<PlanCache {self.stats().render()}>"
+
+
+# ---------------------------------------------------------------------------
+# Pinned plans — the tournament's promotion layer
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class PinnedChoice:
+    """One pinned access-path decision: pattern ``pattern`` of unit
+    ``unit`` is served by the base store (``access="base"``) or by the
+    rewriting whose :func:`~repro.engine.qlog.rewriting_signature` equals
+    ``signature`` (``access="rewriting"``).  ``views`` is carried for
+    audit readability only — matching is by signature."""
+
+    unit: int
+    pattern: int
+    access: str  # "base" | "rewriting"
+    signature: str = ""
+    views: tuple[str, ...] = ()
+
+    def as_dict(self) -> dict:
+        return {
+            "unit": self.unit,
+            "pattern": self.pattern,
+            "access": self.access,
+            "signature": self.signature,
+            "views": list(self.views),
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PinnedChoice":
+        return PinnedChoice(
+            unit=int(data["unit"]),
+            pattern=int(data["pattern"]),
+            access=str(data["access"]),
+            signature=str(data.get("signature", "")),
+            views=tuple(data.get("views", ())),
+        )
+
+
+@dataclass(frozen=True)
+class PinnedPlan:
+    """A tournament-promoted plan for one normalized query.
+
+    Pins bypass cost-model ranking at prepare time: the database re-finds
+    each choice's rewriting by signature instead of calling
+    ``rank_rewritings``.  They are stamped with the catalog version they
+    were validated against and dropped (``plan_pin.invalidate``) the
+    moment any view/document/statistics mutation bumps it — a stale pin
+    must never outlive the state its benchmark evidence came from.
+    ``fingerprint`` is the plan fingerprint the pinned preparation is
+    expected to reproduce; ``margin`` records how much the winner beat the
+    cost model's default pick by (fractional latency improvement);
+    ``source`` names the audit trail that justifies the promotion.
+    """
+
+    query: str  # normalized query text
+    catalog_version: int
+    choices: tuple[PinnedChoice, ...]
+    fingerprint: str = ""
+    margin: float = 0.0
+    source: str = ""
+
+    def choice(self, unit: int, pattern: int) -> Optional[PinnedChoice]:
+        for entry in self.choices:
+            if entry.unit == unit and entry.pattern == pattern:
+                return entry
+        return None
+
+    def as_dict(self) -> dict:
+        return {
+            "query": self.query,
+            "catalog_version": self.catalog_version,
+            "choices": [choice.as_dict() for choice in self.choices],
+            "fingerprint": self.fingerprint,
+            "margin": self.margin,
+            "source": self.source,
+        }
+
+    @staticmethod
+    def from_dict(data: dict) -> "PinnedPlan":
+        return PinnedPlan(
+            query=str(data["query"]),
+            catalog_version=int(data["catalog_version"]),
+            choices=tuple(
+                PinnedChoice.from_dict(choice)
+                for choice in data.get("choices", ())
+            ),
+            fingerprint=str(data.get("fingerprint", "")),
+            margin=float(data.get("margin", 0.0)),
+            source=str(data.get("source", "")),
+        )
+
+    def restamped(self, catalog_version: int) -> "PinnedPlan":
+        """The same pin stamped for a different catalog version — what a
+        loader applies after rebuilding identical state in a new process
+        (version numbering is process-local; the signatures are not)."""
+        return replace(self, catalog_version=catalog_version)
+
+
+@dataclass(frozen=True)
+class PinStats:
+    """Immutable snapshot of the pin-store counters."""
+
+    hits: int = 0
+    misses: int = 0
+    invalidations: int = 0
+    size: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+            "size": self.size,
+        }
+
+
+class PlanPinStore:
+    """Versioned map from normalized query text to its pinned plan.
+
+    Deliberately *not* an LRU: pins are few (one per tournament-promoted
+    query), explicitly installed, and must survive any amount of plan
+    cache pressure — eviction economics apply to derived plans, not to
+    benchmark-validated decisions.  The only automatic removal is the
+    staleness drop: a lookup or purge at a newer catalog version
+    invalidates the pin (counted, surfaced as ``plan_pin.invalidations``).
+    Same locking discipline as :class:`PlanCache`.
+    """
+
+    def __init__(self) -> None:
+        self._pins: dict[str, PinnedPlan] = {}
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._invalidations = 0
+
+    # -- mutation -----------------------------------------------------------
+
+    def pin(self, plan: PinnedPlan) -> None:
+        with self._lock:
+            self._pins[plan.query] = plan
+
+    def drop(self, query: str) -> bool:
+        with self._lock:
+            return self._pins.pop(query, None) is not None
+
+    def clear(self) -> int:
+        with self._lock:
+            dropped = len(self._pins)
+            self._pins.clear()
+            return dropped
+
+    def purge_stale(self, version: int) -> int:
+        """Drop every pin not stamped at ``version`` (the eager half of
+        the invalidation protocol; lazy lookup-time drops happen
+        regardless).  Returns the number dropped."""
+        with self._lock:
+            stale = [
+                query
+                for query, pin in self._pins.items()
+                if pin.catalog_version != version
+            ]
+            for query in stale:
+                del self._pins[query]
+            self._invalidations += len(stale)
+            return len(stale)
+
+    # -- lookups ------------------------------------------------------------
+
+    def lookup(
+        self, query: str, version: int
+    ) -> tuple[Optional[PinnedPlan], str]:
+        """``(pin, outcome)`` where outcome is ``"hit"``, ``"miss"`` or
+        ``"stale"`` (version mismatch — the pin is dropped and counted as
+        an invalidation and a miss)."""
+        with self._lock:
+            pin = self._pins.get(query)
+            if pin is None:
+                self._misses += 1
+                return None, "miss"
+            if pin.catalog_version != version:
+                del self._pins[query]
+                self._invalidations += 1
+                self._misses += 1
+                return None, "stale"
+            self._hits += 1
+            return pin, "hit"
+
+    def get(self, query: str, version: int) -> Optional[PinnedPlan]:
+        return self.lookup(query, version)[0]
+
+    def entries(self) -> list[PinnedPlan]:
+        with self._lock:
+            return list(self._pins.values())
+
+    def stats(self) -> PinStats:
+        with self._lock:
+            return PinStats(
+                hits=self._hits,
+                misses=self._misses,
+                invalidations=self._invalidations,
+                size=len(self._pins),
+            )
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._pins)
+
+    def __contains__(self, query: str) -> bool:
+        with self._lock:
+            return query in self._pins
+
+    # -- persistence ---------------------------------------------------------
+
+    def save(self, path: str) -> int:
+        """Write every pin as JSON (the ``pins.json`` artifact of the
+        tournament's audit directory).  Returns the number written."""
+        pins = self.entries()
+        payload = {"pins": [pin.as_dict() for pin in pins]}
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        return len(pins)
+
+    @staticmethod
+    def load(path: str) -> list[PinnedPlan]:
+        """Parse a pins file back into :class:`PinnedPlan` objects.  The
+        caller decides how to re-stamp the catalog version (see
+        :meth:`PinnedPlan.restamped`) — version numbering is process
+        local, so the recorded stamps only mean something to the process
+        that wrote them."""
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        return [PinnedPlan.from_dict(entry) for entry in payload.get("pins", ())]
+
+    # -- introspection -------------------------------------------------------
+
+    def register_metrics(self, registry, prefix: str = "plan_pin") -> None:
+        """Mirror the pin counters into a metrics registry (the weakly
+        referenced scrape-time collector idiom of :class:`PlanCache`)."""
+        registry.counter(f"{prefix}.hits", "pinned-plan lookups that applied")
+        registry.counter(f"{prefix}.misses", "pin lookups with nothing pinned")
+        registry.counter(
+            f"{prefix}.invalidations",
+            "pins dropped on catalog-version bumps",
+        )
+        registry.gauge(f"{prefix}.size", "pinned plans currently installed")
+
+        self_ref = weakref.ref(self)
+
+        def collect(reg) -> None:
+            store = self_ref()
+            if store is None:  # don't pin dead stores to the registry
+                reg.unregister_collector(collect)
+                return
+            stats = store.stats()
+            reg.counter(f"{prefix}.hits").set_total(stats.hits)
+            reg.counter(f"{prefix}.misses").set_total(stats.misses)
+            reg.counter(f"{prefix}.invalidations").set_total(
+                stats.invalidations
+            )
+            reg.set_gauge(f"{prefix}.size", stats.size)
+
+        registry.register_collector(collect)
+
+    def render(self) -> str:
+        pins = self.entries()
+        if not pins:
+            return "no pinned plans"
+        lines = []
+        for pin in sorted(pins, key=lambda p: p.query):
+            views = sorted(
+                {name for choice in pin.choices for name in choice.views}
+            )
+            lines.append(
+                f"{pin.fingerprint or '-'} v{pin.catalog_version} "
+                f"margin={pin.margin:.1%} views={views} {pin.query}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.stats()
+        return (
+            f"<PlanPinStore size={stats.size} hits={stats.hits} "
+            f"invalidations={stats.invalidations}>"
+        )

@@ -52,6 +52,7 @@ __all__ = [
     "fingerprint_plan",
     "iter_ok_records",
     "result_checksum",
+    "rewriting_signature",
     "QLOG_ENV_VAR",
 ]
 
@@ -110,6 +111,24 @@ def fingerprint_plan(units, ctx, scan_orders=None) -> tuple[str, str]:
             )
     shape = "\n".join(lines)
     return _digest(shape), shape
+
+
+def rewriting_signature(rewriting) -> str:
+    """Stable identity of one S-equivalent rewriting (duck-typed:
+    ``kind``, ``views``, ``plan``).
+
+    The digest covers the rewriting kind, the views it reads and the full
+    logical plan text, so two rewritings over the same views but with
+    different compensations (selections, navigations, regroupings) get
+    different signatures.  Enumeration is deterministic given the catalog
+    and summary, which is what lets a **pinned plan** name its chosen
+    rewriting by signature and re-find it at prepare time — and what makes
+    a signature from a *different* catalog state simply fail to match
+    (the safe outcome: the pin falls back to normal ranking).
+    """
+    plan = rewriting.plan
+    text = plan.pretty() if hasattr(plan, "pretty") else repr(plan)
+    return _digest(f"{rewriting.kind}|{','.join(rewriting.views)}|{text}")
 
 
 # ---------------------------------------------------------------------------
@@ -223,6 +242,8 @@ def build_record(
         record["operators"] = operators
     if result.counters:
         record["counters"] = dict(result.counters)
+    if getattr(result, "pinned", False):
+        record["pinned"] = True
     if result.degraded:
         record["degraded"] = True
         record["events"] = list(result.degradation_events)

@@ -261,6 +261,60 @@ class TestPlanPattern:
         assert len(union_rev) == 1
 
 
+class TestEnumerationCap:
+    """``max_results`` must truncate only after the final sort: stopping
+    mid-enumeration made the returned set depend on catalog registration
+    order, hiding cheaper rewritings registered late."""
+
+    PAD_VIEW = "//item[id:s]{/o:name[id:s, val]}"  # flat; needs a regroup
+
+    def _catalog(self, doc, pads):
+        views = {f"pad{i}": self.PAD_VIEW for i in range(pads)}
+        # registered last, so every pad (and every pad-pair join) is
+        # enumerated before the one join that can use these:
+        views["items"] = "//item[id:s]"
+        views["names"] = "//name[id:s, val]"
+        return setup_views(doc, views)
+
+    def test_best_join_enumerated_last_survives_cap(self, env):
+        doc, summary = env
+        store, catalog = self._catalog(doc, pads=3)
+        query = parse_pattern("//item[id:s]{/no:name[id:s, val]}")
+        # 3 single rewritings (pads) come first in enumeration order, then
+        # pad-pair joins — the items⨝names join is enumerated last.  The
+        # old early break stopped join enumeration the moment the cap
+        # filled, so that join was invisible at any cap it would have
+        # sorted into.
+        capped = rewrite_pattern(query, catalog, summary, max_results=5)
+        assert len(capped) == 5
+        assert ("items", "names") in [r.views for r in capped]
+        check_rewriting(
+            next(r for r in capped if r.views == ("items", "names")),
+            store, query, doc,
+        )
+
+    def test_cap_is_postsort_prefix_of_full_enumeration(self, env):
+        doc, summary = env
+        store, catalog = self._catalog(doc, pads=3)
+        query = parse_pattern("//item[id:s]{/no:name[id:s, val]}")
+        full = rewrite_pattern(query, catalog, summary, max_results=None)
+        assert len(full) > 5
+        for cap in (1, 3, 5, len(full), len(full) + 10):
+            capped = rewrite_pattern(query, catalog, summary, max_results=cap)
+            assert [(r.kind, r.views) for r in capped] == [
+                (r.kind, r.views) for r in full[:cap]
+            ]
+
+    def test_default_cap_still_bounds_the_result(self, env):
+        doc, summary = env
+        store, catalog = self._catalog(doc, pads=12)
+        query = parse_pattern("//item[id:s]{/no:name[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary)
+        assert len(rewritings) == 10
+        counts = [r.plan.operator_count() for r in rewritings]
+        assert counts == sorted(counts)
+
+
 class TestRanking:
     def test_plans_sorted_by_size(self, env):
         doc, summary = env

@@ -101,6 +101,79 @@ class TestRanking:
         ranked = rank_rewritings(rewritings, catalog, summary, store)
         assert ranked[0].views == ("small",)
 
+    def test_statistics_less_view_still_beats_full_base_scan(self, env):
+        """A view with *unknown* statistics must not poison its plan's
+        cost to infinity.  Two joins both touch the stats-less ``books``
+        view; one partner is tiny, the other is a scan of everything.
+        Under the old ``inf`` pricing both plans collapsed to infinite
+        volume and the tie fell to enumeration order — which put the full
+        scan first.  The ``(unknown, known_volume, ops)`` key lets the
+        known part of the plan separate them."""
+        doc, summary = env
+        store, catalog = Store(), Catalog()
+        materialize_view("books", "//book[id:s]", doc, store, catalog)
+        # twin title views: only the pinned sizes differ
+        materialize_view("base_scan", "//title[id:s, val]", doc, store, catalog)
+        materialize_view("titles", "//title[id:s, val]", doc, store, catalog)
+
+        class Stub:
+            def relation_size(self, name):
+                return {"base_scan": 100000.0, "titles": 5.0}.get(name)
+
+            def pattern_cardinality(self, pattern):
+                return None
+
+        query = parse_pattern("//book[id:s]{/title[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary, max_results=None)
+        joins = [r for r in rewritings if "books" in r.views]
+        assert {("books", "base_scan"), ("books", "titles")} <= {
+            r.views for r in joins
+        }
+        ranked = rank_rewritings(joins, catalog, summary, statistics=Stub())
+        assert ranked[0].views == ("books", "titles")
+
+    def test_fewer_unknown_views_rank_first(self, env):
+        """Rewritings touching fewer statistics-less views win outright;
+        among all-unknown plans the smallest plan wins — deterministic
+        order even under a complete statistics blackout."""
+        doc, summary = env
+        store, catalog = Store(), Catalog()
+        materialize_view("small", "//book[id:s]{/title[id:s, val]}", doc, store, catalog)
+        materialize_view("books", "//book[id:s]", doc, store, catalog)
+        materialize_view("titles", "//title[id:s, val]", doc, store, catalog)
+
+        class Blackout:
+            def relation_size(self, name):
+                return None
+
+            def pattern_cardinality(self, pattern):
+                return None
+
+        query = parse_pattern("//book[id:s]{/title[id:s, val]}")
+        rewritings = rewrite_pattern(query, catalog, summary, max_results=None)
+        ranked = rank_rewritings(
+            rewritings, catalog, summary, statistics=Blackout()
+        )
+        # single-view exact match: one unknown view and the fewest
+        # operators — first under the new key, inf-tied before
+        assert ranked[0].views == ("small",)
+
+        class TitlesKnown:
+            def relation_size(self, name):
+                return 11.0 if name == "titles" else None
+
+            def pattern_cardinality(self, pattern):
+                return None
+
+        join_pairs = [r for r in rewritings if len(r.views) == 2]
+        assert join_pairs
+        mixed = rank_rewritings(
+            join_pairs, catalog, summary, statistics=TitlesKnown()
+        )
+        # ("books","titles") has one unknown view; all-unknown pairs have
+        # two — unknown count dominates the ordering
+        assert "titles" in mixed[0].views
+
     def test_estimated_and_actual_ranking_agree_here(self, env):
         doc, summary = env
         store, catalog = Store(), Catalog()
