@@ -16,6 +16,9 @@ Re-seed after intentional performance changes::
 
     python benchmarks/compare_baseline.py --seed BENCH_<sha>.json benchmarks/baseline.json
 
+Add ``--merge`` to keep entries for benchmarks the current run did not
+produce (seeding a single lane's new keys without dropping the rest).
+
 Only the per-benchmark medians (plus means, for context) are committed,
 not the raw run, so the baseline file stays small and diffs stay
 readable.  Stdlib-only on purpose: the gate must not add dependencies.
@@ -61,8 +64,19 @@ def load_medians(
     return data["baseline"]
 
 
-def seed(current_path: str, baseline_path: str) -> int:
+def seed(current_path: str, baseline_path: str, merge: bool = False) -> int:
     medians = load_medians(current_path)
+    if merge:
+        # a lane-local re-seed: keep every key the current run did not
+        # produce (other lanes' benchmarks) and only overwrite/add ours —
+        # a plain --seed from one lane would silently drop the rest
+        try:
+            existing = load_medians(baseline_path)
+        except FileNotFoundError:
+            existing = {}
+        merged = dict(existing)
+        merged.update(medians)
+        medians = merged
     with open(baseline_path, "w", encoding="utf-8") as handle:
         json.dump(
             {
@@ -166,6 +180,13 @@ def main(argv: list[str] | None = None) -> int:
         help="write the baseline from the current run instead of comparing",
     )
     parser.add_argument(
+        "--merge",
+        action="store_true",
+        help="with --seed: update/add this run's keys but keep baseline "
+        "entries for benchmarks the run did not produce (use when "
+        "seeding one lane's keys without dropping the others)",
+    )
+    parser.add_argument(
         "--strict",
         action="store_true",
         help="fail on structural warnings (missing benchmarks, malformed "
@@ -173,7 +194,9 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     if args.seed:
-        return seed(args.current, args.baseline)
+        return seed(args.current, args.baseline, merge=args.merge)
+    if args.merge:
+        parser.error("--merge only makes sense together with --seed")
     return compare(args.current, args.baseline, args.threshold, args.strict)
 
 

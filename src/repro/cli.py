@@ -6,11 +6,16 @@ Usage::
     python -m repro.cli explain DOCUMENT.xml QUERY [--view name=XAM ...]
     python -m repro.cli serve DOCUMENT.xml [--view ...] [--queries FILE]
                         [--workers N] [--repeat K] [--timeout S] [--qlog PATH]
-                        [--shards N]
+                        [--shards N] [--profile] [--sample-hz HZ]
     python -m repro.cli record DOCUMENT.xml QLOG [--view ...] [--queries FILE]
+                        [--profile]
     python -m repro.cli replay DOCUMENT.xml QLOG [--view ...] [--json]
     python -m repro.cli optimize DOCUMENT.xml QLOG [--view ...]
                         [--audit-dir DIR] [--runs N] [--min-margin F]
+    python -m repro.cli profile DOCUMENT.xml [--view ...] [--queries FILE]
+                        [--repeat K] [--sample-hz HZ] [--flamegraph-out PATH]
+                        [--json]
+    python -m repro.cli calibrate QLOG [--json] [--ratio-limit F]
 
 The ``explain`` form prints the full plan lifecycle of one query — the
 logical plan, the chosen access paths with their rewritten plans, and the
@@ -32,6 +37,18 @@ database and diffs fingerprints and checksums, exiting non-zero on any
 divergence — the plan-regression gate CI runs on every push.  ``serve``,
 ``record`` and the log-capturing paths all flush and close the capture
 on SIGINT/SIGTERM before exiting with code 130.
+
+The ``profile`` form runs a workload with attributed resource profiling
+on (per-operator CPU and peak traced memory at the executors' existing
+observation points) plus an optional continuous stack sampler, then
+prints the per-query top-CPU operators and the cost-model calibration
+table.  ``--flamegraph-out`` writes the sampler's aggregate in
+collapsed-stack text (flamegraph.pl / speedscope input).  The
+``calibrate`` form fits per-operator-class cost coefficients from a
+query log recorded with profiling on (``repro record --profile``) and
+flags operator classes whose observed cost diverges more than the ratio
+limit from the workload-wide trend — exit 1 when the log carries no
+profiled operator rows.
 
 The ``optimize`` form runs the offline plan tournament
 (:mod:`repro.core.tournament`) over such a capture: every S-equivalent
@@ -56,6 +73,7 @@ Without ``--query``, starts a REPL with commands:
     .slow                    the slow-query log (span trees over threshold)
     .cache                   plan-cache counters (.cache clear to reset)
     .executor [iter|batch]   show or switch the executor mode
+    .profile [on|off]        show or toggle attributed resource profiling
     .health                  access-module circuit-breaker states
     .summary                 summary statistics
     .quit
@@ -87,7 +105,7 @@ from .core.coordinator import resolve_shards
 from .core.httpapi import start_observability_server
 from .core.replay import replay_records
 from .core.service import QueryService, QueryTimeout
-from .core.uload import EXECUTORS, Database, resolve_executor
+from .core.uload import EXECUTORS, Database, resolve_executor, resolve_profile
 from .core.xam_parser import XAMParseError
 from .engine.faults import FaultInjector
 from .engine.qlog import QueryLog
@@ -303,6 +321,18 @@ def run_command(db: Database, line: str) -> bool:
             return True
         print(f"  executor: {db.executor}")
         return True
+    if line == ".profile" or line.startswith(".profile "):
+        argument = line[len(".profile"):].strip()
+        if argument:
+            try:
+                db.profile = resolve_profile(argument)
+            except ValueError as error:
+                print(f"  {error}")
+                return True
+        print(f"  profile: {'on' if db.profile else 'off'}"
+              + ("" if db.profile else
+                 " (.profile on attributes per-operator CPU/memory)"))
+        return True
     if line == ".views":
         for entry in db.catalog:
             marker = "index" if entry.is_index else entry.kind
@@ -393,10 +423,12 @@ def _load_database(
     view_specs: list[str],
     announce: bool = True,
     executor: str | None = None,
+    profile: bool | None = None,
 ) -> Database:
     with open(document, encoding="utf-8") as handle:
         db = Database.from_xml(handle.read(), document)
     db.executor = resolve_executor(executor)
+    db.profile = resolve_profile(profile)
     if announce:
         print(f"loaded {document}: {db.documents[0].count()} nodes, "
               f"{len(db.summary)} summary paths")
@@ -441,6 +473,21 @@ def _shard_database(
               "scatter-gather coordinator"
               + (", hedged scatter" if sharded.hedge else "") + ")")
     return sharded
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """Resource-profiling knobs shared by ``serve`` and ``profile``."""
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="attribute per-operator CPU and peak traced memory at the "
+        "executors' observation points (flows into results, EXPLAIN, the "
+        "query log and /profile); default honours $REPRO_PROFILE, else off",
+    )
+    parser.add_argument(
+        "--sample-hz", type=float, default=None, metavar="HZ",
+        help="run the continuous stack sampler at HZ samples/second and "
+        "serve the aggregate at /flamegraph (collapsed-stack text)",
+    )
 
 
 def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
@@ -558,6 +605,7 @@ def _serve_main(argv: list[str]) -> int:
         "written by 'repro optimize' before serving",
     )
     _add_executor_argument(parser)
+    _add_profile_arguments(parser)
     _add_shards_argument(parser)
     _add_admission_arguments(parser)
     _add_hedge_arguments(parser)
@@ -569,7 +617,8 @@ def _serve_main(argv: list[str]) -> int:
         return 1
 
     db = _load_database(
-        args.document, args.view, announce=False, executor=args.executor
+        args.document, args.view, announce=False, executor=args.executor,
+        profile=True if args.profile else None,
     )
     if args.no_trace:
         db.tracer = None
@@ -594,12 +643,21 @@ def _serve_main(argv: list[str]) -> int:
         default_timeout=args.timeout,
         slow_query_threshold=slow_threshold,
         qlog=qlog,  # None → the service honours $REPRO_QLOG itself
+        sample_hz=args.sample_hz,
         **_admission_settings(args),
     ) as service:
         observer = None
         if args.metrics_port is not None:
             observer = start_observability_server(service, port=args.metrics_port)
             print(f"-- metrics: {observer.url}/metrics")
+        if service.profiler is not None:
+            modes = []
+            if db.profile:
+                modes.append("attributed")
+            if args.sample_hz:
+                modes.append(f"sampling @ {args.sample_hz:g} Hz")
+            print(f"-- profiler: {', '.join(modes) or 'ring only'}"
+                  + (f" ({observer.url}/profile)" if observer else ""))
         if qlog is not None:
             print(f"-- query log: {qlog.path}")
         if args.pins:
@@ -695,6 +753,12 @@ def _record_main(argv: list[str]) -> int:
         "--stats", action="store_true",
         help="execute with per-operator metrics (recorded per query)",
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="execute with attributed resource profiling: the captured "
+        "operator rows carry cpu_ms/peak_mem_kb, making the log a "
+        "'repro calibrate' input; default honours $REPRO_PROFILE",
+    )
     _add_executor_argument(parser)
     args = parser.parse_args(argv)
 
@@ -703,7 +767,8 @@ def _record_main(argv: list[str]) -> int:
         print("no queries to record", file=sys.stderr)
         return EXIT_ERROR
     db = _load_database(
-        args.document, args.view, announce=False, executor=args.executor
+        args.document, args.view, announce=False, executor=args.executor,
+        profile=True if args.profile else None,
     )
     qlog = QueryLog(args.qlog)
     failed = 0
@@ -860,6 +925,141 @@ def _optimize_main(argv: list[str]) -> int:
     return EXIT_OK if report.ok else EXIT_ERROR
 
 
+def _profile_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro profile",
+        description="run a workload with attributed resource profiling "
+        "(per-operator CPU + peak traced memory) and an optional "
+        "continuous stack sampler; prints the per-query top-CPU "
+        "operators and the cost-model calibration table",
+    )
+    parser.add_argument("document", help="XML document to load")
+    parser.add_argument(
+        "--view", action="append", default=[], metavar="NAME=XAM",
+        help="materialize a view before profiling (repeatable)",
+    )
+    parser.add_argument(
+        "--queries", metavar="FILE",
+        help="file with one query per line; default: read from stdin",
+    )
+    parser.add_argument(
+        "--repeat", type=int, default=1,
+        help="run the workload K times (more samples per operator)",
+    )
+    parser.add_argument(
+        "--sample-hz", type=float, default=None, metavar="HZ",
+        help="also run the continuous stack sampler at HZ samples/second",
+    )
+    parser.add_argument(
+        "--flamegraph-out", metavar="PATH", default=None,
+        help="write the sampler's aggregate as collapsed-stack text "
+        "(requires --sample-hz; flamegraph.pl / speedscope input)",
+    )
+    parser.add_argument(
+        "--top", type=int, default=3,
+        help="top-CPU operators shown per query (default 3)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    _add_executor_argument(parser)
+    args = parser.parse_args(argv)
+    if args.flamegraph_out and not args.sample_hz:
+        parser.error("--flamegraph-out requires --sample-hz")
+
+    from .engine.calibrate import calibrate_records
+    from .engine.qlog import build_record
+
+    queries = _read_queries(args.queries)
+    if not queries:
+        print("no queries to profile", file=sys.stderr)
+        return EXIT_ERROR
+    db = _load_database(
+        args.document, args.view, announce=False, executor=args.executor,
+        profile=True,
+    )
+    # an explicit deep-dive: take the tracemalloc hit on every query so
+    # the memory column is never a stale sample
+    db.profile_memory_stride = 1
+    failed = 0
+    records: list[dict] = []
+    with QueryService(db, sample_hz=args.sample_hz) as service:
+        for _ in range(args.repeat):
+            for query in queries:
+                try:
+                    result = service.query(query)
+                except ReproError as error:
+                    failed += 1
+                    print(f"-- {query}: {_describe_error(error)}",
+                          file=sys.stderr)
+                    continue
+                records.append(build_record(query, result, 0.0, "ok"))
+        profiles = service.profiler.profiles()
+        sampler = service.profiler.sampler
+        if args.flamegraph_out and sampler is not None:
+            with open(args.flamegraph_out, "w", encoding="utf-8") as handle:
+                handle.write(sampler.collapsed() + "\n")
+    calibration = calibrate_records(records)
+    if args.json:
+        import json as _json
+
+        print(_json.dumps(
+            {
+                "profiles": [p.as_dict() for p in profiles],
+                "calibration": calibration.as_dict(),
+            },
+            indent=2,
+        ))
+    else:
+        for profile in profiles:
+            print(f"== {profile.query}")
+            print(f"  executor={profile.executor} "
+                  f"wall={profile.seconds * 1000:.2f}ms "
+                  f"cpu={profile.cpu_ms:.2f}ms")
+            for op in profile.top_cpu(args.top):
+                print(f"  cpu {op['self_cpu_ms']:>9.3f}ms  {op['label']} "
+                      f"(rows={op['actual']}, mem={op['peak_mem_kb']}KB)")
+        print("--")
+        print(calibration.render())
+        if args.flamegraph_out:
+            print(f"-- flamegraph: {args.flamegraph_out}")
+    return EXIT_ERROR if failed else EXIT_OK
+
+
+def _calibrate_main(argv: list[str]) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro calibrate",
+        description="fit per-operator-class cost coefficients from a "
+        "query log recorded with attributed profiling on "
+        "('repro record --profile'); flags classes whose observed "
+        "cpu-per-cost-unit diverges from the workload-wide trend",
+    )
+    parser.add_argument(
+        "qlog", metavar="QLOG",
+        help="JSONL capture written by 'repro record --profile'",
+    )
+    parser.add_argument(
+        "--ratio-limit", type=float, default=3.0, metavar="F",
+        help="flag classes whose coefficient is more than F× away from "
+        "the workload-wide one (default 3.0)",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    args = parser.parse_args(argv)
+
+    from .core.replay import load_records
+    from .engine.calibrate import calibrate_records
+
+    records = load_records(args.qlog)
+    report = calibrate_records(records, ratio_limit=args.ratio_limit)
+    if args.json:
+        print(report.to_json())
+    else:
+        print(report.render())
+    return EXIT_ERROR if report.empty else EXIT_OK
+
+
 def _run_batch_settled(service: QueryService, session, queries: list[str]) -> list:
     """Submit a whole batch, then settle every future: results in
     submission order, exceptions captured per query instead of aborting
@@ -911,6 +1111,10 @@ def main(argv: list[str] | None = None) -> int:
         return _replay_main(argv[1:])
     if argv and argv[0] == "optimize":
         return _optimize_main(argv[1:])
+    if argv and argv[0] == "profile":
+        return _profile_main(argv[1:])
+    if argv and argv[0] == "calibrate":
+        return _calibrate_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro", description="XAM-based XML database shell"
     )
@@ -956,7 +1160,7 @@ def main(argv: list[str] | None = None) -> int:
         return EXIT_OK
 
     print("repro shell — .quit to exit, .views/.view/.drop/.explain/.stats/"
-          ".trace/.metrics/.slow/.cache/.executor/.health/.summary")
+          ".trace/.metrics/.slow/.cache/.executor/.profile/.health/.summary")
     while True:
         try:
             line = input("xam> ")

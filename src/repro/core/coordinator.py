@@ -148,8 +148,11 @@ class ShardedDatabase(Database):
         fanout_workers: Optional[int] = None,
         hedge: Optional[bool] = None,
         hedge_delay: Optional[float] = None,
+        profile: "bool | str | None" = None,
     ) -> None:
-        super().__init__(metrics=metrics, tracer=tracer, executor=executor)
+        super().__init__(
+            metrics=metrics, tracer=tracer, executor=executor, profile=profile
+        )
         shard_count = resolve_shards(shard_count)
         self.shard_count = shard_count
         self.partitioner: Partitioner = partitioner or RoundRobinPartitioner()
@@ -158,7 +161,12 @@ class ShardedDatabase(Database):
         #: otherwise collide with the coordinator's on shared module
         #: names (the coordinator owns the externally visible registry).
         self.shards: list[Database] = [
-            Database(metrics=MetricsRegistry(), tracer=None, executor=self.executor)
+            Database(
+                metrics=MetricsRegistry(),
+                tracer=None,
+                executor=self.executor,
+                profile=self.profile,
+            )
             for _ in range(shard_count)
         ]
         #: shard index → list of (global document sequence, document)
@@ -328,6 +336,13 @@ class ShardedDatabase(Database):
                 prepared_unit, index, resolution, physical, ctx, events,
                 fingerprint=fingerprint,
             )
+        if ctx.profile:
+            # shard index → per-task {"cpu_ms", "wall_ms"} samples, filled
+            # by pool threads (thread CPU is per-thread, so shard work is
+            # invisible to the coordinator's attributed operator metrics —
+            # this side channel is how it gets accounted).  Reset per
+            # pattern: each merge span reports its own scatter only.
+            ctx.shard_profiles = {}
         with ctx.span(
             "shard.fanout", pattern=index, shards=self.shard_count
         ):
@@ -352,8 +367,30 @@ class ShardedDatabase(Database):
                             ctx,
                         )
                     )
-        with ctx.span("shard.merge", pattern=index, runs=len(runs)):
+        with ctx.span("shard.merge", pattern=index, runs=len(runs)) as span:
             ctx.bump("shard.merge", float(len(runs)))
+            profiles = getattr(ctx, "shard_profiles", None)
+            if profiles:
+                # aggregate the scatter's per-shard resource profile under
+                # the merge span: total shard CPU plus a per-shard
+                # breakdown, and a counter so results/registry see it too
+                total_cpu = sum(
+                    sample["cpu_ms"]
+                    for samples in profiles.values()
+                    for sample in samples
+                )
+                if span is not None:
+                    span.attributes["shard.cpu_ms"] = round(total_cpu, 3)
+                    span.attributes["shard.profile"] = {
+                        str(shard): {
+                            "tasks": len(samples),
+                            "cpu_ms": round(
+                                sum(s["cpu_ms"] for s in samples), 3
+                            ),
+                        }
+                        for shard, samples in sorted(profiles.items())
+                    }
+                ctx.bump("profiler.shard_cpu_ms", total_cpu)
             order = self._global_order(resolution, decision)
             if order is not None:
                 tuples = merge_sorted_runs(runs, sort_key_for(order))
@@ -567,6 +604,7 @@ class ShardedDatabase(Database):
         board."""
         shard = self.shards[shard_index]
         start = time.perf_counter()
+        cpu_start = time.thread_time_ns() if ctx.profile else 0
         try:
             with faults.scope(ctx.fault_injector, ctx):
                 runs: list = []
@@ -614,6 +652,18 @@ class ShardedDatabase(Database):
             self.metrics.observe(
                 "shard.latency.seconds", elapsed, shard=str(shard_index)
             )
+            if ctx.profile:
+                # per-thread CPU is valid here: the task ran wholly on
+                # this pool thread.  setdefault/append are GIL-atomic.
+                profiles = getattr(ctx, "shard_profiles", None)
+                if profiles is not None:
+                    profiles.setdefault(shard_index, []).append(
+                        {
+                            "cpu_ms": (time.thread_time_ns() - cpu_start)
+                            / 1e6,
+                            "wall_ms": elapsed * 1000,
+                        }
+                    )
 
     def _segment_context(self, seq: int, ctx: ExecutionContext) -> FaultCheckedContext:
         """The evaluation context of one document's slice of every view:

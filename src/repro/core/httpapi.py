@@ -23,6 +23,11 @@ pool; embedders call :func:`start_observability_server` directly.  Routes:
                     and the finding ring (JSON; ``?format=text`` renders)
 ``/pins``           tournament-promoted pinned plans with store counters
                     (JSON; ``?format=text`` renders one line per pin)
+``/profile``        resource profiler: sampler state plus the ring of
+                    attributed per-query profiles (``?trace=<id>`` returns
+                    one query's full per-operator profile)
+``/flamegraph``     the continuous sampler's aggregate in collapsed-stack
+                    text — pipe into flamegraph.pl or speedscope
 ==================  =========================================================
 
 Read-only by design: the endpoint exposes measurements, never mutations,
@@ -186,6 +191,65 @@ class _Handler(BaseHTTPRequestHandler):
                         "pins": [pin.as_dict() for pin in store.entries()],
                     }
                 )
+        elif path == "/profile":
+            profiler = getattr(service, "profiler", None)
+            if profiler is None:
+                self._send_json(
+                    {
+                        "error": "profiler disabled",
+                        "hint": "start with --profile / --sample-hz "
+                        "(or QueryService(profiler=True))",
+                    },
+                    status=404,
+                )
+                return
+            query = parse_qs(urlparse(self.path).query)
+            trace_id = query.get("trace", [""])[0]
+            if trace_id:
+                from ..engine.profiler import valid_trace_id
+
+                if not valid_trace_id(trace_id):
+                    self._send_json(
+                        {
+                            "error": f"malformed trace id {trace_id!r}",
+                            "hint": "trace ids look like t0000002a",
+                        },
+                        status=400,
+                    )
+                    return
+                profile = profiler.for_trace(trace_id)
+                if profile is None:
+                    self._send_json(
+                        {"error": f"no profile for trace {trace_id!r}"},
+                        status=404,
+                    )
+                    return
+                self._send_json(profile.as_dict())
+                return
+            self._send_json(profiler.payload())
+        elif path == "/flamegraph":
+            profiler = getattr(service, "profiler", None)
+            if profiler is None:
+                self._send_json(
+                    {
+                        "error": "profiler disabled",
+                        "hint": "start with --profile / --sample-hz "
+                        "(or QueryService(profiler=True))",
+                    },
+                    status=404,
+                )
+                return
+            collapsed = profiler.flamegraph()
+            if collapsed is None:
+                self._send_json(
+                    {
+                        "error": "sampler not running",
+                        "hint": "start with --sample-hz to collect stacks",
+                    },
+                    status=404,
+                )
+                return
+            self._send(collapsed + "\n", "text/plain; charset=utf-8")
         elif path == "/":
             self._send_json(
                 {
@@ -194,6 +258,7 @@ class _Handler(BaseHTTPRequestHandler):
                         "/health/live", "/health/ready",
                         "/traces", "/trace/<id>", "/slow",
                         "/qlog", "/regressions", "/pins",
+                        "/profile", "/flamegraph",
                     ]
                 }
             )

@@ -59,7 +59,7 @@ from ..engine.admission import (
     resolve_retry_budget,
 )
 from ..engine.context import ExecutionContext
-from ..engine.metrics import MetricsRegistry
+from ..engine.metrics import MetricsRegistry, register_process_collector
 from ..engine.plan_cache import (
     CacheStats,
     PinnedPlan,
@@ -67,6 +67,7 @@ from ..engine.plan_cache import (
     PlanPinStore,
     normalize_query,
 )
+from ..engine.profiler import Profiler
 from ..engine.qlog import QueryLog, build_record
 from ..engine.sentinel import PlanRegressionSentinel, SentinelConfig
 from ..engine.tracing import SlowQueryLog
@@ -309,6 +310,8 @@ class QueryService:
         retry_budget: Optional[float] = None,
         retry_budget_refill: Optional[float] = None,
         background_share: float = 0.5,
+        profiler: "Profiler | None | bool" = None,
+        sample_hz: Optional[float] = None,
     ):
         self.db = db
         self.cache = PlanCache(cache_capacity)
@@ -399,7 +402,25 @@ class QueryService:
             registry=self.metrics,
             on_refresh=self.refresh_statistics if auto_refresh_statistics else None,
         )
+        #: resource profiler (attributed ring + optional continuous
+        #: sampler).  ``None`` auto-attaches one when the database runs
+        #: with attributed profiling or a sampling rate was requested;
+        #: ``False`` disables (the ``/profile`` route then 404s);
+        #: an instance is used as given.
+        if profiler is False:
+            self.profiler: Optional[Profiler] = None
+        elif isinstance(profiler, Profiler):
+            self.profiler = profiler
+        elif profiler is True or db.profile or sample_hz:
+            self.profiler = Profiler(
+                registry=self.metrics, sample_hz=sample_hz
+            )
+        else:
+            self.profiler = None
+        if self.profiler is not None:
+            self.profiler.start()
         self._register_metric_families()
+        register_process_collector(self.metrics)
         self.cache.register_metrics(self.metrics)
         self.db.compiled_plans.register_metrics(
             self.metrics, prefix="compiled_plans"
@@ -546,6 +567,20 @@ class QueryService:
         registry.counter(
             "hedge.primary_wins",
             "scatters where the original shard task beat its hedge",
+        )
+        registry.counter(
+            "profiler.samples", "stack samples aggregated by the sampler"
+        )
+        registry.counter(
+            "profiler.dropped",
+            "stack samples dropped at the distinct-stack bound",
+        )
+        registry.counter(
+            "profiler.queries", "attributed query profiles recorded"
+        )
+        registry.counter(
+            "profiler.shard_cpu_ms",
+            "shard-task CPU milliseconds attributed under merge spans",
         )
 
     def _register_admission_collector(self) -> None:
@@ -809,8 +844,36 @@ class QueryService:
                         },
                     )
                 )
+            profile_entry = None
+            if (
+                self.profiler is not None
+                and self.db.profile
+                and result is not None
+            ):
+                profile_entry = self.profiler.record(
+                    normalize_query(query), result, elapsed
+                )
             captured = self.slow_queries.consider(
-                query, elapsed, outcome or "cancelled", ctx.trace
+                query,
+                elapsed,
+                outcome or "cancelled",
+                ctx.trace,
+                plan_fingerprint=(
+                    getattr(result, "plan_fingerprint", "") or ""
+                    if result is not None
+                    else ""
+                ),
+                executor=(
+                    getattr(result, "executor", "") or ""
+                    if result is not None
+                    else ""
+                ),
+                top_cpu=tuple(
+                    f"{op['label']} cpu={op['self_cpu_ms']:.2f}ms"
+                    for op in profile_entry.top_cpu()
+                )
+                if profile_entry is not None
+                else (),
             )
             if captured is not None:
                 self.metrics.inc("slow_queries.captured")
@@ -830,6 +893,12 @@ class QueryService:
         plan from the cache, so the next preparation re-ranks rewritings
         with the circuit breakers in view."""
         policy = self.retry_policy
+        if self.db.profile:
+            # attributed profiling measures the physical engine's
+            # observation points — promote profiled queries to
+            # physical+stats so there is something to attribute
+            physical = True
+            stats = True
         prepared, key = self._lookup(query, prefer_views, physical, ctx)
         retries = 0
         forced_open: set[str] = set()
@@ -1162,6 +1231,8 @@ class QueryService:
             # the pool's interpreter-exit join must not outlive them
             self.cancel_all()
         self._executor.shutdown(wait=wait, cancel_futures=cancel_pending)
+        if self.profiler is not None:
+            self.profiler.stop()
         if self._owns_qlog and self.qlog is not None and not already_closed:
             self.qlog.close()
 

@@ -27,8 +27,10 @@ estimated *and* actual per-operator cardinalities and timings.
 
 from __future__ import annotations
 
+import itertools
 import os
 import threading
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Optional
 
@@ -37,7 +39,12 @@ from ..algebra.operators import Operator
 from ..engine import faults
 from ..engine.batch import batch_covered, compile_batch
 from ..engine.breaker import OPEN, BreakerBoard
-from ..engine.context import EXEC_CTX_KEY, ExecutionContext, PlanMetrics
+from ..engine.context import (
+    EXEC_CTX_KEY,
+    ExecutionContext,
+    OperatorMetrics,
+    PlanMetrics,
+)
 from ..engine.metrics import MetricsRegistry, get_registry
 from ..engine.physical import PScan
 from ..engine.plan_cache import (
@@ -49,6 +56,8 @@ from ..engine.plan_cache import (
     PlanPinStore,
     normalize_query,
 )
+from ..engine import profiler as profiler_mod
+from ..engine.profiler import PROFILE_ENV_VAR, resolve_profile
 from ..engine.qlog import fingerprint_plan, rewriting_signature
 from ..engine.storage import Store
 from ..engine.tracing import Tracer
@@ -89,6 +98,8 @@ __all__ = [
     "EXECUTORS",
     "EXECUTOR_ENV_VAR",
     "resolve_executor",
+    "PROFILE_ENV_VAR",
+    "resolve_profile",
 ]
 
 
@@ -274,7 +285,13 @@ class ExplainUnit:
                 lines.extend("    " + l for l in plan.pretty().splitlines())
         lines.append("logical plan:")
         lines.extend("  " + l for l in self.logical.pretty().splitlines())
-        lines.append("physical plan (est | act | time):")
+        profiled = any(
+            node.cpu_ns or node.peak_mem_bytes for node in self.metrics.walk()
+        )
+        if profiled:
+            lines.append("physical plan (est | act | time | cpu | peak mem):")
+        else:
+            lines.append("physical plan (est | act | time):")
         lines.extend("  " + l for l in self.metrics.pretty().splitlines())
         return "\n".join(lines)
 
@@ -360,6 +377,7 @@ class Database:
         metrics: Optional[MetricsRegistry] = None,
         tracer: "Tracer | None | bool" = True,
         executor: Optional[str] = None,
+        profile: "bool | str | None" = None,
     ) -> None:
         self.store = Store()
         self.catalog = Catalog()
@@ -405,6 +423,20 @@ class Database:
         #: and fingerprints are executor-independent, only execution
         #: changes.
         self.executor = resolve_executor(executor)
+        #: attributed resource profiling (per-operator CPU + peak traced
+        #: memory in both executors): ``None`` defers to ``$REPRO_PROFILE``,
+        #: off by default.  Mutable at runtime (the REPL's ``.profile``
+        #: command) — it only changes what execution records, never the
+        #: plan.
+        self.profile = resolve_profile(profile)
+        #: attributed CPU is measured on every profiled query (two clock
+        #: reads per observation point — effectively free), but the
+        #: tracemalloc window behind ``peak_mem_bytes`` slows allocation
+        #: ~2x, so the memory column is *sampled*: every Nth profiled
+        #: query per database opens the window (the first always does).
+        #: Set to 1 for memory on every query (``repro profile`` does).
+        self.profile_memory_stride = profiler_mod.MEM_SAMPLE_STRIDE
+        self._profiled_queries = itertools.count()
         #: fingerprint-keyed cache of compiled batch artifacts
         #: (:class:`~repro.engine.plan_cache.CompiledPlanArtifact`);
         #: entries are stamped with :attr:`catalog_version`, so any
@@ -533,6 +565,7 @@ class Database:
             metrics=self.metrics,
             tracer=self.tracer,
             executor=self.executor,
+            profile=self.profile,
             **kwargs,
         )
         sharded.fault_injector = self.fault_injector
@@ -562,6 +595,10 @@ class Database:
         )
         ctx.fault_injector = self.fault_injector or faults.injector_from_env()
         ctx.executor = self.executor
+        ctx.profile = self.profile
+        if self.profile:
+            stride = max(1, int(self.profile_memory_stride))
+            ctx.mem_sample = next(self._profiled_queries) % stride == 0
         if self.tracer is not None:
             ctx.trace = self.tracer.start_trace()
         return ctx
@@ -979,7 +1016,9 @@ class Database:
         they propagate to the caller (the query service retries them).
         """
         if resolution.rewriting is None:
-            return self._base_pattern_tuples(resolution.pattern)
+            return self._base_pattern_tuples(
+                resolution.pattern, ctx, resolution.estimated_cardinality
+            )
         rewriting = resolution.rewriting
         original = rewriting
         failed: set[str] = set()
@@ -1040,7 +1079,9 @@ class Database:
                     "no usable rewriting left; fell back to base store", ctx
                 )
             )
-        return self._base_pattern_tuples(resolution.pattern)
+        return self._base_pattern_tuples(
+            resolution.pattern, ctx, resolution.estimated_cardinality
+        )
 
     @staticmethod
     def _stamp_event(message: str, ctx: ExecutionContext) -> str:
@@ -1079,6 +1120,20 @@ class Database:
                     compiled,
                     ctx,
                 )
+                if ctx.profile:
+                    # most of a view-backed query's work happens here, not
+                    # in the final unit stitch: run instrumented so the
+                    # rewriting plan's CPU/memory is attributed (the trees
+                    # land in ctx.metrics; _run_prepared_unit forwards
+                    # them into the result)
+                    if slot is not None:
+                        with slot.lock:
+                            tuples, _ = ctx.run(
+                                slot.plan, context, batch_fn=slot.fn
+                            )
+                    else:
+                        tuples, _ = ctx.run(compiled, context)
+                    return tuples
                 if slot is not None:
                     with slot.lock:
                         return slot.fn(context).tuples
@@ -1147,13 +1202,38 @@ class Database:
             statistics=ctx.statistics,
         )[0]
 
-    def _base_pattern_tuples(self, pattern: Pattern) -> list[NestedTuple]:
+    def _base_pattern_tuples(
+        self,
+        pattern: Pattern,
+        ctx: Optional[ExecutionContext] = None,
+        estimate: Optional[float] = None,
+    ) -> list[NestedTuple]:
         """Evaluate a pattern directly over the in-memory documents — the
         always-available access path of last resort (it bypasses the
-        store, so storage-level fault points cannot touch it)."""
-        tuples: list[NestedTuple] = []
+        store, so storage-level fault points cannot touch it).
+
+        Base evaluation runs no physical operators, so under attributed
+        profiling it contributes a synthetic one-node metrics tree — the
+        dominant cost of view-less queries must not vanish from the
+        profile."""
+        if ctx is None or not ctx.profile:
+            tuples: list[NestedTuple] = []
+            for doc in self.documents:
+                tuples.extend(evaluate_pattern(pattern, doc))
+            return tuples
+        node = OperatorMetrics(
+            label=f"BaseEval({pattern.to_text()})", estimated_rows=estimate
+        )
+        node.executions = 1
+        started = time.perf_counter()
+        cpu_started = time.thread_time_ns()
+        tuples = []
         for doc in self.documents:
             tuples.extend(evaluate_pattern(pattern, doc))
+        node.cpu_ns = time.thread_time_ns() - cpu_started
+        node.elapsed = time.perf_counter() - started
+        node.rows_out = len(tuples)
+        ctx.metrics.append(PlanMetrics(node))
         return tuples
 
     def _run_prepared_unit(
@@ -1170,6 +1250,7 @@ class Database:
         resolutions = prepared_unit.resolutions
         result.resolutions.extend(resolutions)
         bindings = {}
+        pattern_mark = len(ctx.metrics)
         for index, resolution in enumerate(resolutions):
             with ctx.span(
                 "pattern", index=index, access=resolution.access_path
@@ -1180,6 +1261,10 @@ class Database:
                 )
             resolution.actual_cardinality = len(tuples)
             bindings[f"__pattern_{index}"] = tuples
+        if ctx.profile:
+            # profiled rewriting runs instrumented their plans into
+            # ctx.metrics; surface those trees alongside the unit plan's
+            result.metrics.extend(ctx.metrics[pattern_mark:])
         plan = prepared_unit.logical
         result.plans.append(plan)
         try:

@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import copy
 import time
+import tracemalloc
 from typing import Callable, List, Optional
 
 from ..algebra.model import NestedTuple, concat
@@ -206,6 +207,21 @@ def _observed(op: PhysicalOperator, fn: BatchFn) -> BatchFn:
         m = op.metrics
         if m is None:
             return fn(context)
+        if op.profiled:
+            # attributed profiling: the closure runs its whole block in
+            # one call, so open/close snapshots bound the operator exactly
+            m.executions += 1
+            mem_base = tracemalloc.get_traced_memory()[0]
+            started = clock()
+            cpu_started = time.thread_time_ns()
+            block = fn(context)
+            m.cpu_ns += time.thread_time_ns() - cpu_started
+            m.elapsed += clock() - started
+            peak = tracemalloc.get_traced_memory()[0] - mem_base
+            if peak > m.peak_mem_bytes:
+                m.peak_mem_bytes = peak
+            m.rows_out += len(block.tuples)
+            return block
         m.executions += 1
         started = clock()
         block = fn(context)

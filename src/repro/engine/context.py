@@ -33,7 +33,7 @@ layers can build contexts without pulling the whole engine in.
 from __future__ import annotations
 
 import time
-from contextlib import contextmanager
+from contextlib import contextmanager, nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterator, Mapping, Optional
 
@@ -179,11 +179,26 @@ class OperatorMetrics:
     rows_out: int = 0
     elapsed: float = 0.0
     executions: int = 0
+    #: inclusive thread CPU time (``time.thread_time_ns``) spent pulling
+    #: this operator, children included; stays 0 unless the query ran with
+    #: attributed profiling enabled
+    cpu_ns: int = 0
+    #: peak traced allocation (bytes) observed while this operator ran —
+    #: the high-water delta between operator open and close under a
+    #: bounded ``tracemalloc`` window; 0 unless profiling was enabled
+    peak_mem_bytes: int = 0
     children: list["OperatorMetrics"] = field(default_factory=list)
 
     @property
     def rows_in(self) -> int:
         return sum(child.rows_out for child in self.children)
+
+    @property
+    def self_cpu_ns(self) -> int:
+        """Exclusive CPU: inclusive minus the children's inclusive CPU
+        (clamped — clock granularity can make a child appear costlier
+        than its parent)."""
+        return max(0, self.cpu_ns - sum(child.cpu_ns for child in self.children))
 
     def walk(self) -> Iterator["OperatorMetrics"]:
         yield self
@@ -194,8 +209,14 @@ class OperatorMetrics:
         est = "?" if self.estimated_rows is None else f"{self.estimated_rows:.1f}"
         line = (
             f"{'  ' * indent}{self.label}  "
-            f"[est={est} act={self.rows_out} time={self.elapsed * 1000:.2f}ms]"
+            f"[est={est} act={self.rows_out} time={self.elapsed * 1000:.2f}ms"
         )
+        if self.cpu_ns or self.peak_mem_bytes:
+            line += (
+                f" cpu={self.cpu_ns / 1e6:.2f}ms"
+                f" mem={self.peak_mem_bytes / 1024:.1f}KB"
+            )
+        line += "]"
         lines = [line]
         for child in self.children:
             lines.append(child.pretty(indent + 1))
@@ -219,6 +240,17 @@ class PlanMetrics:
 
     def find(self, label_prefix: str) -> list[OperatorMetrics]:
         return [m for m in self.walk() if m.label.startswith(label_prefix)]
+
+    def total_cpu_ns(self) -> int:
+        """Inclusive CPU of the whole plan (the root's attribution)."""
+        return self.root.cpu_ns
+
+    def top_cpu(self, n: int = 3) -> list[OperatorMetrics]:
+        """The ``n`` operators with the largest *exclusive* CPU share —
+        empty when the plan ran without attributed profiling."""
+        ranked = [m for m in self.walk() if m.self_cpu_ns > 0]
+        ranked.sort(key=lambda m: m.self_cpu_ns, reverse=True)
+        return ranked[:n]
 
 
 # ---------------------------------------------------------------------------
@@ -280,6 +312,19 @@ class ExecutionContext:
         #: (set by ``Database.execution_context`` when the batch executor
         #: is selected).  Recorded into results and the query log.
         self.executor = "iter"
+        #: attributed resource profiling: when True, both executors pay
+        #: the extra ``thread_time_ns`` reads per observation point and a
+        #: bounded tracemalloc window, filling ``OperatorMetrics.cpu_ns``
+        #: and ``peak_mem_bytes``.  Off by default — the unprofiled hot
+        #: path must not grow even a branch on a flag read per tuple.
+        self.profile = False
+        #: whether THIS profiled run opens the tracemalloc window for the
+        #: peak-memory column.  CPU attribution is near-free and runs on
+        #: every profiled query; live tracemalloc roughly doubles
+        #: allocation cost, so ``Database.execution_context`` samples it
+        #: every ``profile_memory_stride``-th profiled query (stand-alone
+        #: contexts default to sampling every run).
+        self.mem_sample = True
         self._estimates: dict[int, Optional[float]] = {}
 
     # -- counters -----------------------------------------------------------
@@ -353,12 +398,17 @@ class ExecutionContext:
         """Attach a fresh metrics node to every operator of a physical
         plan; execution then records into them."""
 
+        profiled = bool(self.profile)
+
         def build(op) -> OperatorMetrics:
             node = OperatorMetrics(
                 label=op.label(), estimated_rows=op.estimated_rows
             )
             node.children = [build(child) for child in op.children]
             op.metrics = node
+            # must be (re)stamped every time: compiled plans are cached
+            # and reused across queries with different profile settings
+            op.profiled = profiled
             return node
 
         plan_metrics = PlanMetrics(build(physical))
@@ -384,7 +434,29 @@ class ExecutionContext:
                 data_context[EXEC_CTX_KEY] = self
             except TypeError:  # read-only mapping: operators just lose counters
                 pass
-        if batch_fn is not None:
+        if self.profile:
+            # the peak-memory column needs tracemalloc live, but tracing
+            # roughly doubles allocation cost — only the sampled runs
+            # (``mem_sample``) open the refcounted window; the others
+            # still attribute CPU, and the observation points read
+            # (0, 0) from the idle tracer so the memory column stays 0
+            from .profiler import traced_memory
+
+            window = traced_memory() if self.mem_sample else nullcontext()
+            with window:
+                cpu_started = time.thread_time_ns()
+                if batch_fn is not None:
+                    tuples = batch_fn(data_context).tuples
+                else:
+                    tuples = list(physical.execute(data_context))
+                drive_cpu = time.thread_time_ns() - cpu_started
+            # the drive loop and the observation points themselves burn
+            # CPU between operator windows; fold that overhead into the
+            # root's inclusive time (it surfaces as root self-CPU), so
+            # attributed CPU accounts for the whole plan execution
+            if drive_cpu > plan_metrics.root.cpu_ns:
+                plan_metrics.root.cpu_ns = drive_cpu
+        elif batch_fn is not None:
             tuples = batch_fn(data_context).tuples
         else:
             tuples = list(physical.execute(data_context))

@@ -469,6 +469,42 @@ class MetricsRegistry:
         return f"<MetricsRegistry {len(self.names())} instruments>"
 
 
+def register_process_collector(registry: MetricsRegistry) -> None:
+    """Attach the process-health collector: scrape-time gauges for RSS,
+    garbage-collector state, and live thread count.
+
+    ``/metrics`` previously exposed only engine-internal state; these
+    gauges let an operator correlate query latency with what the process
+    itself is doing (heap growth, GC pressure, thread leaks).  Pull
+    model, stdlib only: ``resource.getrusage`` (``ru_maxrss`` is KB on
+    Linux, bytes on macOS — normalized to bytes here), ``gc.get_count``
+    / ``gc.get_stats``, ``threading.active_count``.
+    """
+    import gc
+    import resource
+    import sys
+
+    # macOS reports ru_maxrss in bytes, Linux in kilobytes
+    rss_scale = 1 if sys.platform == "darwin" else 1024
+
+    def collect(reg: MetricsRegistry) -> None:
+        usage = resource.getrusage(resource.RUSAGE_SELF)
+        reg.set_gauge("process.max_rss_bytes", usage.ru_maxrss * rss_scale)
+        for generation, count in enumerate(gc.get_count()):
+            reg.set_gauge(
+                "process.gc.objects", count, generation=str(generation)
+            )
+        for generation, stats in enumerate(gc.get_stats()):
+            reg.set_gauge(
+                "process.gc.collections",
+                stats.get("collections", 0),
+                generation=str(generation),
+            )
+        reg.set_gauge("process.threads", threading.active_count())
+
+    registry.register_collector(collect)
+
+
 #: the process-wide default registry (``Database`` attaches it unless a
 #: private one is injected — tests asserting exact totals inject their own)
 REGISTRY = MetricsRegistry()

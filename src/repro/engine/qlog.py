@@ -228,16 +228,33 @@ def build_record(
         }
         for resolution in result.resolutions
     ]
-    operators = [
-        {
+    operators: list[dict] = []
+    # was this execution profiled?  attributed CPU/memory fields are only
+    # written when so — replay and old readers tolerate their absence,
+    # and calibration keys off their presence
+    profiled = any(
+        node.cpu_ns or node.peak_mem_bytes
+        for metrics in result.metrics
+        for node in metrics.walk()
+    )
+
+    def _operator_rows(node, depth: int) -> None:
+        row = {
             "label": node.label,
+            "depth": depth,
             "est": node.estimated_rows,
             "actual": node.rows_out,
             "ms": round(node.elapsed * 1000, 4),
         }
-        for metrics in result.metrics
-        for node in metrics.walk()
-    ]
+        if profiled:
+            row["cpu_ms"] = round(node.cpu_ns / 1e6, 4)
+            row["peak_mem_kb"] = round(node.peak_mem_bytes / 1024, 2)
+        operators.append(row)
+        for child in node.children:
+            _operator_rows(child, depth + 1)
+
+    for metrics in result.metrics:
+        _operator_rows(metrics.root, 0)
     if operators:
         record["operators"] = operators
     if result.counters:

@@ -59,7 +59,14 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
-__all__ = ["Span", "Trace", "Tracer", "SlowQueryLog", "SlowQuery"]
+__all__ = [
+    "Span",
+    "Trace",
+    "Tracer",
+    "SlowQueryLog",
+    "SlowQuery",
+    "active_spans",
+]
 
 
 _ids = itertools.count(1)
@@ -67,6 +74,22 @@ _ids = itertools.count(1)
 
 def _next_id(prefix: str) -> str:
     return f"{prefix}{next(_ids):08x}"
+
+
+#: thread ident → (trace_id, innermost open span name), maintained by
+#: span transitions so the continuous profiler's sampler thread can tag
+#: stack samples with the query phase running on each worker.  Writes are
+#: single-key dict stores from the owning worker thread and reads are a
+#: ``dict()`` copy — both atomic under the GIL, so no lock is paid on the
+#: span hot path (the tracing-overhead CI gate budget).
+_ACTIVE_SPANS: dict[int, tuple[str, str]] = {}
+
+
+def active_spans() -> dict[int, tuple[str, str]]:
+    """Snapshot of the per-thread active spans: ``{thread ident:
+    (trace_id, span name)}``.  Entries disappear when their trace
+    finishes and are overwritten by the next query on the same worker."""
+    return dict(_ACTIVE_SPANS)
 
 
 @dataclass
@@ -161,6 +184,7 @@ class Trace:
             start=time.perf_counter(),
         )
         self._stack: list[Span] = [self.root]
+        _ACTIVE_SPANS[threading.get_ident()] = (trace_id, root_name)
         # guards _stack and every Span's children list: the owning worker
         # is the only writer, but /trace/<id> scrapes read open traces
         # concurrently.  Plain Lock — locked methods inline the stack
@@ -187,6 +211,7 @@ class Trace:
             )
             parent.children.append(span)
             self._stack.append(span)
+            _ACTIVE_SPANS[threading.get_ident()] = (self.trace_id, name)
             return span
 
     def finish_span(self, span: Span, status: str = "ok", **attributes) -> None:
@@ -194,6 +219,11 @@ class Trace:
             span.finish(status, **attributes)
             if self._stack and self._stack[-1] is span:
                 self._stack.pop()
+            if self._stack:
+                _ACTIVE_SPANS[threading.get_ident()] = (
+                    self.trace_id,
+                    self._stack[-1].name,
+                )
 
     def event(self, name: str, **attributes) -> Span:
         """A zero-duration child span marking a point event (cache
@@ -224,6 +254,9 @@ class Trace:
             if not self.root.ended:
                 self.root.finish(status)
                 self._stack.clear()
+            ident = threading.get_ident()
+            if _ACTIVE_SPANS.get(ident, (None,))[0] == self.trace_id:
+                _ACTIVE_SPANS.pop(ident, None)
 
     # -- introspection ------------------------------------------------------
 
@@ -329,12 +362,25 @@ class SlowQuery:
     seconds: float
     outcome: str
     rendered: str  # the full span tree, rendered at capture time
+    #: plan fingerprint of the execution that was slow — actionable
+    #: without cross-referencing the query log
+    plan_fingerprint: str = ""
+    #: which engine ran it ("iter"/"batch")
+    executor: str = ""
+    #: top CPU-consuming operators ("label cpu=…ms" strings), present
+    #: only when the query ran with attributed profiling enabled
+    top_cpu: tuple = ()
 
     def summary(self) -> str:
-        return (
+        text = (
             f"{self.seconds * 1000:.1f}ms [{self.outcome}] "
             f"trace={self.trace_id} {self.query}"
         )
+        if self.plan_fingerprint:
+            text += f" plan={self.plan_fingerprint}"
+        if self.executor:
+            text += f" executor={self.executor}"
+        return text
 
 
 class SlowQueryLog:
@@ -358,6 +404,9 @@ class SlowQueryLog:
         seconds: float,
         outcome: str,
         trace: Optional[Trace],
+        plan_fingerprint: str = "",
+        executor: str = "",
+        top_cpu: tuple = (),
     ) -> Optional[SlowQuery]:
         if self.threshold is None or seconds < self.threshold:
             return None
@@ -367,6 +416,9 @@ class SlowQueryLog:
             seconds=seconds,
             outcome=outcome,
             rendered=trace.render() if trace is not None else "(tracing disabled)",
+            plan_fingerprint=plan_fingerprint,
+            executor=executor,
+            top_cpu=tuple(top_cpu),
         )
         with self._lock:
             self._entries.append(entry)
@@ -389,6 +441,8 @@ class SlowQueryLog:
         lines = []
         for entry in entries:
             lines.append(entry.summary())
+            for rank, op in enumerate(entry.top_cpu, 1):
+                lines.append(f"  cpu#{rank} {op}")
             lines.extend(f"  {line}" for line in entry.rendered.splitlines())
         return "\n".join(lines)
 

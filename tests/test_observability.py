@@ -731,3 +731,117 @@ class TestConcurrentReconciliation:
                 assert trace.done, f"trace {trace_id} never finished"
                 assert trace.complete(), f"open span inside {trace_id}"
             assert retained > 0
+
+
+# ---------------------------------------------------------------------------
+# satellite: /profile and /flamegraph error paths + scrape-during-profiling
+# ---------------------------------------------------------------------------
+
+
+class TestProfileEndpointErrorPaths:
+    """The profiling routes must fail with targeted hints, not stack
+    traces: disabled profiler, empty ring, malformed and unknown trace
+    ids each get a distinct, documented response."""
+
+    @pytest.fixture()
+    def server(self, service):
+        # the default service has no profiler attached at all
+        server = start_observability_server(service, port=0)
+        yield server
+        server.stop()
+
+    def _error_payload(self, excinfo):
+        return json.loads(excinfo.value.read().decode("utf-8"))
+
+    def test_profile_disabled_is_404_with_hint(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/profile")
+        assert excinfo.value.code == 404
+        payload = self._error_payload(excinfo)
+        assert payload["error"] == "profiler disabled"
+        assert "--profile" in payload["hint"]
+
+    def test_flamegraph_disabled_is_404_with_hint(self, server):
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(server.url + "/flamegraph")
+        assert excinfo.value.code == 404
+        assert "--sample-hz" in self._error_payload(excinfo)["hint"]
+
+    def test_empty_ring_serves_cleanly(self, db):
+        with QueryService(db, profiler=True) as service:
+            with start_observability_server(service, port=0) as server:
+                status, _, body = fetch(server.url + "/profile")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["recorded"] == 0 and payload["ring"] == []
+
+    def test_malformed_trace_id_is_400(self, db):
+        with QueryService(db, profiler=True) as service:
+            with start_observability_server(service, port=0) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    fetch(server.url + "/profile?trace=DROP%20TABLE")
+                assert excinfo.value.code == 400
+                payload = self._error_payload(excinfo)
+                assert "malformed" in payload["error"]
+                assert "t0000002a" in payload["hint"]
+
+    def test_unknown_but_wellformed_trace_id_is_404(self, db):
+        with QueryService(db, profiler=True) as service:
+            with start_observability_server(service, port=0) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    fetch(server.url + "/profile?trace=t00ffee")
+                assert excinfo.value.code == 404
+
+    def test_flamegraph_without_sampler_is_404(self, db):
+        # profiler attached (attributed ring) but no sampling rate
+        with QueryService(db, profiler=True) as service:
+            with start_observability_server(service, port=0) as server:
+                with pytest.raises(urllib.error.HTTPError) as excinfo:
+                    fetch(server.url + "/flamegraph")
+                assert excinfo.value.code == 404
+                assert "sampler" in self._error_payload(excinfo)["error"]
+
+
+class TestScrapeDuringProfiledQueries:
+    def test_concurrent_profile_scrapes_see_no_torn_state(self):
+        """Scraping /profile, /flamegraph and /metrics while profiled
+        queries execute on 4 workers must neither error nor expose a
+        half-written profile (every ring entry carries a complete
+        operator row set)."""
+        db = make_db(profile=True)
+        errors = []
+        with QueryService(
+            db, cache_capacity=16, max_workers=4, sample_hz=200.0
+        ) as service:
+            with start_observability_server(service, port=0) as server:
+
+                def scrape():
+                    try:
+                        for _ in range(10):
+                            _, _, body = fetch(server.url + "/profile")
+                            for entry in json.loads(body)["ring"]:
+                                assert entry["trace_id"]
+                                assert entry["cpu_ms"] >= 0.0
+                            fetch(server.url + "/flamegraph")
+                            fetch(server.url + "/metrics")
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(error)
+
+                scrapers = [
+                    threading.Thread(target=scrape) for _ in range(3)
+                ]
+                for thread in scrapers:
+                    thread.start()
+                for _ in range(12):
+                    service.query(PERSON_QUERY)
+                    service.query(ITEM_QUERY)
+                for thread in scrapers:
+                    thread.join()
+        assert not errors
+        # every profile in the ring is complete: operators present, the
+        # roots' inclusive CPU sums to the profile's headline number
+        profiles = []
+        with QueryService(db, profiler=True) as service:
+            service.query(PERSON_QUERY)
+            profiles = service.profiler.profiles()
+        assert profiles and all(p.operators for p in profiles)
